@@ -1,0 +1,52 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table/figure) and prints a
+paper-vs-measured comparison; heavyweight inputs (the 87-day trace, the
+designed infrastructure) are session-cached so the suite stays fast.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.bml import design
+from repro.core.profiles import illustrative_profiles, table_i_profiles
+from repro.workload.worldcup import synthesize
+
+
+def fig5_days() -> int:
+    """Trace length for the Fig. 5 replay.
+
+    Defaults to the paper's 87 days; set ``REPRO_FIG5_DAYS`` to shrink it
+    for quick benchmark iterations.
+    """
+    return int(os.environ.get("REPRO_FIG5_DAYS", "87"))
+
+
+@pytest.fixture(scope="session")
+def infra():
+    return design(table_i_profiles())
+
+
+@pytest.fixture(scope="session")
+def infra_abc():
+    return design(illustrative_profiles())
+
+
+@pytest.fixture(scope="session")
+def worldcup_trace():
+    return synthesize(n_days=fig5_days(), seed=1998)
+
+
+def print_comparison(title, rows, columns=None):
+    """Pretty-print a paper-vs-measured table under the benchmark output."""
+    from repro.analysis.tables import render_table
+
+    print()
+    print(render_table(rows, columns=columns, title=title))

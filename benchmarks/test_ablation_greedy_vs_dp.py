@@ -1,0 +1,63 @@
+"""A1 — ablation: paper's Step 5 greedy vs the exact DP optimum.
+
+The paper builds combinations greedily (fill Big nodes, thresholds for the
+remainder).  How much power does that leave on the table compared to the
+exact optimum?  For the published Table I machines: none — the greedy is
+optimal at every integer rate up to several Bigs, which this benchmark
+verifies, and the DP's cost is measured for the record.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.core.combination import build_table, ideal_table
+
+MAX_RATE = 4000.0
+
+
+@pytest.mark.benchmark(group="ablation-greedy-dp")
+def test_greedy_table_construction(benchmark, infra):
+    table = benchmark(
+        build_table, infra.ordered, infra.thresholds, MAX_RATE, 1.0, "greedy"
+    )
+    assert table.max_rate == MAX_RATE
+
+
+@pytest.mark.benchmark(group="ablation-greedy-dp")
+def test_dp_table_construction(benchmark, infra):
+    tbl = benchmark(ideal_table, infra.ordered, MAX_RATE, 1.0)
+    assert len(tbl) == int(MAX_RATE) + 1
+
+
+@pytest.mark.benchmark(group="ablation-greedy-dp")
+def test_greedy_optimality_gap(benchmark, infra):
+    def gap():
+        greedy = build_table(
+            infra.ordered, infra.thresholds, MAX_RATE, 1.0, "greedy"
+        ).power_array
+        optimal = ideal_table(infra.ordered, MAX_RATE, 1.0)
+        return greedy - optimal
+
+    diff = benchmark.pedantic(gap, rounds=1, iterations=1)
+    assert np.all(diff >= -1e-9)  # DP is a true lower bound
+
+    rows = [
+        {
+            "statistic": "max gap (W)",
+            "value": round(float(diff.max()), 6),
+        },
+        {
+            "statistic": "mean gap (W)",
+            "value": round(float(diff.mean()), 6),
+        },
+        {
+            "statistic": "rates where greedy is suboptimal",
+            "value": int(np.count_nonzero(diff > 1e-9)),
+        },
+    ]
+    print_comparison(
+        "A1: greedy (paper Step 5) vs exact DP over rates 0..4000", rows
+    )
+    # For Table I machines the thresholds make the greedy exactly optimal.
+    assert float(diff.max()) < 1e-6

@@ -1,0 +1,103 @@
+"""A3 — future work: impact of load prediction errors.
+
+The paper's conclusion announces a study of "the impact of load
+prediction errors on reconfiguration decisions".  This ablation runs it:
+the look-ahead-max oracle is degraded with multiplicative log-normal
+error (and biases), and purely reactive predictors (trailing max, EWMA)
+are thrown in for comparison.  Under-prediction shows up as unserved
+demand, over-prediction as extra energy.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.core.prediction import (
+    EWMAPredictor,
+    LookAheadMaxPredictor,
+    NoisyPredictor,
+    TrailingMaxPredictor,
+)
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.workload.worldcup import WorldCupSynthesizer
+
+
+@pytest.fixture(scope="module")
+def ablation_trace():
+    return WorldCupSynthesizer(n_days=7, seed=99).build()
+
+
+def predictors():
+    base = LookAheadMaxPredictor(378)
+    out = [base, TrailingMaxPredictor(378), EWMAPredictor(alpha=0.01, headroom=1.3)]
+    for sigma in (0.05, 0.1, 0.2):
+        out.append(NoisyPredictor(base=base, sigma=sigma, seed=7))
+    out.append(NoisyPredictor(base=base, sigma=0.1, bias=0.9, seed=7))
+    out.append(NoisyPredictor(base=base, sigma=0.1, bias=1.2, seed=7))
+    return out
+
+
+@pytest.fixture(scope="module")
+def sweep(infra, ablation_trace):
+    results = {}
+    for pred in predictors():
+        plan = BMLScheduler(infra, predictor=pred).plan(ablation_trace)
+        results[pred.name] = execute_plan(plan, ablation_trace, pred.name)
+    return results
+
+
+@pytest.mark.benchmark(group="ablation-predictors")
+def test_prediction_error_impact(benchmark, infra, ablation_trace, sweep):
+    benchmark.pedantic(
+        lambda: BMLScheduler(
+            infra, predictor=NoisyPredictor(sigma=0.1, seed=7)
+        ).plan(ablation_trace),
+        rounds=1,
+        iterations=1,
+    )
+
+    total = ablation_trace.total_demand
+    rows = []
+    for name, res in sweep.items():
+        qos = res.qos(ablation_trace)
+        rows.append(
+            {
+                "predictor": name,
+                "energy kWh": round(res.total_energy_kwh, 2),
+                "reconfigs": res.n_reconfigurations,
+                "unserved demand %": round(100 * qos.unserved_demand / total, 4),
+                "violation s": qos.violation_seconds,
+            }
+        )
+    print_comparison("A3: prediction error impact (7-day trace)", rows)
+
+    oracle = sweep["lookahead-max(378s)"]
+
+    # noise costs energy: the noisy oracles always pay more than the clean one
+    for sigma in (0.05, 0.1, 0.2):
+        noisy = sweep[f"noisy(lookahead-max(378s),s={sigma:g},b=1)"]
+        assert noisy.total_energy > oracle.total_energy
+    # and more noise costs more
+    assert (
+        sweep["noisy(lookahead-max(378s),s=0.2,b=1)"].total_energy
+        > sweep["noisy(lookahead-max(378s),s=0.05,b=1)"].total_energy
+    )
+
+    # under-prediction (bias 0.9) sacrifices QoS vs the unbiased noisy run
+    under = sweep["noisy(lookahead-max(378s),s=0.1,b=0.9)"]
+    unbiased = sweep["noisy(lookahead-max(378s),s=0.1,b=1)"]
+    assert (
+        under.qos(ablation_trace).unserved_demand
+        >= unbiased.qos(ablation_trace).unserved_demand
+    )
+    # over-prediction (bias 1.2) buys QoS with energy
+    over = sweep["noisy(lookahead-max(378s),s=0.1,b=1.2)"]
+    assert over.total_energy > unbiased.total_energy
+
+    # the purely reactive trailing-max lags rising edges -> real shortfalls
+    reactive = sweep["trailing-max(378s)"]
+    assert (
+        reactive.qos(ablation_trace).unserved_demand
+        > oracle.qos(ablation_trace).unserved_demand
+    )

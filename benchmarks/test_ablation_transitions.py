@@ -1,0 +1,74 @@
+"""A5 — future work: transition-aware reconfiguration decisions.
+
+The paper's conclusion proposes "considering other hardware combinations
+than pre-computed BML combinations as reconfiguration possibilities, and
+tak[ing] in account their corresponding overheads when taking
+reconfiguration decisions".  This ablation compares the baseline policy
+(always jump to the precomputed ideal combination) with the
+:class:`~repro.core.adaptive.TransitionAwareScheduler`, which scores
+staying / jumping / booting-without-shutting-down over an amortisation
+horizon.
+
+Expected shape: fewer reconfigurations, visibly less switching energy, a
+small total-energy gain, and identical QoS.  Gains are bounded by Table
+I's economics — a Paravance boot (21.3 kJ) costs only ~5 minutes of its
+idle draw, so cycling is genuinely cheap on this hardware.
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.core.adaptive import TransitionAwareScheduler
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.workload.worldcup import WorldCupSynthesizer
+
+
+@pytest.fixture(scope="module")
+def ablation_trace():
+    return WorldCupSynthesizer(n_days=7, seed=77).build()
+
+
+@pytest.fixture(scope="module")
+def pair(infra, ablation_trace):
+    base = execute_plan(
+        BMLScheduler(infra).plan(ablation_trace), ablation_trace, "baseline BML"
+    )
+    adapt = execute_plan(
+        TransitionAwareScheduler(infra).plan(ablation_trace),
+        ablation_trace,
+        "transition-aware",
+    )
+    return base, adapt
+
+
+@pytest.mark.benchmark(group="ablation-transitions")
+def test_transition_aware_vs_baseline(benchmark, infra, ablation_trace, pair):
+    benchmark.pedantic(
+        lambda: TransitionAwareScheduler(infra).plan(ablation_trace),
+        rounds=1,
+        iterations=1,
+    )
+    base, adapt = pair
+
+    rows = []
+    for res in pair:
+        qos = res.qos(ablation_trace)
+        rows.append(
+            {
+                "policy": res.scenario,
+                "energy kWh": round(res.total_energy_kwh, 3),
+                "reconfigs": res.n_reconfigurations,
+                "switch kWh": round(res.switch_energy / 3.6e6, 3),
+                "unserved s": qos.violation_seconds,
+            }
+        )
+    print_comparison("A5: overhead-aware reconfiguration decisions", rows)
+
+    assert adapt.n_reconfigurations <= base.n_reconfigurations
+    assert adapt.switch_energy < base.switch_energy
+    assert adapt.total_energy <= base.total_energy * 1.001
+    assert (
+        adapt.qos(ablation_trace).unserved_demand
+        <= base.qos(ablation_trace).unserved_demand + 1e-6
+    )

@@ -1,0 +1,77 @@
+"""A2 — ablation: look-ahead window size.
+
+The paper fixes the prediction window at 378 s = 2x the longest On
+duration.  This ablation sweeps the window and shows the trade-off the
+choice encodes: short windows react later (risking capacity shortfalls
+during Big boots), long windows over-provision for peaks that are still
+far away.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.workload.worldcup import WorldCupSynthesizer
+
+WINDOWS = (1, 60, 189, 378, 756, 1512)
+
+
+@pytest.fixture(scope="module")
+def ablation_trace():
+    return WorldCupSynthesizer(n_days=7, seed=77).build()
+
+
+@pytest.fixture(scope="module")
+def sweep(infra, ablation_trace):
+    out = {}
+    for w in WINDOWS:
+        plan = BMLScheduler(infra, predictor=LookAheadMaxPredictor(w)).plan(
+            ablation_trace
+        )
+        out[w] = execute_plan(plan, ablation_trace, f"window={w}")
+    return out
+
+
+@pytest.mark.benchmark(group="ablation-window")
+def test_window_sweep(benchmark, infra, ablation_trace, sweep):
+    benchmark.pedantic(
+        lambda: BMLScheduler(
+            infra, predictor=LookAheadMaxPredictor(378)
+        ).plan(ablation_trace),
+        rounds=1,
+        iterations=1,
+    )
+
+    total = ablation_trace.total_demand
+    rows = []
+    for w in WINDOWS:
+        res = sweep[w]
+        qos = res.qos(ablation_trace)
+        rows.append(
+            {
+                "window s": w,
+                "energy kWh": round(res.total_energy_kwh, 2),
+                "reconfigs": res.n_reconfigurations,
+                "unserved s": qos.violation_seconds,
+                "unserved demand %": round(
+                    100 * qos.unserved_demand / total, 4
+                ),
+            }
+        )
+    print_comparison("A2: look-ahead window sweep (7-day trace)", rows)
+
+    # QoS: windows >= the longest boot keep the served fraction intact;
+    # sub-boot windows must show real shortfalls.
+    assert sweep[1].qos().unserved_demand > sweep[378].qos().unserved_demand
+    assert sweep[378].qos(ablation_trace).served_fraction > 0.9999
+
+    # Longer windows hold capacity longer -> more energy at the top end...
+    assert sweep[1512].total_energy >= sweep[378].total_energy
+    # ...but very short windows thrash: reconfiguration count explodes and
+    # the switching energy can dominate the saved over-provisioning.
+    assert sweep[60].n_reconfigurations > sweep[378].n_reconfigurations
+    assert sweep[378].n_reconfigurations >= sweep[1512].n_reconfigurations
+    assert sweep[60].switch_energy > sweep[378].switch_energy

@@ -1,0 +1,41 @@
+"""E2 — Fig. 1: candidate architecture profiles and the Step 2 filter.
+
+Regenerates the illustrative-architecture figure: repeated (stacked)
+power profiles of A, B, C, D over the rate axis, with D removed because
+its maximum power exceeds A's while delivering less performance.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.experiments import run_fig1
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_candidate_filtering(benchmark):
+    fig = benchmark(run_fig1)
+
+    assert fig.annotations["kept"] == ["A", "B", "C"]
+    assert list(fig.annotations["removed"]) == ["D"]
+    assert "dominated by A" in fig.annotations["removed"]["D"]
+
+    # staircase curves: every architecture's stack is monotone and repeats
+    # its profile beyond max_perf
+    for name, (x, y) in fig.series.items():
+        assert np.all(np.diff(y) >= -1e-9), name
+
+    rows = [
+        {
+            "architecture": name,
+            "verdict": (
+                "kept (BML candidate)"
+                if name in fig.annotations["kept"]
+                else fig.annotations["removed"][name]
+            ),
+            "power@200 (W)": round(float(np.interp(200.0, *fig.series[name])), 1),
+            "power@600 (W)": round(float(np.interp(600.0, *fig.series[name])), 1),
+        }
+        for name in ("A", "B", "C", "D")
+    ]
+    print_comparison("Fig. 1: Step 2 verdicts (paper: A, B, C kept; D removed)", rows)

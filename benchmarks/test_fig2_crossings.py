@@ -1,0 +1,50 @@
+"""E3 — Fig. 2: crossing points between architectures (Steps 3 and 4).
+
+Left panel (Step 3): Medium's threshold against homogeneous Little stacks
+sits around a rate of 150 ("before this point it is more efficient to use
+up to five Little nodes"), and Big's provisional threshold lands right
+past Medium's maximum performance rate.  Right panel (Step 4):
+re-evaluating Big against *mixed* Medium+Little combinations raises its
+minimum utilization threshold.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.experiments import run_fig2
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_crossing_points(benchmark):
+    fig = benchmark(run_fig2)
+
+    step3 = fig.annotations["step3_thresholds"]
+    step4 = fig.annotations["step4_thresholds"]
+
+    # paper narrative checks
+    assert step3["B"] == 150.0          # Medium threshold "around 150"
+    assert step3["A"] == 151.0          # Big: right past Medium's maxPerf
+    assert step4["A"] > step3["A"]      # Step 4 increases Big's threshold
+    assert step4["C"] == 1.0            # Little serves from the first unit
+
+    # the step-4 adversary (ideal mixes) is never weaker than step 3's
+    series = dict(fig.series)
+    s3 = series["B stack (step3 adversary of A)"]
+    s4 = series["ideal mix below A (step4 adversary)"]
+    assert np.all(s4[1] <= s3[1] + 1e-9)
+
+    rows = [
+        {
+            "architecture": name,
+            "step3 threshold": step3[name],
+            "step4 threshold": step4[name],
+            "paper says": note,
+        }
+        for name, note in (
+            ("A", "jump at Medium maxPerf, then increased by step 4"),
+            ("B", "around 150 (five Little nodes before)"),
+            ("C", "1 (Little)"),
+        )
+    ]
+    print_comparison("Fig. 2: utilization thresholds", rows)

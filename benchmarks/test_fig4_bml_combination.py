@@ -1,0 +1,77 @@
+"""E5 — Fig. 4: ideal BML combination power vs Big-only vs BML linear.
+
+The paper's final infrastructure (Raspberry / Chromebook / Paravance with
+thresholds 1 / 10 / 529 req/s) evaluated over an increasing performance
+rate up to maxPerf_Big, against the Big-only profile and the *BML linear*
+reference (idle = Little's, peak = Big's).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import print_comparison
+from repro.experiments import run_fig4
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_combination_curve(benchmark):
+    fig = benchmark(run_fig4)
+
+    assert fig.annotations["thresholds"] == {
+        "paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0,
+    }
+
+    rates, bml = fig.series["BML combination"]
+    _, big = fig.series["Big only"]
+    _, linear = fig.series["BML linear"]
+
+    # BML never exceeds a Big-only data center over the figure's range
+    assert np.all(bml[1:] <= big[1:] + 1e-9)
+    # the combination switches to one Big node exactly at the threshold
+    i529 = int(np.searchsorted(rates, 529.0))
+    assert bml[i529] == pytest.approx(69.9 + (200.5 - 69.9) / 1331 * 529)
+    assert bml[i529 - 1] < bml[i529]
+    # the curve meets the linear goal at both ends (rate 0 = everything off)
+    i1 = int(np.searchsorted(rates, 1.0))
+    assert bml[i1] == pytest.approx(float(linear[i1]), abs=0.1)
+    assert bml[-1] == pytest.approx(200.5, abs=0.1)
+
+    checkpoints = [1, 9, 10, 33, 100, 300, 528, 529, 800, 1331]
+    rows = [
+        {
+            "rate req/s": r,
+            "BML W": round(float(bml[int(np.searchsorted(rates, r))]), 2),
+            "Big-only W": round(float(big[int(np.searchsorted(rates, r))]), 2),
+            "BML-linear W": round(float(linear[int(np.searchsorted(rates, r))]), 2),
+        }
+        for r in checkpoints
+    ]
+    print_comparison(
+        "Fig. 4: BML combination vs references "
+        "(thresholds 1 / 10 / 529 as published)",
+        rows,
+    )
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_energy_proportionality_metrics(benchmark, infra):
+    """Quantify Fig. 4's message with the IPR/LDR metrics of Sec. II."""
+    from repro.analysis.metrics import proportionality_gap
+
+    rates = np.arange(0.0, 1332.0)
+
+    def gaps():
+        bml = infra.power_curve(rates)
+        big = np.asarray(infra.big.stack_power(rates))
+        big[0] = infra.big.idle_power  # one always-on Big
+        return proportionality_gap(bml), proportionality_gap(big)
+
+    bml_gap, big_gap = benchmark(gaps)
+    assert bml_gap < 0.7 * big_gap
+    print_comparison(
+        "Fig. 4 quantified: mean normalised distance to perfect proportionality",
+        [
+            {"curve": "BML combination", "proportionality gap": round(bml_gap, 4)},
+            {"curve": "Big only", "proportionality gap": round(big_gap, 4)},
+        ],
+    )

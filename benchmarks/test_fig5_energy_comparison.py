@@ -1,0 +1,118 @@
+"""E6 — Fig. 5: energy comparison with lower and upper bounds.
+
+The headline experiment: replay the (synthetic) World Cup trace, days
+6-92, against the four scenarios:
+
+* UpperBound Global — 4 Big machines always on;
+* UpperBound PerDay — Bigs re-dimensioned each day;
+* Big-Medium-Little — the pro-active BML scheduler (378 s look-ahead);
+* LowerBound Theoretical — per-second ideal combination, free switching.
+
+The paper reports BML at +32 % average energy over the lower bound
+(min 6.8 %, max 161.4 %) and far below both upper bounds.  The synthetic
+trace is calibrated to the same *shape*: expected ordering, BML within a
+tens-of-percent band over the bound with a wide per-day spread, and QoS
+essentially intact.  Absolute Joules differ from the paper's testbed.
+"""
+
+import numpy as np
+import pytest
+
+from conftest import fig5_days, print_comparison
+from repro.core.scheduler import BMLScheduler
+from repro.experiments import run_fig5
+
+
+@pytest.fixture(scope="module")
+def outcome(infra, worldcup_trace):
+    return run_fig5(trace=worldcup_trace, infra=infra)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scheduler_planning(benchmark, infra, worldcup_trace):
+    """Benchmark the scheduler's full-trace planning (the paper's policy)."""
+    plan = benchmark.pedantic(
+        lambda: BMLScheduler(infra).plan(worldcup_trace), rounds=1, iterations=1
+    )
+    assert plan.horizon == len(worldcup_trace)
+    assert plan.n_reconfigurations > 0
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_scenario_comparison(benchmark, outcome):
+    benchmark.pedantic(lambda: outcome.figure(), rounds=1, iterations=1)
+
+    ubg, ubd = outcome.upper_global, outcome.upper_per_day
+    bml, lb = outcome.bml, outcome.lower_bound
+
+    # --- ordering: who wins (paper's Fig. 5 shape) ---
+    assert ubg.total_energy > ubd.total_energy > bml.total_energy
+    assert bml.total_energy > lb.total_energy
+
+    # --- rough factors ---
+    assert ubg.total_energy > 3.0 * bml.total_energy  # static costs dominate
+    assert ubd.total_energy > 1.3 * bml.total_energy
+
+    # --- headline statistic: BML vs theoretical lower bound ---
+    ov = outcome.overhead
+    assert 0.10 <= ov.mean <= 0.60       # paper: 0.32
+    assert ov.minimum <= 0.15            # paper: 0.068
+    assert ov.maximum >= 0.50            # paper: 1.614
+    assert np.all(ov.per_day > 0)        # the bound is never beaten
+
+    # --- QoS: served fraction stays essentially 1 ---
+    qos = bml.qos(outcome.trace)
+    assert qos.served_fraction > 0.9999
+
+    rows = outcome.summary_rows()
+    print_comparison(
+        f"Fig. 5 scenarios over {fig5_days()} days (synthetic WC98 trace)", rows
+    )
+    print_comparison(
+        "BML vs LowerBound per-day overhead",
+        [
+            {
+                "statistic": "average",
+                "paper": "32%",
+                "ours": f"{100 * ov.mean:.1f}%",
+            },
+            {
+                "statistic": "minimum",
+                "paper": "6.8%",
+                "ours": f"{100 * ov.minimum:.1f}%",
+            },
+            {
+                "statistic": "maximum",
+                "paper": "161.4%",
+                "ours": f"{100 * ov.maximum:.1f}%",
+            },
+        ],
+    )
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_per_day_series(benchmark, outcome):
+    """The actual Fig. 5 data: per-day energy for all four scenarios."""
+    fig = benchmark.pedantic(outcome.figure, rounds=1, iterations=1)
+    days, ubg_daily = fig.series["UpperBound Global"]
+    _, lb_daily = fig.series["LowerBound Theoretical"]
+    _, bml_daily = fig.series["Big-Medium-Little"]
+
+    # UpperBound Global is flat (constant 4 Bigs) apart from load-dependent
+    # dynamic power; every day it dominates every other scenario.
+    assert np.all(ubg_daily >= bml_daily)
+    assert np.all(bml_daily >= lb_daily)
+
+    step = max(1, len(days) // 15)
+    rows = [
+        {
+            "day": int(d),
+            "UB Global kWh": round(float(fig.series["UpperBound Global"][1][i]), 2),
+            "UB PerDay kWh": round(float(fig.series["UpperBound PerDay"][1][i]), 2),
+            "BML kWh": round(float(bml_daily[i]), 2),
+            "LowerBound kWh": round(float(lb_daily[i]), 2),
+        }
+        for i, d in enumerate(days)
+        if i % step == 0
+    ]
+    print_comparison("Fig. 5 per-day energy (sampled rows)", rows)

@@ -1,0 +1,75 @@
+"""Performance benchmarks for the library's hot paths.
+
+Not a paper artifact — these guard the engineering that makes the 87-day
+1 Hz replay practical: the sliding-maximum predictor, combination-table
+construction, vectorised power evaluation, the scheduler's jump loop and
+the plan executor.  Regressions here turn the Fig. 5 benchmark from
+seconds into hours (a naive per-second Python loop over 7.5 M samples).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.combination import build_table
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.sim.energy import combination_power
+from repro.workload.sliding import lookahead_max
+from repro.workload.worldcup import WorldCupSynthesizer
+
+
+@pytest.fixture(scope="module")
+def week_trace():
+    return WorldCupSynthesizer(n_days=7, seed=13).build()
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_sliding_max_week(benchmark, week_trace):
+    """378 s look-ahead maximum over 604 800 samples."""
+    out = benchmark(lookahead_max, week_trace.values, 378)
+    assert len(out) == len(week_trace)
+    assert np.all(out >= week_trace.values)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_table_construction(benchmark, infra):
+    """Greedy combination table for rates 0..5000 (the Fig. 5 table)."""
+    table = benchmark(
+        build_table, infra.ordered, infra.thresholds, 5000.0, 1.0, "greedy"
+    )
+    assert table.max_rate == 5000.0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_power_evaluation(benchmark, infra, week_trace):
+    """Vectorised power of one combination over a week of loads."""
+    combo = infra.combination_for(4000.0)
+    loads = np.minimum(week_trace.values, combo.capacity)
+    out = benchmark(combination_power, combo, loads)
+    assert out.shape == loads.shape
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_scheduler_week(benchmark, infra, week_trace):
+    """Full decision loop over a 604 800-sample trace."""
+    plan = benchmark.pedantic(
+        lambda: BMLScheduler(infra).plan(week_trace), rounds=2, iterations=1
+    )
+    assert plan.horizon == len(week_trace)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_plan_execution(benchmark, infra, week_trace):
+    """Energy/QoS integration of a planned week."""
+    plan = BMLScheduler(infra).plan(week_trace)
+    result = benchmark(execute_plan, plan, week_trace)
+    assert result.total_energy > 0
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_predictor_series(benchmark, week_trace):
+    """Predictor front-end (validation + array plumbing) over a week."""
+    pred = LookAheadMaxPredictor(378)
+    out = benchmark(pred.series, week_trace)
+    assert len(out) == len(week_trace)

@@ -1,0 +1,53 @@
+"""E1 — Table I: performance and power profiles of each architecture.
+
+Regenerates the paper's Table I by running the simulated profiling
+campaign (Siege concurrency ramp, 30 s runs, best-of-5; wattmeter
+transients for On/Off costs) against the modelled testbed, and checks
+every cell against the published numbers.
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro.core.profiles import TABLE_I
+from repro.profiling.harness import ProfilingCampaign
+from repro.profiling.hardware import paper_hardware
+
+ATTRS = (
+    "max_perf", "idle_power", "max_power",
+    "on_time", "on_energy", "off_time", "off_energy",
+)
+
+
+def run_campaign():
+    return ProfilingCampaign(seed=0).run(paper_hardware())
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_profiling_campaign(benchmark):
+    reports = benchmark.pedantic(run_campaign, rounds=3, iterations=1)
+
+    rows = []
+    for r in reports:
+        ref = TABLE_I[r.profile.name]
+        rows.append(
+            {
+                "architecture": r.profile.name,
+                "maxPerf (paper)": ref.max_perf,
+                "maxPerf (ours)": round(r.profile.max_perf, 1),
+                "idle W (paper)": ref.idle_power,
+                "idle W (ours)": round(r.profile.idle_power, 2),
+                "max W (paper)": ref.max_power,
+                "max W (ours)": round(r.profile.max_power, 2),
+                "OnE J (paper)": ref.on_energy,
+                "OnE J (ours)": round(r.profile.on_energy, 1),
+            }
+        )
+    print_comparison("Table I: paper vs simulated campaign", rows)
+
+    for r in reports:
+        ref = TABLE_I[r.profile.name]
+        for attr in ATTRS:
+            assert getattr(r.profile, attr) == pytest.approx(
+                getattr(ref, attr), rel=0.02, abs=2.0
+            ), (r.profile.name, attr)

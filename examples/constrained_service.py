@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Operating a *constrained* service on an *existing* data center.
+
+The paper's evaluation assumes a malleable, stateless application and
+unlimited machines of each type.  Real deployments have neither; this
+example drives the extensions that lift both assumptions:
+
+1. **Application constraints** (Sec. III): the service must keep at least
+   2 instances (redundancy) and cannot shard beyond 6 — combinations are
+   recomputed under node bounds;
+2. **Bounded inventory** (Sec. IV-A's "minor changes"): the data center
+   owns finite machines; when the peak exceeds what it can host the
+   shortfall is measured, not hidden;
+3. **Transition-aware decisions** (Sec. VI future work): switching
+   overheads are weighed against staying on the current machines.
+
+Run: ``python examples/constrained_service.py [--days 2]``
+"""
+
+import argparse
+
+from repro.analysis.charts import sparkline
+from repro.analysis.tables import render_table
+from repro.core import BMLScheduler, TransitionAwareScheduler, design, table_i_profiles
+from repro.sim import execute_plan
+from repro.sim.application import ApplicationSpec
+from repro.workload import synthesize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=11)
+    args = parser.parse_args(argv)
+
+    infra = design(table_i_profiles())
+    trace = synthesize(n_days=args.days, seed=args.seed)
+    print(f"workload: {args.days} days, peak {trace.peak:.0f} req/s")
+    print("load    " + sparkline(trace.values, width=64))
+    print()
+
+    scenarios = {
+        "baseline (paper assumptions)": BMLScheduler(infra),
+        "redundant service (2..6 instances)": BMLScheduler(
+            infra, app_spec=ApplicationSpec(min_instances=2, max_instances=6)
+        ),
+        "existing DC (2 Big, 20 Medium, 10 Little)": BMLScheduler(
+            infra,
+            inventory={"paravance": 2, "chromebook": 20, "raspberry": 10},
+        ),
+        "transition-aware policy": TransitionAwareScheduler(infra),
+    }
+
+    rows = []
+    for label, scheduler in scenarios.items():
+        plan = scheduler.plan(trace)
+        res = execute_plan(plan, trace, label)
+        qos = res.qos(trace)
+        rows.append(
+            {
+                "scenario": label,
+                "energy (kWh)": round(res.total_energy_kwh, 3),
+                "reconfigs": res.n_reconfigurations,
+                "switch (kWh)": round(res.switch_energy / 3.6e6, 3),
+                "served %": round(100 * qos.served_fraction, 4),
+                "max nodes": max(
+                    (seg.serving.total_nodes for seg in plan.segments),
+                    default=0,
+                ),
+            }
+        )
+    print(render_table(rows, title="constrained operation"))
+    print(
+        "\nreading guide: redundancy floors pay idle Watts for availability;"
+        "\na too-small inventory shows up as served % < 100, never silently;"
+        "\nthe transition-aware policy trims switching energy at equal QoS."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

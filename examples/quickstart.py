@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Quickstart: design a BML infrastructure and replay a bursty day.
+
+Walks the paper's whole pipeline in ~30 lines of API calls:
+
+1. Step 1 profiles (the published Table I numbers);
+2. Steps 2-4: filter dominated machines and compute utilization
+   thresholds (Taurus and Graphene drop out; thresholds 1 / 10 / 529);
+3. Step 5: ideal combinations for a few rates;
+4. replay one synthetic day with the pro-active scheduler and compare
+   against the theoretical lower bound.
+
+Run: ``python examples/quickstart.py [--days N]``
+"""
+
+import argparse
+
+from repro.analysis.tables import render_table
+from repro.core import BMLScheduler, design, table_i_profiles
+from repro.sim import execute_plan, lower_bound_result
+from repro.workload import synthesize
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--days", type=int, default=1)
+    parser.add_argument("--seed", type=int, default=2016)
+    args = parser.parse_args(argv)
+
+    # Steps 1-4 -----------------------------------------------------------
+    infra = design(table_i_profiles())
+    print(infra.describe())
+    print()
+
+    # Step 5 --------------------------------------------------------------
+    rows = []
+    for rate in (5, 50, 529, 1400, 4000):
+        combo = infra.combination_for(rate)
+        rows.append(
+            {
+                "target rate (req/s)": rate,
+                "ideal combination": combo.describe(),
+                "power (W)": round(combo.power(rate), 2),
+            }
+        )
+    print(render_table(rows, title="Step 5: ideal BML combinations"))
+    print()
+
+    # Online scheduling ---------------------------------------------------
+    trace = synthesize(n_days=args.days, seed=args.seed, peak_rate=3000)
+    plan = BMLScheduler(infra).plan(trace)
+    result = execute_plan(plan, trace, "BML scheduler")
+    bound = lower_bound_result(trace, infra.table(trace.peak))
+
+    qos = result.qos(trace)
+    print(
+        render_table(
+            [
+                {
+                    "scenario": r.scenario,
+                    "energy (kWh)": round(r.total_energy_kwh, 3),
+                    "mean power (W)": round(r.mean_power, 1),
+                    "reconfigurations": r.n_reconfigurations,
+                }
+                for r in (result, bound)
+            ],
+            title=f"{args.days}-day replay (peak {trace.peak:.0f} req/s)",
+        )
+    )
+    print(
+        f"\nBML vs lower bound: "
+        f"+{100 * (result.total_energy / bound.total_energy - 1):.1f}% energy, "
+        f"served fraction {qos.served_fraction:.6f}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The metadata lives in pyproject.toml; this file exists so that editable
+installs work on environments whose setuptools/pip lack PEP 660 editable
+wheel support (no `wheel` package available offline):
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,81 @@
+"""repro — Big/Medium/Little energy-proportional data centers.
+
+A faithful, fully offline reproduction of Villebonnet, Da Costa, Lefèvre,
+Pierson and Stolf, *"Dynamically Building Energy Proportional Data Centers
+with Heterogeneous Computing Resources"*, IEEE CLUSTER 2016.
+
+Quick start::
+
+    import repro
+
+    infra = repro.design(repro.table_i_profiles())   # Steps 1-4
+    print(infra.thresholds)                          # {'paravance': 529, ...}
+    combo = infra.combination_for(1400)              # Step 5
+    trace = repro.synthesize(n_days=7)               # WC98-shaped workload
+    plan = repro.BMLScheduler(infra).plan(trace)     # pro-active scheduling
+    result = repro.execute_plan(plan, trace, "BML")  # energy + QoS
+    print(result.total_energy_kwh, result.qos(trace).served_fraction)
+
+Sub-packages: :mod:`repro.core` (methodology + scheduler),
+:mod:`repro.sim` (data-center simulator), :mod:`repro.workload` (traces),
+:mod:`repro.profiling` (Table I substrate), :mod:`repro.analysis`
+(metrics/figures), :mod:`repro.experiments` (one entry point per paper
+table/figure).
+"""
+
+from .core import (
+    ArchitectureProfile,
+    BMLInfrastructure,
+    BMLScheduler,
+    Combination,
+    CombinationTable,
+    EWMAPredictor,
+    LookAheadMaxPredictor,
+    NoisyPredictor,
+    PerfectPredictor,
+    SchedulePlan,
+    TrailingMaxPredictor,
+    TransitionAwareScheduler,
+    design,
+    global_upper_bound_plan,
+    greedy_combination,
+    ideal_combination,
+    illustrative_profiles,
+    paper_window,
+    per_day_upper_bound_plan,
+    table_i_profiles,
+)
+from .sim import SimulationResult, execute_plan, lower_bound_result
+from .workload import LoadTrace, WorldCupSynthesizer, synthesize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ArchitectureProfile",
+    "BMLInfrastructure",
+    "BMLScheduler",
+    "TransitionAwareScheduler",
+    "Combination",
+    "CombinationTable",
+    "SchedulePlan",
+    "design",
+    "greedy_combination",
+    "ideal_combination",
+    "table_i_profiles",
+    "illustrative_profiles",
+    "paper_window",
+    "LookAheadMaxPredictor",
+    "PerfectPredictor",
+    "TrailingMaxPredictor",
+    "EWMAPredictor",
+    "NoisyPredictor",
+    "global_upper_bound_plan",
+    "per_day_upper_bound_plan",
+    "execute_plan",
+    "lower_bound_result",
+    "SimulationResult",
+    "LoadTrace",
+    "WorldCupSynthesizer",
+    "synthesize",
+]

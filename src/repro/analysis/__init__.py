@@ -1,0 +1,40 @@
+"""Analysis helpers: proportionality metrics, figure series, tables, charts."""
+
+from .charts import line_chart, sparkline
+from .figures import (
+    FigureSeries,
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+)
+from .metrics import (
+    OverheadStats,
+    energy_savings,
+    ipr,
+    ldr,
+    overhead_stats,
+    proportionality_gap,
+)
+from .tables import format_value, render_table, write_csv
+
+__all__ = [
+    "ipr",
+    "ldr",
+    "proportionality_gap",
+    "OverheadStats",
+    "overhead_stats",
+    "energy_savings",
+    "FigureSeries",
+    "fig1_series",
+    "fig2_series",
+    "fig3_series",
+    "fig4_series",
+    "fig5_series",
+    "render_table",
+    "write_csv",
+    "format_value",
+    "sparkline",
+    "line_chart",
+]

@@ -1,0 +1,109 @@
+"""Terminal charts: sparklines and multi-series line plots in plain text.
+
+No plotting stack is available offline, so the CLI and the benchmark
+reports render figure series directly in the terminal: single-line
+sparklines (Unicode block elements) for compact summaries, and a braille-
+free ASCII canvas for full figures like Fig. 4/5.  Everything degrades to
+pure ASCII with ``unicode=False``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["sparkline", "line_chart"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+_ASCII = ".:-=+*#%@"
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    unicode: bool = True,
+) -> str:
+    """One-line chart of a series (resampled to ``width`` columns).
+
+    Values map linearly from the series' min..max to block heights; a
+    constant series renders mid-height.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1 or arr.size == 0:
+        raise ValueError("sparkline needs a non-empty 1-D series")
+    if width is not None:
+        if width < 1:
+            raise ValueError("width must be >= 1")
+        # max-pool into `width` buckets so peaks stay visible
+        idx = np.linspace(0, arr.size, width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].max() if b > a else arr[min(a, arr.size - 1)]
+             for a, b in zip(idx[:-1], idx[1:])]
+        )
+    glyphs = _BLOCKS if unicode else _ASCII
+    lo, hi = float(arr.min()), float(arr.max())
+    if hi - lo < 1e-12:
+        return glyphs[len(glyphs) // 2] * len(arr)
+    scaled = (arr - lo) / (hi - lo) * (len(glyphs) - 1)
+    return "".join(glyphs[int(round(v))] for v in scaled)
+
+
+def line_chart(
+    series: Mapping[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Multi-series ASCII chart (one marker character per series).
+
+    ``series`` maps names to ``(x, y)`` pairs — the same structure as
+    :class:`~repro.analysis.figures.FigureSeries.series` — so any paper
+    figure can be eyeballed straight from the terminal.
+    """
+    if not series:
+        raise ValueError("no series to plot")
+    if width < 8 or height < 4:
+        raise ValueError("canvas too small")
+    markers = "*o+x@#%&"
+    xs_all = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    ys_all = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    if xs_all.size == 0:
+        raise ValueError("empty series")
+    x_lo, x_hi = float(xs_all.min()), float(xs_all.max())
+    y_lo, y_hi = float(ys_all.min()), float(ys_all.max())
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend: List[str] = []
+    for (name, (x, y)), marker in zip(series.items(), markers):
+        x = np.asarray(x, dtype=float)
+        y = np.asarray(y, dtype=float)
+        cols = ((x - x_lo) / (x_hi - x_lo) * (width - 1)).round().astype(int)
+        rows = ((y - y_lo) / (y_hi - y_lo) * (height - 1)).round().astype(int)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+        legend.append(f"{marker} {name}")
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    top = f"{y_hi:.6g}"
+    bottom = f"{y_lo:.6g}"
+    pad = max(len(top), len(bottom))
+    for i, row in enumerate(canvas):
+        label = top if i == 0 else (bottom if i == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(row))
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    xspan = f"{x_lo:.6g}{' ' * max(1, width - len(f'{x_lo:.6g}') - len(f'{x_hi:.6g}'))}{x_hi:.6g}"
+    lines.append(" " * (pad + 2) + xspan)
+    if x_label:
+        lines.append(" " * (pad + 2) + x_label)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,227 @@
+"""Series builders for every figure of the paper.
+
+Each ``figN_series`` function returns the exact data a plot of that figure
+needs — benchmarks print them as tables and dump CSVs, and any plotting
+front-end can consume them unchanged.  Keeping figure *data* generation in
+the library (rather than in the benchmark scripts) makes the
+reproductions testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.bml import BMLInfrastructure
+from ..core.combination import ideal_table
+from ..core.profiles import ArchitectureProfile
+from ..sim.results import SimulationResult
+from .metrics import OverheadStats, overhead_stats
+
+__all__ = [
+    "FigureSeries",
+    "fig1_series",
+    "fig2_series",
+    "fig3_series",
+    "fig4_series",
+    "fig5_series",
+]
+
+
+@dataclass
+class FigureSeries:
+    """One reproducible figure: named (x, y) series plus annotations."""
+
+    figure: str
+    x_label: str
+    y_label: str
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    annotations: Dict[str, object] = field(default_factory=dict)
+
+    def rows(self, step: int = 1) -> List[Dict[str, object]]:
+        """Long-format rows (series, x, y) for tables/CSV, downsampled."""
+        out: List[Dict[str, object]] = []
+        for name, (x, y) in self.series.items():
+            for i in range(0, len(x), step):
+                out.append(
+                    {"series": name, "x": float(x[i]), "y": float(y[i])}
+                )
+        return out
+
+
+def _stack_curve(
+    prof: ArchitectureProfile, max_rate: float, resolution: float = 1.0
+) -> Tuple[np.ndarray, np.ndarray]:
+    rates = np.arange(0.0, max_rate + resolution / 2, resolution)
+    return rates, np.asarray(prof.stack_power(rates), dtype=float)
+
+
+def fig1_series(
+    profiles: Sequence[ArchitectureProfile],
+    kept: Sequence[str],
+    removed: Mapping[str, str],
+    max_rate: Optional[float] = None,
+) -> FigureSeries:
+    """Fig. 1: repeated power profiles of candidate architectures.
+
+    Every architecture's homogeneous-stack power over the rate axis, with
+    the Step 2 verdict (kept as BML candidate / removed with reason) in
+    the annotations.
+    """
+    max_rate = max_rate or max(p.max_perf for p in profiles) * 1.2
+    series = {p.name: _stack_curve(p, max_rate) for p in profiles}
+    return FigureSeries(
+        figure="fig1",
+        x_label="performance rate (application metric)",
+        y_label="power (W)",
+        series=series,
+        annotations={"kept": list(kept), "removed": dict(removed)},
+    )
+
+
+def fig2_series(
+    infra: BMLInfrastructure,
+    max_rate: Optional[float] = None,
+) -> FigureSeries:
+    """Fig. 2: crossing points, Step 3 (left) and Step 4 (right).
+
+    Series: each surviving architecture's single-node power line, the
+    homogeneous stack of the next-smaller architecture (Step 3 adversary)
+    and the ideal mixed combination of all smaller architectures (Step 4
+    adversary).  Thresholds land where the big line dips under the
+    adversary curves.
+    """
+    ordered = infra.ordered
+    max_rate = max_rate or ordered[0].max_perf
+    rates = np.arange(0.0, max_rate + infra.resolution / 2, infra.resolution)
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for i, prof in enumerate(ordered):
+        ok = rates <= prof.max_perf
+        series[f"{prof.name} (single node)"] = (
+            rates[ok],
+            prof.idle_power + prof.slope * rates[ok],
+        )
+        if i < len(ordered) - 1:
+            nxt = ordered[i + 1]
+            series[f"{nxt.name} stack (step3 adversary of {prof.name})"] = (
+                rates[ok],
+                np.asarray(nxt.stack_power(rates[ok]), dtype=float),
+            )
+            smaller = ordered[i + 1 :]
+            tbl = ideal_table(smaller, float(rates[ok][-1]), infra.resolution)
+            idx = np.ceil(rates[ok] / infra.resolution - 1e-9).astype(int)
+            series[f"ideal mix below {prof.name} (step4 adversary)"] = (
+                rates[ok],
+                tbl[np.clip(idx, 0, len(tbl) - 1)],
+            )
+    return FigureSeries(
+        figure="fig2",
+        x_label="performance rate (application metric)",
+        y_label="power (W)",
+        series=series,
+        annotations={
+            "step3_thresholds": dict(infra.step3_thresholds),
+            "step4_thresholds": dict(infra.thresholds),
+        },
+    )
+
+
+def fig3_series(
+    profiles: Sequence[ArchitectureProfile],
+    points_per_profile: int = 50,
+) -> FigureSeries:
+    """Fig. 3: measured power/performance profile of each architecture.
+
+    Single-node linear profiles from idle to (maxPerf, maxPower), i.e. the
+    Step 1 output plotted for the five machines.
+    """
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for p in profiles:
+        rates = np.linspace(0.0, p.max_perf, points_per_profile)
+        series[p.name] = (rates, p.idle_power + p.slope * rates)
+    return FigureSeries(
+        figure="fig3",
+        x_label="performance (requests/s)",
+        y_label="power (W)",
+        series=series,
+        annotations={
+            p.name: {
+                "max_perf": p.max_perf,
+                "idle_power": p.idle_power,
+                "max_power": p.max_power,
+            }
+            for p in profiles
+        },
+    )
+
+
+def fig4_series(
+    infra: BMLInfrastructure,
+    max_rate: Optional[float] = None,
+    method: str = "greedy",
+) -> FigureSeries:
+    """Fig. 4: BML combination power vs Big-only vs the BML-linear goal.
+
+    The combination curve is evaluated up to ``maxPerf_Big`` (the paper's
+    range) by default.
+    """
+    max_rate = max_rate or infra.big.max_perf
+    rates = np.arange(0.0, max_rate + infra.resolution / 2, infra.resolution)
+    bml_power = infra.power_curve(rates, method=method)
+    big_power = np.asarray(infra.big.stack_power(rates), dtype=float)
+    linear = np.asarray(infra.bml_linear_power(rates), dtype=float)
+    return FigureSeries(
+        figure="fig4",
+        x_label="performance rate (requests/s)",
+        y_label="power (W)",
+        series={
+            "BML combination": (rates, bml_power),
+            "Big only": (rates, big_power),
+            "BML linear": (rates, linear),
+        },
+        annotations={"thresholds": dict(infra.thresholds), "method": method},
+    )
+
+
+def fig5_series(
+    results: Sequence[SimulationResult],
+    reference: Optional[SimulationResult] = None,
+) -> FigureSeries:
+    """Fig. 5: per-day energy of every scenario over the replayed days.
+
+    ``reference`` (the theoretical lower bound) adds the paper's headline
+    overhead statistics to the annotations.
+    """
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for r in results:
+        daily = r.per_day_energy_kwh()
+        days = np.arange(len(daily))
+        series[r.scenario] = (days, daily)
+    annotations: Dict[str, object] = {
+        r.scenario: {
+            "total_kwh": r.total_energy_kwh,
+            "reconfigurations": r.n_reconfigurations,
+            "violation_seconds": r.qos().violation_seconds,
+        }
+        for r in results
+    }
+    if reference is not None:
+        ref_daily = reference.per_day_energy()
+        for r in results:
+            if r is reference:
+                continue
+            stats = overhead_stats(r.per_day_energy(), ref_daily)
+            annotations[f"{r.scenario} vs {reference.scenario}"] = {
+                "avg_overhead": stats.mean,
+                "min_overhead": stats.minimum,
+                "max_overhead": stats.maximum,
+            }
+    return FigureSeries(
+        figure="fig5",
+        x_label="day",
+        y_label="energy (kWh)",
+        series=series,
+        annotations=annotations,
+    )

@@ -1,0 +1,133 @@
+"""Energy-proportionality metrics.
+
+Implements the two metrics of Varsamopoulos et al. the related-work
+section leans on, plus the comparative statistics the paper reports:
+
+* **IPR** (Idle-to-Peak Ratio) — ``idle_power / peak_power``; the *lower*
+  the better (0 = no idle draw).  The paper phrases the problem as "idle
+  consumption can amount up to 50 % of peak", i.e. IPR = 0.5.
+* **LDR** (Linear Deviation Ratio) — maximum relative deviation of the
+  actual power curve from the straight line between the idle and peak
+  points; 0 = perfectly linear, positive = bulges above the line
+  (sub-proportional), negative = below.
+* **proportionality gap** — mean over the rate axis of
+  ``(P(r) - P_ideal(r)) / P_peak`` where ``P_ideal`` is the through-origin
+  proportional line; 0 for a perfectly proportional system.
+* per-day **overhead vs a reference** (used for "BML consumes 32 % more
+  than the lower bound on average, min 6.8 %, max 161.4 %").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, Sequence, Union
+
+import numpy as np
+
+__all__ = [
+    "ipr",
+    "ldr",
+    "proportionality_gap",
+    "OverheadStats",
+    "overhead_stats",
+    "energy_savings",
+]
+
+
+def _curve(powers: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(powers, dtype=float)
+    if arr.ndim != 1 or arr.size < 2:
+        raise ValueError("need a 1-D power curve with at least 2 points")
+    return arr
+
+
+def ipr(powers: Sequence[float]) -> float:
+    """Idle-to-Peak Ratio of a power curve sampled from rate 0 to max.
+
+    ``powers[0]`` is the idle draw, ``powers[-1]`` the peak draw.
+    """
+    arr = _curve(powers)
+    if arr[-1] <= 0:
+        raise ValueError("peak power must be > 0")
+    return float(arr[0] / arr[-1])
+
+
+def ldr(powers: Sequence[float]) -> float:
+    """Linear Deviation Ratio: max relative deviation from the idle-peak line.
+
+    Positive values mean the curve bulges above the line (consumes more
+    than the linear interpolation at intermediate rates).
+    """
+    arr = _curve(powers)
+    x = np.linspace(0.0, 1.0, len(arr))
+    line = arr[0] + (arr[-1] - arr[0]) * x
+    with np.errstate(divide="ignore", invalid="ignore"):
+        dev = np.where(line > 0, (arr - line) / np.where(line > 0, line, 1.0), 0.0)
+    idx = int(np.argmax(np.abs(dev)))
+    return float(dev[idx])
+
+
+def proportionality_gap(powers: Sequence[float]) -> float:
+    """Mean normalised distance to the through-origin proportional line.
+
+    The ideal energy-proportional system draws ``P_peak * r / r_max`` at
+    rate ``r``; the gap averages the (signed) excess over the rate axis,
+    normalised by peak power.  0 = perfectly proportional; the BML
+    combination's gap shrinks toward the *BML linear* reference as more
+    heterogeneity is added.
+    """
+    arr = _curve(powers)
+    if arr[-1] <= 0:
+        raise ValueError("peak power must be > 0")
+    ideal = arr[-1] * np.linspace(0.0, 1.0, len(arr))
+    return float(np.mean((arr - ideal) / arr[-1]))
+
+
+@dataclass(frozen=True)
+class OverheadStats:
+    """Per-day relative overhead statistics vs a reference scenario."""
+
+    mean: float
+    minimum: float
+    maximum: float
+    median: float
+    per_day: np.ndarray
+
+    def describe(self) -> str:
+        return (
+            f"avg {100 * self.mean:.1f}% / min {100 * self.minimum:.1f}% / "
+            f"max {100 * self.maximum:.1f}%"
+        )
+
+
+def overhead_stats(
+    energy: Sequence[float], reference: Sequence[float]
+) -> OverheadStats:
+    """Relative per-day overhead of ``energy`` vs ``reference``.
+
+    This is the statistic of the paper's headline result: "on average over
+    86 days, [BML] consumes 32 % more energy than the lower bound, minimum
+    6.8 % and maximum 161.4 %".
+    """
+    e = np.asarray(energy, dtype=float)
+    r = np.asarray(reference, dtype=float)
+    if e.shape != r.shape or e.ndim != 1 or e.size == 0:
+        raise ValueError("energy and reference must be equal-length 1-D series")
+    if np.any(r <= 0):
+        raise ValueError("reference energies must be > 0")
+    ov = e / r - 1.0
+    return OverheadStats(
+        mean=float(np.mean(ov)),
+        minimum=float(np.min(ov)),
+        maximum=float(np.max(ov)),
+        median=float(np.median(ov)),
+        per_day=ov,
+    )
+
+
+def energy_savings(energy: float, baseline: float) -> float:
+    """Fractional savings of ``energy`` relative to ``baseline`` (0..1)."""
+    if baseline <= 0:
+        raise ValueError("baseline energy must be > 0")
+    return 1.0 - energy / baseline

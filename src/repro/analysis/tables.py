@@ -1,0 +1,96 @@
+"""Plain-text table rendering for benchmark and CLI reports.
+
+No plotting dependencies are assumed offline; every figure reproduction
+emits its series as aligned ASCII tables and (optionally) CSV files that
+can be re-plotted anywhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+__all__ = ["render_table", "write_csv", "format_value"]
+
+Cell = Union[str, int, float, None]
+
+
+def format_value(value: Cell, precision: int = 3) -> str:
+    """Human-friendly cell formatting (compact floats, em-dash for None)."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 10000 or abs(value) < 10 ** (-precision):
+            return f"{value:.{precision}g}"
+        return f"{value:.{precision}f}".rstrip("0").rstrip(".")
+    return str(value)
+
+
+def render_table(
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 3,
+) -> str:
+    """Render dict-rows as an aligned monospace table.
+
+    Column order follows ``columns`` when given, else the keys of the
+    first row.  Numeric columns are right-aligned.
+    """
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [format_value(row.get(c), precision) for c in cols] for row in rows
+    ]
+    numeric = [
+        all(isinstance(row.get(c), (int, float)) or row.get(c) is None for row in rows)
+        for c in cols
+    ]
+    widths = [
+        max(len(cols[i]), *(len(r[i]) for r in rendered)) for i in range(len(cols))
+    ]
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = "  ".join(
+        c.rjust(w) if num else c.ljust(w)
+        for c, w, num in zip(cols, widths, numeric)
+    )
+    out.write(header + "\n")
+    out.write("  ".join("-" * w for w in widths) + "\n")
+    for r in rendered:
+        out.write(
+            "  ".join(
+                cell.rjust(w) if num else cell.ljust(w)
+                for cell, w, num in zip(r, widths, numeric)
+            )
+            + "\n"
+        )
+    return out.getvalue().rstrip("\n")
+
+
+def write_csv(
+    path: Union[str, Path],
+    rows: Sequence[Mapping[str, Cell]],
+    columns: Optional[Sequence[str]] = None,
+) -> None:
+    """Dump dict-rows to CSV (same column rules as :func:`render_table`)."""
+    path = Path(path)
+    if not rows:
+        path.write_text("")
+        return
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=cols, extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c) for c in cols})

@@ -1,0 +1,260 @@
+"""Command-line interface: ``repro <command>`` (or ``python -m repro``).
+
+Commands
+--------
+
+``repro profile``
+    Run the simulated profiling campaign (E1) and print the Table I
+    reproduction.
+``repro design [--source table1|campaign|illustrative]``
+    Run Steps 2-4 and print the BML candidates, roles and thresholds.
+``repro combination RATE [RATE ...]``
+    Print the ideal BML combination (Step 5) for the given rates.
+``repro simulate [--days N] [--seed S] [--window W] [--csv DIR]``
+    Full Fig. 5 replay: four scenarios, per-day energies, headline
+    overhead statistics.
+``repro experiment {table1,fig1,fig2,fig3,fig4,fig5}``
+    Regenerate one paper artifact and print its series/rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from . import experiments
+from .analysis.tables import render_table, write_csv
+from .core.bml import design
+from .core.prediction import LookAheadMaxPredictor
+from .core.profiles import illustrative_profiles, table_i_profiles
+from .profiling.harness import ProfilingCampaign
+from .profiling.hardware import paper_hardware
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for testing and ``--help`` docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "BML energy-proportional data centers "
+            "(reproduction of Villebonnet et al., CLUSTER 2016)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_prof = sub.add_parser("profile", help="run the Step 1 profiling campaign")
+    p_prof.add_argument("--noise", type=float, default=0.05, help="wattmeter noise (W)")
+    p_prof.add_argument("--seed", type=int, default=0)
+
+    p_design = sub.add_parser("design", help="run Steps 2-4 and print thresholds")
+    p_design.add_argument(
+        "--source",
+        choices=("table1", "campaign", "illustrative"),
+        default="table1",
+        help="where Step 1 profiles come from",
+    )
+
+    p_combo = sub.add_parser("combination", help="Step 5 combination for given rates")
+    p_combo.add_argument("rates", type=float, nargs="+")
+    p_combo.add_argument("--method", choices=("greedy", "ideal"), default="greedy")
+
+    p_sim = sub.add_parser("simulate", help="full Fig. 5 World Cup replay")
+    p_sim.add_argument("--days", type=int, default=87)
+    p_sim.add_argument("--seed", type=int, default=1998)
+    p_sim.add_argument("--window", type=int, default=378, help="look-ahead (s)")
+    p_sim.add_argument("--method", choices=("greedy", "ideal"), default="greedy")
+    p_sim.add_argument(
+        "--policy",
+        choices=("bml", "transition-aware"),
+        default="bml",
+        help="scheduler for the BML scenario",
+    )
+    p_sim.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
+
+    p_trace = sub.add_parser(
+        "trace", help="synthesize a WC98-shaped workload trace to a file"
+    )
+    p_trace.add_argument("out", type=Path, help="output path (.npz or .csv)")
+    p_trace.add_argument("--days", type=int, default=7)
+    p_trace.add_argument("--seed", type=int, default=1998)
+    p_trace.add_argument("--peak", type=float, default=5000.0)
+    p_trace.add_argument(
+        "--wc98-binary",
+        action="store_true",
+        help="also write .log.gz files in the original archive record format",
+    )
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper artifact")
+    p_exp.add_argument(
+        "name", choices=("table1", "fig1", "fig2", "fig3", "fig4", "fig5")
+    )
+    p_exp.add_argument("--days", type=int, default=87, help="fig5 trace length")
+    p_exp.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
+    return parser
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    campaign = ProfilingCampaign(wattmeter_noise=args.noise, seed=args.seed)
+    reports = experiments.run_table1(campaign)
+    rows = [r.as_table_row() for r in reports]
+    print(render_table(rows, title="Table I (simulated profiling campaign)"))
+    return 0
+
+
+def _profiles_from_source(source: str):
+    if source == "table1":
+        return table_i_profiles()
+    if source == "illustrative":
+        return illustrative_profiles()
+    return ProfilingCampaign().profiles(paper_hardware())
+
+
+def _cmd_design(args: argparse.Namespace) -> int:
+    infra = design(_profiles_from_source(args.source))
+    print(infra.describe())
+    return 0
+
+
+def _cmd_combination(args: argparse.Namespace) -> int:
+    infra = design(table_i_profiles())
+    rows = []
+    for rate in args.rates:
+        combo = infra.combination_for(rate, method=args.method)
+        rows.append(
+            {
+                "rate": rate,
+                "combination": combo.describe(),
+                "power_w": round(combo.power(min(rate, combo.capacity)), 2),
+                "capacity": combo.capacity,
+                "nodes": combo.total_nodes,
+            }
+        )
+    print(render_table(rows, title=f"Step 5 combinations ({args.method})"))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    outcome = experiments.run_fig5(
+        n_days=args.days,
+        seed=args.seed,
+        predictor=LookAheadMaxPredictor(args.window),
+        method=args.method,
+        policy=getattr(args, "policy", "bml"),
+    )
+    print(render_table(outcome.summary_rows(), title="Fig. 5 scenarios"))
+    print()
+    from .analysis.charts import sparkline
+
+    width = 60
+    for res in outcome.results:
+        daily = res.per_day_energy_kwh()
+        print(f"{res.scenario:>22} {sparkline(daily, width=min(width, len(daily)))}")
+    print(f"{'(per-day energy, kWh)':>22}")
+    print()
+    print(
+        "BML vs theoretical lower bound (per-day energy overhead): "
+        + outcome.overhead.describe()
+    )
+    print("paper reports: avg 32% / min 6.8% / max 161.4%")
+    if args.csv:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        fig = outcome.figure()
+        write_csv(args.csv / "fig5_daily_energy.csv", fig.rows())
+        write_csv(args.csv / "fig5_summary.csv", outcome.summary_rows())
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .analysis.charts import sparkline
+    from .workload.worldcup import synthesize
+
+    trace = synthesize(n_days=args.days, seed=args.seed, peak_rate=args.peak)
+    if args.out.suffix == ".csv":
+        trace.to_csv(args.out)
+    elif args.out.suffix == ".npz":
+        trace.to_npz(args.out)
+    else:
+        raise SystemExit(f"unsupported trace format {args.out.suffix!r}")
+    print(f"wrote {args.out} ({args.days} days, peak {trace.peak:.0f} req/s)")
+    print("load  " + sparkline(trace.values, width=64))
+    if args.wc98_binary:
+        from .workload.wc98format import write_records
+
+        rng = np.random.default_rng(args.seed)
+        base = 894_000_000
+        for day in range(trace.n_days):
+            sub = trace.day(day)
+            # expand the per-second rates into request timestamps
+            counts = np.round(sub.values).astype(np.int64)
+            stamps = np.repeat(
+                base + day * 86_400 + np.arange(len(sub)), counts
+            )
+            path = args.out.with_suffix("").with_name(
+                f"{args.out.stem}_day{day:02d}.log.gz"
+            )
+            n = write_records(path, stamps, rng)
+            print(f"wrote {path} ({n} records, archive format)")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    name = args.name
+    if name == "table1":
+        return _cmd_profile(argparse.Namespace(noise=0.05, seed=0))
+    if name == "fig5":
+        return _cmd_simulate(
+            argparse.Namespace(
+                days=args.days, seed=1998, window=378, method="greedy", csv=args.csv
+            )
+        )
+    fig = {
+        "fig1": experiments.run_fig1,
+        "fig2": experiments.run_fig2,
+        "fig3": experiments.run_fig3,
+        "fig4": experiments.run_fig4,
+    }[name]()
+    print(f"{fig.figure}: {fig.x_label} vs {fig.y_label}")
+    for key, value in fig.annotations.items():
+        print(f"  {key}: {value}")
+    from .analysis.charts import line_chart
+
+    print()
+    print(
+        line_chart(
+            fig.series, width=72, height=16,
+            x_label=fig.x_label, y_label=fig.y_label,
+        )
+    )
+    print()
+    step = max(1, len(next(iter(fig.series.values()))[0]) // 20)
+    print(render_table(fig.rows(step=step)))
+    if args.csv:
+        args.csv.mkdir(parents=True, exist_ok=True)
+        write_csv(args.csv / f"{fig.figure}.csv", fig.rows())
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point for the ``repro`` console script."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "profile": _cmd_profile,
+        "design": _cmd_design,
+        "combination": _cmd_combination,
+        "simulate": _cmd_simulate,
+        "trace": _cmd_trace,
+        "experiment": _cmd_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

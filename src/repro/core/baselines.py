@@ -1,0 +1,82 @@
+"""The comparison scenarios of the paper's evaluation (Sec. V-C / Fig. 5).
+
+* **UpperBound Global** — a homogeneous data center with a constant number
+  of Big servers sized for the trace-wide maximum request rate, always On
+  (the classical over-provisioned data center; 4 Paravance machines for
+  the World Cup replay).
+* **UpperBound PerDay** — homogeneous Big servers, re-dimensioned *each
+  day* for the daily maximum (coarse-grain capacity planning); machine
+  count changes at midnight and the switching overheads are charged.
+* **LowerBound Theoretical** — the minimum computing energy achievable if
+  the BML infrastructure were re-dimensioned every second with the ideal
+  combination and On/Off actions were free and instantaneous (implemented
+  in :func:`repro.sim.datacenter.lower_bound_result`).
+
+Both upper bounds are expressed as :class:`SchedulePlan` objects so the
+same executor accounts their energy and QoS.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..workload.trace import LoadTrace
+from .combination import Combination
+from .profiles import ArchitectureProfile
+from .reconfiguration import SchedulePlan, build_plan
+
+__all__ = [
+    "global_upper_bound_plan",
+    "per_day_upper_bound_plan",
+    "big_machines_needed",
+]
+
+
+def big_machines_needed(peak: float, big: ArchitectureProfile) -> int:
+    """Number of Big servers a homogeneous data center needs for ``peak``."""
+    if peak < 0:
+        raise ValueError("peak must be >= 0")
+    return int(math.ceil(peak / big.max_perf - 1e-9))
+
+
+def _bigs(n: int, big: ArchitectureProfile) -> Combination:
+    return Combination.of({big: n}) if n > 0 else Combination.empty()
+
+
+def global_upper_bound_plan(
+    trace: LoadTrace, big: ArchitectureProfile
+) -> SchedulePlan:
+    """UpperBound Global: constant Big servers sized for the global peak."""
+    n = big_machines_needed(trace.peak, big)
+    return build_plan(len(trace), _bigs(n, big), [])
+
+
+def per_day_upper_bound_plan(
+    trace: LoadTrace,
+    big: ArchitectureProfile,
+    min_servers: int = 1,
+) -> SchedulePlan:
+    """UpperBound PerDay: Big servers re-dimensioned each midnight.
+
+    The daily count is ``ceil(daily_max / big.max_perf)`` (never below
+    ``min_servers``: a data center keeps at least one frontend up).  The
+    first day's machines are on at t=0; later changes are decided at the
+    day boundary and their On/Off overheads are charged there.  This is
+    the paper's "example of coarse grain capacity planning".
+    """
+    daily_peaks = trace.per_day_max()
+    counts = [
+        max(big_machines_needed(p, big), min_servers) for p in daily_peaks
+    ]
+    spd = trace.samples_per_day
+    initial = _bigs(counts[0], big)
+    decisions: List[Tuple[int, Combination]] = []
+    for day in range(1, len(counts)):
+        if counts[day] != counts[day - 1]:
+            decisions.append((day * spd, _bigs(counts[day], big)))
+    return build_plan(
+        len(trace), initial, decisions, allow_overlap_trim=True
+    )

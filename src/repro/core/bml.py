@@ -1,0 +1,197 @@
+"""Facade running the 5-step BML design methodology end to end.
+
+:func:`design` consumes raw architecture profiles (Step 1 output — either
+the published Table I constants or the result of a
+:mod:`repro.profiling` campaign) and produces a
+:class:`BMLInfrastructure`: the surviving Big/Medium/Little candidates,
+their minimum utilization thresholds, and combination builders/tables for
+any target performance rate.
+
+Typical use::
+
+    from repro.core import bml, profiles
+
+    infra = bml.design(profiles.table_i_profiles())
+    infra.thresholds            # {'paravance': 529.0, 'chromebook': 10.0, 'raspberry': 1.0}
+    combo = infra.combination_for(1400)
+    combo.describe()            # '1xparavance + 2xchromebook + 1xraspberry'
+    combo.power(1400)           # Watts
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .combination import (
+    Combination,
+    CombinationTable,
+    build_table,
+    greedy_combination,
+    ideal_combination,
+    ideal_table,
+)
+from .crossing import CrossingReport, compute_thresholds
+from .filtering import FilterResult, bml_candidates
+from .profiles import ArchitectureProfile, ProfileError
+
+__all__ = ["BMLInfrastructure", "design"]
+
+
+@dataclass
+class BMLInfrastructure:
+    """Result of the 5-step methodology for one application.
+
+    Attributes
+    ----------
+    ordered:
+        Surviving architectures, big to little.
+    thresholds:
+        Step 4 minimum utilization thresholds by architecture name.
+    step3_thresholds:
+        Intermediate Step 3 thresholds (before re-evaluation against mixed
+        combinations), kept for the Fig. 2 reproduction.
+    roles:
+        ``name -> Big/Medium/Little`` labels.
+    removed:
+        ``name -> reason`` for every architecture eliminated in Steps 2-4
+        (``"dominated by X"`` or ``"step3"``/``"step4"`` never-crosses).
+    resolution:
+        Grid step of the application metric used for thresholds/tables.
+    """
+
+    ordered: Tuple[ArchitectureProfile, ...]
+    thresholds: Dict[str, float]
+    step3_thresholds: Dict[str, float]
+    roles: Dict[str, str]
+    removed: Dict[str, str]
+    resolution: float = 1.0
+    _tables: Dict[Tuple[int, str], CombinationTable] = field(
+        default_factory=dict, repr=False
+    )
+
+    # -- basic views ------------------------------------------------------
+    @property
+    def big(self) -> ArchitectureProfile:
+        """The Big architecture."""
+        return self.ordered[0]
+
+    @property
+    def little(self) -> ArchitectureProfile:
+        """The Little architecture."""
+        return self.ordered[-1]
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        """Names of the surviving architectures, big to little."""
+        return tuple(p.name for p in self.ordered)
+
+    def profile(self, name: str) -> ArchitectureProfile:
+        """Profile of a surviving architecture by name."""
+        for p in self.ordered:
+            if p.name == name:
+                return p
+        raise ProfileError(f"{name} is not part of the BML infrastructure")
+
+    # -- combinations -------------------------------------------------------
+    def combination_for(self, rate: float, method: str = "greedy") -> Combination:
+        """Combination serving ``rate`` (``greedy`` = paper, ``ideal`` = DP)."""
+        if method == "greedy":
+            return greedy_combination(rate, self.ordered, self.thresholds)
+        if method == "ideal":
+            return ideal_combination(rate, self.ordered, self.resolution)
+        raise ValueError(f"unknown method {method!r}")
+
+    def table(self, max_rate: float, method: str = "greedy") -> CombinationTable:
+        """Precomputed :class:`CombinationTable` up to ``max_rate`` (cached)."""
+        units = int(math.ceil(max_rate / self.resolution - 1e-9))
+        key = (units, method)
+        if key not in self._tables:
+            self._tables[key] = build_table(
+                self.ordered,
+                self.thresholds,
+                units * self.resolution,
+                self.resolution,
+                method,
+            )
+        return self._tables[key]
+
+    def power_curve(
+        self, rates: Union[Sequence[float], np.ndarray], method: str = "greedy"
+    ) -> np.ndarray:
+        """Power of the BML combination at each rate (Fig. 4 series)."""
+        rates = np.asarray(rates, dtype=float)
+        table = self.table(float(np.max(rates)) if rates.size else 0.0, method)
+        return np.asarray(table.power_for(rates), dtype=float)
+
+    def ideal_power_curve(self, rates: Union[Sequence[float], np.ndarray]) -> np.ndarray:
+        """Exact-DP optimal power at each rate (theoretical reference)."""
+        rates = np.asarray(rates, dtype=float)
+        max_rate = float(np.max(rates)) if rates.size else 0.0
+        tbl = ideal_table(self.ordered, max_rate, self.resolution)
+        idx = np.ceil(rates / self.resolution - 1e-9).astype(np.int64)
+        return tbl[np.clip(idx, 0, len(tbl) - 1)]
+
+    # -- references ----------------------------------------------------------
+    def bml_linear_power(
+        self, rates: Union[float, Sequence[float], np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """The paper's *BML linear* reference (Fig. 4).
+
+        A straight line from (0, Little's idle power) to (Big's
+        ``max_perf``, Big's ``max_power``): the best energy proportionality
+        one could hope for with these machines.  Beyond Big's ``max_perf``
+        the line continues with the same slope (stacked ideal Bigs).
+        """
+        r = np.asarray(rates, dtype=float)
+        slope = (self.big.max_power - self.little.idle_power) / self.big.max_perf
+        out = self.little.idle_power + slope * r
+        return float(out) if np.ndim(rates) == 0 else out
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the design outcome."""
+        lines = ["BML infrastructure:"]
+        for p in self.ordered:
+            lines.append(
+                f"  {self.roles[p.name]:>8}: {p.name} "
+                f"(maxPerf={p.max_perf:g}, idle={p.idle_power:g} W, "
+                f"max={p.max_power:g} W, threshold={self.thresholds[p.name]:g})"
+            )
+        for name, reason in self.removed.items():
+            lines.append(f"  removed: {name} ({reason})")
+        return "\n".join(lines)
+
+
+def design(
+    profiles: Iterable[ArchitectureProfile],
+    resolution: float = 1.0,
+) -> BMLInfrastructure:
+    """Run Steps 2-4 on profiled architectures (Step 1 output).
+
+    Step 5 is exposed through the returned infrastructure's
+    :meth:`BMLInfrastructure.combination_for` / :meth:`BMLInfrastructure.table`.
+    """
+    if resolution <= 0:
+        raise ProfileError("resolution must be > 0")
+    filtered: FilterResult = bml_candidates(profiles)
+    report: CrossingReport = compute_thresholds(list(filtered.kept), resolution)
+    removed: Dict[str, str] = {
+        name: f"dominated by {dom} (step2)" for name, dom in filtered.removed.items()
+    }
+    for name, step in report.removed.items():
+        removed[name] = f"never crosses a smaller architecture ({step})"
+    # Roles are re-assigned on the final survivors.
+    from .filtering import assign_roles
+
+    roles = assign_roles(report.kept)
+    return BMLInfrastructure(
+        ordered=report.kept,
+        thresholds=dict(report.thresholds),
+        step3_thresholds=dict(report.step3),
+        roles=roles,
+        removed=removed,
+        resolution=resolution,
+    )

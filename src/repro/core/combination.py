@@ -1,0 +1,636 @@
+"""Machine combinations and ideal-combination computation (Step 5).
+
+The paper frames building a BML combination as a bin-packing problem where
+bins are machine types (size = ``max_perf``, cost = power) and the single
+"object" — the target performance rate — can be split arbitrarily.  Two
+builders are provided:
+
+* :func:`greedy_combination` — the paper's Step 5 algorithm: fill Big nodes
+  completely, then Medium, and so on; the remainder is assigned to one
+  partially loaded node of the largest architecture whose *minimum
+  utilization threshold* (Steps 3-4) the remainder reaches.
+* :func:`ideal_table` / :func:`ideal_combination` — an exact dynamic
+  program over the integer rate grid.  Under the linear power model an
+  optimal machine multiset can always be loaded as "all nodes full except
+  at most one partial" (loading by increasing marginal cost leaves at most
+  one fractional node), so the optimum decomposes into *exact full-node
+  cover* + *one partial node*, which the DP solves in
+  ``O(max_rate x n_architectures)`` using a monotonic-deque sliding
+  minimum.  The exact DP is used by Step 4 (crossing points against mixed
+  combinations of smaller architectures), by the theoretical lower bound,
+  and as the reference for the greedy-vs-optimal ablation (A1).
+
+Rates are discretised to a configurable ``resolution`` (default: 1 unit of
+the application metric, i.e. 1 req/s in the paper) — the paper's thresholds
+(1, 10, 529 req/s) live on the same integer grid.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .profiles import ArchitectureProfile, ProfileError
+
+__all__ = [
+    "Combination",
+    "CombinationError",
+    "greedy_combination",
+    "greedy_combination_bounded",
+    "ideal_table",
+    "ideal_combination",
+    "CombinationTable",
+    "build_table",
+]
+
+_TOL = 1e-9
+
+
+class CombinationError(ValueError):
+    """Raised for infeasible or inconsistent combinations."""
+
+
+@dataclass(frozen=True)
+class Combination:
+    """A multiset of machines, as ``((profile, count), ...)`` pairs.
+
+    ``items`` is normalised: sorted by decreasing ``max_perf`` with zero
+    counts dropped, so two combinations with the same machines compare
+    equal regardless of construction order.
+    """
+
+    items: Tuple[Tuple[ArchitectureProfile, int], ...]
+
+    def __post_init__(self) -> None:
+        for prof, count in self.items:
+            if count < 0:
+                raise CombinationError(f"negative count for {prof.name}")
+        norm = tuple(
+            sorted(
+                ((p, c) for p, c in self.items if c > 0),
+                key=lambda pc: (-pc[0].max_perf, pc[0].name),
+            )
+        )
+        object.__setattr__(self, "items", norm)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def of(cls, counts: Mapping[ArchitectureProfile, int]) -> "Combination":
+        """Build from a ``profile -> count`` mapping."""
+        return cls(tuple(counts.items()))
+
+    @classmethod
+    def empty(cls) -> "Combination":
+        """The combination with no machines (serves only rate 0)."""
+        return cls(())
+
+    # -- basic views ----------------------------------------------------
+    @property
+    def profiles(self) -> Tuple[ArchitectureProfile, ...]:
+        """Distinct architectures present, big to little."""
+        return tuple(p for p, _ in self.items)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        """``architecture name -> node count`` view."""
+        return {p.name: c for p, c in self.items}
+
+    @property
+    def total_nodes(self) -> int:
+        """Total number of machines in the combination."""
+        return sum(c for _, c in self.items)
+
+    @property
+    def capacity(self) -> float:
+        """Maximum performance rate this combination can serve."""
+        return sum(p.max_perf * c for p, c in self.items)
+
+    @property
+    def idle_power(self) -> float:
+        """Power drawn when every machine idles (all on, zero load)."""
+        return sum(p.idle_power * c for p, c in self.items)
+
+    @property
+    def peak_power(self) -> float:
+        """Power drawn when every machine runs at ``max_perf``."""
+        return sum(p.max_power * c for p, c in self.items)
+
+    def count_of(self, name: str) -> int:
+        """Node count of architecture ``name`` (0 when absent)."""
+        return self.counts.get(name, 0)
+
+    def __bool__(self) -> bool:
+        return bool(self.items)
+
+    # -- power models ----------------------------------------------------
+    def power(self, rate: float) -> float:
+        """Minimal power (W) for this machine set to serve ``rate``.
+
+        All idle powers are sunk once a machine is on, so the optimal load
+        assignment fills machines by increasing marginal cost (``slope``);
+        this is the assignment used for every power figure in the library.
+        """
+        if rate < -_TOL:
+            raise CombinationError("rate must be >= 0")
+        rate = max(rate, 0.0)
+        if rate > self.capacity * (1 + 1e-9) + _TOL:
+            raise CombinationError(
+                f"rate {rate} exceeds capacity {self.capacity} of {self.counts}"
+            )
+        total = self.idle_power
+        remaining = min(rate, self.capacity)
+        for prof, count in sorted(self.items, key=lambda pc: pc[0].slope):
+            if remaining <= _TOL:
+                break
+            share = min(remaining, prof.max_perf * count)
+            total += prof.slope * share
+            remaining -= share
+        return total
+
+    def power_canonical(self, rate: float) -> float:
+        """Power under the paper's canonical assignment.
+
+        Load is assigned big-to-little, filling each architecture group's
+        nodes completely before moving on (one node per group may end up
+        partial).  This matches the construction of Step 5 figures; it can
+        only exceed :meth:`power` and coincides with it whenever marginal
+        costs are ordered big-to-little.
+        """
+        if rate > self.capacity * (1 + 1e-9) + _TOL:
+            raise CombinationError(
+                f"rate {rate} exceeds capacity {self.capacity} of {self.counts}"
+            )
+        total = 0.0
+        remaining = max(rate, 0.0)
+        for prof, count in self.items:  # already big -> little
+            share = min(remaining, prof.max_perf * count)
+            remaining -= share
+            full = int(share // prof.max_perf + _TOL)
+            rem = share - full * prof.max_perf
+            partial = 1 if rem > _TOL else 0
+            total += full * prof.max_power
+            if partial:
+                total += prof.idle_power + prof.slope * rem
+            total += (count - full - partial) * prof.idle_power
+        return total
+
+    # -- set algebra (used by reconfiguration planning) ------------------
+    def diff(self, other: "Combination") -> Dict[str, int]:
+        """Per-architecture node delta ``other - self`` (start>0, stop<0)."""
+        names = set(self.counts) | set(other.counts)
+        return {
+            n: other.counts.get(n, 0) - self.counts.get(n, 0)
+            for n in sorted(names)
+            if other.counts.get(n, 0) != self.counts.get(n, 0)
+        }
+
+    def union_max(self, other: "Combination") -> "Combination":
+        """Per-architecture maximum of two combinations.
+
+        This is the machine set that must be simultaneously on while
+        reconfiguring from ``self`` to ``other`` without capacity loss.
+        """
+        profs = {p.name: p for p in self.profiles + other.profiles}
+        return Combination.of(
+            {
+                profs[n]: max(self.counts.get(n, 0), other.counts.get(n, 0))
+                for n in profs
+            }
+        )
+
+    def describe(self) -> str:
+        """Human-readable summary, e.g. ``1xparavance + 2xchromebook``."""
+        if not self.items:
+            return "(empty)"
+        return " + ".join(f"{c}x{p.name}" for p, c in self.items)
+
+
+# ----------------------------------------------------------------------
+# Paper's Step 5 greedy
+# ----------------------------------------------------------------------
+
+def greedy_combination(
+    rate: float,
+    ordered: Sequence[ArchitectureProfile],
+    thresholds: Mapping[str, float],
+) -> Combination:
+    """The paper's ideal BML combination for a target ``rate`` (Step 5).
+
+    ``ordered`` must be the surviving candidates sorted big to little and
+    ``thresholds`` their minimum utilization thresholds from Steps 3-4
+    (the Little threshold is conventionally 1 and any positive remainder is
+    always served).  The algorithm fills whole nodes big-to-little, then
+    the first architecture (big to little) whose threshold the remainder
+    reaches absorbs it on one partial node.
+    """
+    if rate < -_TOL:
+        raise CombinationError("rate must be >= 0")
+    if not ordered:
+        raise CombinationError("no architectures to combine")
+    counts: Dict[ArchitectureProfile, int] = {}
+    remaining = max(float(rate), 0.0)
+    last = len(ordered) - 1
+    for i, prof in enumerate(ordered):
+        if remaining <= _TOL:
+            break
+        full = int(remaining // prof.max_perf + _TOL)
+        if full:
+            counts[prof] = counts.get(prof, 0) + full
+            remaining -= full * prof.max_perf
+        if remaining <= _TOL:
+            break
+        threshold = thresholds.get(prof.name, 1.0)
+        if remaining >= threshold - _TOL or i == last:
+            # One partial node of this architecture absorbs the remainder.
+            counts[prof] = counts.get(prof, 0) + 1
+            remaining = 0.0
+            break
+    if remaining > _TOL:
+        raise CombinationError(f"could not place remainder {remaining}")
+    return Combination.of(counts)
+
+
+def greedy_combination_bounded(
+    rate: float,
+    ordered: Sequence[ArchitectureProfile],
+    thresholds: Mapping[str, float],
+    inventory: Mapping[str, int],
+) -> Combination:
+    """Step 5 greedy under a bounded machine inventory.
+
+    The paper assumes unlimited machines of each type but notes that "with
+    minor changes, this work can consider cases of existing heterogeneous
+    infrastructure where there is limited numbers of machines".  This
+    variant makes those changes: the greedy fill caps each architecture at
+    its inventory, and when the threshold-preferred architecture for the
+    remainder is exhausted the remainder cascades to whatever machines are
+    left (littlest spare machines first), trading optimality for
+    feasibility.  Raises :class:`CombinationError` when the whole
+    inventory cannot serve ``rate``.
+    """
+    if rate < -_TOL:
+        raise CombinationError("rate must be >= 0")
+    if not ordered:
+        raise CombinationError("no architectures to combine")
+    avail: Dict[str, int] = {
+        p.name: int(inventory.get(p.name, 0)) for p in ordered
+    }
+    counts: Dict[ArchitectureProfile, int] = {}
+    remaining = max(float(rate), 0.0)
+    last = len(ordered) - 1
+    for i, prof in enumerate(ordered):
+        if remaining <= _TOL:
+            break
+        full = min(int(remaining // prof.max_perf + _TOL), avail[prof.name])
+        if full:
+            counts[prof] = counts.get(prof, 0) + full
+            avail[prof.name] -= full
+            remaining -= full * prof.max_perf
+        if remaining <= _TOL:
+            break
+        threshold = thresholds.get(prof.name, 1.0)
+        if (remaining >= threshold - _TOL or i == last) and avail[prof.name] >= 1:
+            counts[prof] = counts.get(prof, 0) + 1
+            avail[prof.name] -= 1
+            remaining = 0.0
+            break
+    if remaining > _TOL:
+        # Preferred machines exhausted: absorb the rest with whatever is
+        # left, smallest machines first (closest to the ideal shape).
+        for prof in reversed(ordered):
+            while remaining > _TOL and avail[prof.name] >= 1:
+                counts[prof] = counts.get(prof, 0) + 1
+                avail[prof.name] -= 1
+                remaining -= prof.max_perf
+        if remaining > _TOL:
+            raise CombinationError(
+                f"inventory {dict(inventory)} cannot serve rate {rate} "
+                f"(short by {remaining:g})"
+            )
+    return Combination.of(counts)
+
+
+# ----------------------------------------------------------------------
+# Exact DP on the integer rate grid
+# ----------------------------------------------------------------------
+
+def _grid_capacities(
+    profiles: Sequence[ArchitectureProfile], resolution: float
+) -> List[int]:
+    caps = []
+    for p in profiles:
+        cap = int(math.floor(p.max_perf / resolution + _TOL))
+        if cap <= 0:
+            raise CombinationError(
+                f"{p.name}: max_perf {p.max_perf} below grid resolution {resolution}"
+            )
+        caps.append(cap)
+    return caps
+
+
+def _sliding_min_with_arg(
+    values: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """For each index i>=1: min of ``values[max(0, i-window) : i]`` and argmin.
+
+    O(n) monotonic deque.  Entry i of the output corresponds to choosing a
+    partial-load amount ``x`` in ``1..window`` with ``values[i - x]``.
+    """
+    n = len(values)
+    best = np.full(n, np.inf)
+    arg = np.full(n, -1, dtype=np.int64)
+    dq: deque = deque()  # indices with increasing values
+    for i in range(1, n):
+        j = i - 1  # values[j] becomes eligible for position i
+        while dq and values[dq[-1]] >= values[j]:
+            dq.pop()
+        dq.append(j)
+        while dq and dq[0] < i - window:
+            dq.popleft()
+        if dq and np.isfinite(values[dq[0]]):
+            best[i] = values[dq[0]]
+            arg[i] = dq[0]
+    return best, arg
+
+
+@dataclass(frozen=True)
+class _DPResult:
+    resolution: float
+    profiles: Tuple[ArchitectureProfile, ...]
+    power: np.ndarray          # optimal power per grid rate (index = units)
+    cover_cost: np.ndarray     # g: cost of exact full-node cover
+    cover_choice: np.ndarray   # arch index used at g[r], -1 = none
+    partial_arch: np.ndarray   # arch index of the partial node at f[r]
+    partial_from: np.ndarray   # grid index the partial node extends
+
+
+def _solve_dp(
+    profiles: Sequence[ArchitectureProfile],
+    max_units: int,
+    resolution: float,
+) -> _DPResult:
+    profs = tuple(profiles)
+    caps = _grid_capacities(profs, resolution)
+    n = max_units + 1
+    g = np.full(n, np.inf)
+    g[0] = 0.0
+    choice = np.full(n, -1, dtype=np.int64)
+    for r in range(1, n):
+        best = np.inf
+        best_a = -1
+        for a, p in enumerate(profs):
+            prev = r - caps[a]
+            if prev >= 0 and g[prev] + p.max_power < best:
+                best = g[prev] + p.max_power
+                best_a = a
+        g[r] = best
+        choice[r] = best_a
+
+    f = np.full(n, np.inf)
+    f[0] = 0.0
+    part_arch = np.full(n, -1, dtype=np.int64)
+    part_from = np.full(n, -1, dtype=np.int64)
+    for a, p in enumerate(profs):
+        # g[r - x] + idle + slope * (x * res)
+        #   = (g[r - x] - slope * res * (r - x)) + idle + slope * res * r
+        h = g - p.slope * resolution * np.arange(n)
+        best_h, arg_h = _sliding_min_with_arg(h, caps[a])
+        cand = best_h + p.idle_power + p.slope * resolution * np.arange(n)
+        better = cand < f
+        f = np.where(better, cand, f)
+        part_arch = np.where(better, a, part_arch)
+        part_from = np.where(better, arg_h, part_from)
+    return _DPResult(
+        resolution=resolution,
+        profiles=profs,
+        power=f,
+        cover_cost=g,
+        cover_choice=choice,
+        partial_arch=part_arch,
+        partial_from=part_from,
+    )
+
+
+def ideal_table(
+    profiles: Sequence[ArchitectureProfile],
+    max_rate: float,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Optimal power for every grid rate ``0, res, 2*res, ... >= max_rate``.
+
+    Entry ``k`` is the minimal power of any machine multiset serving rate
+    ``k * resolution``.  ``inf`` never appears for rates the architectures
+    can reach (the Little node's window always contains a coverable point).
+    """
+    max_units = int(math.ceil(max_rate / resolution - _TOL))
+    return _solve_dp(profiles, max_units, resolution).power
+
+
+def ideal_combination(
+    rate: float,
+    profiles: Sequence[ArchitectureProfile],
+    resolution: float = 1.0,
+) -> Combination:
+    """The exact optimal combination for one ``rate`` (DP + backtracking)."""
+    if rate <= _TOL:
+        return Combination.empty()
+    units = int(math.ceil(rate / resolution - _TOL))
+    dp = _solve_dp(profiles, units, resolution)
+    if not np.isfinite(dp.power[units]):
+        raise CombinationError(f"rate {rate} unreachable with given architectures")
+    counts: Dict[ArchitectureProfile, int] = {}
+    a = int(dp.partial_arch[units])
+    r = units
+    if a >= 0:
+        prof = dp.profiles[a]
+        counts[prof] = counts.get(prof, 0) + 1
+        r = int(dp.partial_from[units])
+    caps = _grid_capacities(dp.profiles, resolution)
+    while r > 0:
+        a = int(dp.cover_choice[r])
+        if a < 0:
+            raise CombinationError("DP backtracking hit an unreachable state")
+        prof = dp.profiles[a]
+        counts[prof] = counts.get(prof, 0) + 1
+        r -= caps[a]
+    return Combination.of(counts)
+
+
+# ----------------------------------------------------------------------
+# Precomputed tables (used by the scheduler and the bounds)
+# ----------------------------------------------------------------------
+
+class CombinationTable:
+    """Combinations and their powers precomputed on the integer rate grid.
+
+    The scheduler looks combinations up millions of times (once per
+    predicted rate); this table computes them once per grid rate and turns
+    lookups into array indexing.  Rates between grid points map to the next
+    grid point up (conservative: never under-provisions).
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[ArchitectureProfile],
+        combos: Sequence[Combination],
+        resolution: float,
+        method: str,
+    ) -> None:
+        if not combos:
+            raise CombinationError("empty combination table")
+        self._profiles = tuple(profiles)
+        self._combos = list(combos)
+        self.resolution = float(resolution)
+        self.method = method
+        self._power = np.array([c.power(i * resolution) for i, c in enumerate(combos)])
+        # Power of each grid combination at the *lower* edge of its cell;
+        # power is linear within a cell, so (floor, ceil) pairs allow exact
+        # evaluation at off-grid loads (see power_at_load).
+        self._power_floor = np.array(
+            [
+                c.power(max((i - 1), 0) * resolution)
+                for i, c in enumerate(combos)
+            ]
+        )
+        index = {p.name: i for i, p in enumerate(self._profiles)}
+        self._counts = np.zeros((len(combos), len(self._profiles)), dtype=np.int64)
+        for i, combo in enumerate(combos):
+            for name, cnt in combo.counts.items():
+                self._counts[i, index[name]] = cnt
+
+    # -- sizes -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._combos)
+
+    @property
+    def max_rate(self) -> float:
+        """Largest rate the table covers."""
+        return (len(self._combos) - 1) * self.resolution
+
+    @property
+    def profiles(self) -> Tuple[ArchitectureProfile, ...]:
+        """Architectures the table was built over (big to little)."""
+        return self._profiles
+
+    # -- lookups -----------------------------------------------------------
+    def _index(self, rate: Union[float, np.ndarray]) -> Union[int, np.ndarray]:
+        idx = np.ceil(np.asarray(rate, dtype=float) / self.resolution - _TOL)
+        idx = np.clip(idx, 0, None).astype(np.int64)
+        if np.any(idx >= len(self._combos)):
+            raise CombinationError(
+                f"rate {np.max(np.asarray(rate))} beyond table max {self.max_rate}"
+            )
+        return idx
+
+    def combination_for(self, rate: float) -> Combination:
+        """The combination serving ``rate`` (grid-rounded up)."""
+        return self._combos[int(self._index(rate))]
+
+    def power_for(self, rate: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Power of the table's combination at ``rate`` (vectorised)."""
+        idx = self._index(rate)
+        out = self._power[idx]
+        return float(out) if np.ndim(out) == 0 else out
+
+    def power_at_load(
+        self, load: Union[float, np.ndarray]
+    ) -> Union[float, np.ndarray]:
+        """Exact power of the grid combination serving the *actual* load.
+
+        The combination is the one :meth:`combination_for` picks (load
+        rounded up to the grid), but its draw is evaluated at the
+        instantaneous load via linear interpolation inside the grid cell —
+        this is what the theoretical lower bound integrates.
+        """
+        arr = np.asarray(load, dtype=float)
+        idx = self._index(arr)
+        hi = self._power[idx]
+        lo = self._power_floor[idx]
+        cell_start = np.maximum(idx - 1, 0) * self.resolution
+        frac = np.where(
+            idx > 0, (arr - cell_start) / self.resolution, 0.0
+        )
+        out = lo + (hi - lo) * np.clip(frac, 0.0, 1.0)
+        return float(out) if np.ndim(load) == 0 else out
+
+    def counts_for(self, rate: Union[float, np.ndarray]) -> np.ndarray:
+        """Node-count row(s) for ``rate`` — shape ``(..., n_architectures)``."""
+        return self._counts[self._index(rate)]
+
+    @property
+    def power_array(self) -> np.ndarray:
+        """Power at every grid rate (read-only view)."""
+        view = self._power.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def counts_array(self) -> np.ndarray:
+        """Counts at every grid rate, shape ``(n_rates, n_architectures)``."""
+        view = self._counts.view()
+        view.flags.writeable = False
+        return view
+
+
+def build_table(
+    ordered: Sequence[ArchitectureProfile],
+    thresholds: Mapping[str, float],
+    max_rate: float,
+    resolution: float = 1.0,
+    method: str = "greedy",
+    inventory: Optional[Mapping[str, int]] = None,
+) -> CombinationTable:
+    """Precompute combinations for rates ``0..max_rate`` on the grid.
+
+    ``method="greedy"`` uses the paper's Step 5 builder (needs
+    ``thresholds``); ``method="ideal"`` uses the exact DP (thresholds are
+    ignored).  ``inventory`` bounds the machine counts per architecture
+    (greedy method only); rates the inventory cannot serve raise.
+    """
+    max_units = int(math.ceil(max_rate / resolution - _TOL))
+    combos: List[Combination] = []
+    if method == "greedy":
+        for k in range(max_units + 1):
+            if inventory is None:
+                combos.append(
+                    greedy_combination(k * resolution, ordered, thresholds)
+                )
+            else:
+                combos.append(
+                    greedy_combination_bounded(
+                        k * resolution, ordered, thresholds, inventory
+                    )
+                )
+    elif method == "ideal":
+        if inventory is not None:
+            raise CombinationError(
+                "inventory bounds are only supported with the greedy method"
+            )
+        dp = _solve_dp(ordered, max_units, resolution)
+        caps = _grid_capacities(ordered, resolution)
+        for k in range(max_units + 1):
+            if k == 0:
+                combos.append(Combination.empty())
+                continue
+            counts: Dict[ArchitectureProfile, int] = {}
+            a = int(dp.partial_arch[k])
+            r = k
+            if a >= 0:
+                prof = dp.profiles[a]
+                counts[prof] = counts.get(prof, 0) + 1
+                r = int(dp.partial_from[k])
+            while r > 0:
+                a = int(dp.cover_choice[r])
+                if a < 0:
+                    raise CombinationError(f"rate {k * resolution} unreachable")
+                prof = dp.profiles[a]
+                counts[prof] = counts.get(prof, 0) + 1
+                r -= caps[a]
+            combos.append(Combination.of(counts))
+    else:
+        raise CombinationError(f"unknown method {method!r}")
+    return CombinationTable(ordered, combos, resolution, method)

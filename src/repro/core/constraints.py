@@ -1,0 +1,236 @@
+"""Application-constrained combinations (Sec. III's malleability bounds).
+
+Sec. III characterises applications by *malleability*: whether the
+service can be distributed across several machines, and if not, the
+minimum and maximum number of instances that may run.  Since the paper's
+deployment model hosts one instance per machine, instance bounds become
+**node-count bounds on the machine combinations** — "this criterion poses
+a constraint when computing the possible hosting machine combinations".
+
+This module computes optimal combinations under those bounds:
+
+* :func:`bounded_nodes_table` / :func:`bounded_nodes_combination` — a DP
+  over (rate, node budget) that yields the cheapest machine multiset
+  serving each rate with **at most** ``max_nodes`` machines.  It extends
+  the unconstrained DP of :mod:`repro.core.combination` with a node
+  dimension (full-cover layers ``g[n][r]`` + one partial machine).
+* :func:`enforce_min_nodes` — pads a combination with the cheapest idle
+  machines to reach a **minimum** instance count (redundancy floors:
+  "at least 2 instances at all times").
+* :func:`constrained_table` — a drop-in
+  :class:`~repro.core.combination.CombinationTable` whose entries respect
+  ``ApplicationSpec.min_instances`` / ``max_instances``, usable by every
+  scheduler in the library.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a core -> sim import cycle at runtime
+    from ..sim.application import ApplicationSpec
+
+from .combination import (
+    Combination,
+    CombinationError,
+    CombinationTable,
+    _grid_capacities,
+    _sliding_min_with_arg,
+)
+from .profiles import ArchitectureProfile
+
+__all__ = [
+    "bounded_nodes_table",
+    "bounded_nodes_combination",
+    "enforce_min_nodes",
+    "constrained_table",
+]
+
+_TOL = 1e-9
+
+
+def _solve_bounded(
+    profiles: Sequence[ArchitectureProfile],
+    max_units: int,
+    resolution: float,
+    max_nodes: int,
+):
+    """DP layers: ``g[n][r]`` = cheapest exact cover of rate ``r`` with
+    ``n`` fully loaded machines; then one partial machine on top."""
+    if max_nodes < 1:
+        raise CombinationError("max_nodes must be >= 1")
+    profs = tuple(profiles)
+    caps = _grid_capacities(profs, resolution)
+    n_rates = max_units + 1
+
+    g = np.full((max_nodes + 1, n_rates), np.inf)
+    g[0, 0] = 0.0
+    g_choice = np.full((max_nodes + 1, n_rates), -1, dtype=np.int64)
+    for n in range(1, max_nodes + 1):
+        for a, p in enumerate(profs):
+            cap = caps[a]
+            if cap >= n_rates:
+                continue
+            cand = g[n - 1, : n_rates - cap] + p.max_power
+            better = cand < g[n, cap:]
+            g[n, cap:][better] = cand[better]
+            g_choice[n, cap:][better] = a
+
+    # f[r]: cheapest combination (full layers + <=1 partial machine)
+    f = np.full(n_rates, np.inf)
+    f[0] = 0.0
+    f_n = np.full(n_rates, -1, dtype=np.int64)       # full-layer count used
+    f_arch = np.full(n_rates, -1, dtype=np.int64)    # partial machine arch
+    f_from = np.full(n_rates, -1, dtype=np.int64)    # grid index it extends
+    rates = np.arange(n_rates) * resolution
+    for n in range(0, max_nodes):
+        layer = g[n]
+        # full layers alone (rate must be exactly covered)
+        exact = layer < f
+        f[exact] = layer[exact]
+        f_n[exact] = n
+        f_arch[exact] = -1
+        f_from[exact] = -1
+        for a, p in enumerate(profs):
+            h = layer - p.slope * rates
+            best_h, arg_h = _sliding_min_with_arg(h, caps[a])
+            cand = best_h + p.idle_power + p.slope * rates
+            better = cand < f
+            f[better] = cand[better]
+            f_n[better] = n
+            f_arch[better] = a
+            f_from[better] = arg_h[better]
+    # the full budget may also be spent entirely on full machines
+    exact = g[max_nodes] < f
+    f[exact] = g[max_nodes][exact]
+    f_n[exact] = max_nodes
+    f_arch[exact] = -1
+    f_from[exact] = -1
+    return profs, caps, g_choice, f, f_n, f_arch, f_from
+
+
+def bounded_nodes_table(
+    profiles: Sequence[ArchitectureProfile],
+    max_rate: float,
+    max_nodes: int,
+    resolution: float = 1.0,
+) -> np.ndarray:
+    """Optimal power per grid rate using at most ``max_nodes`` machines.
+
+    Entries are ``inf`` where the node budget cannot reach the rate (the
+    budget times the biggest machine is the hard ceiling).
+    """
+    max_units = int(math.ceil(max_rate / resolution - _TOL))
+    _, _, _, f, _, _, _ = _solve_bounded(profiles, max_units, resolution, max_nodes)
+    return f
+
+
+def bounded_nodes_combination(
+    rate: float,
+    profiles: Sequence[ArchitectureProfile],
+    max_nodes: int,
+    resolution: float = 1.0,
+) -> Combination:
+    """The cheapest combination for ``rate`` with at most ``max_nodes``."""
+    if rate <= _TOL:
+        return Combination.empty()
+    units = int(math.ceil(rate / resolution - _TOL))
+    profs, caps, g_choice, f, f_n, f_arch, f_from = _solve_bounded(
+        profiles, units, resolution, max_nodes
+    )
+    if not np.isfinite(f[units]):
+        raise CombinationError(
+            f"{max_nodes} machines cannot serve rate {rate} with these architectures"
+        )
+    counts: Dict[ArchitectureProfile, int] = {}
+    r = units
+    n = int(f_n[units])
+    a = int(f_arch[units])
+    if a >= 0:
+        counts[profs[a]] = counts.get(profs[a], 0) + 1
+        r = int(f_from[units])
+    while r > 0 or n > 0:
+        if r == 0 and n > 0:
+            # remaining layers are zero-rate covers: impossible except n=0
+            raise CombinationError("inconsistent DP backtrack")
+        choice = int(g_choice[n, r])
+        if choice < 0:
+            raise CombinationError("inconsistent DP backtrack")
+        counts[profs[choice]] = counts.get(profs[choice], 0) + 1
+        r -= caps[choice]
+        n -= 1
+    return Combination.of(counts)
+
+
+def enforce_min_nodes(
+    combo: Combination,
+    min_nodes: int,
+    ordered: Sequence[ArchitectureProfile],
+) -> Combination:
+    """Pad ``combo`` up to ``min_nodes`` machines with the cheapest idlers.
+
+    Redundancy floors ("always at least k instances") add machines that
+    carry no load; the Little architecture has the lowest idle power, so
+    padding uses the smallest-idle machine available.
+    """
+    if min_nodes < 0:
+        raise CombinationError("min_nodes must be >= 0")
+    deficit = min_nodes - combo.total_nodes
+    if deficit <= 0:
+        return combo
+    filler = min(ordered, key=lambda p: p.idle_power)
+    counts = {p: c for p, c in combo.items}
+    counts[filler] = counts.get(filler, 0) + deficit
+    return Combination.of(counts)
+
+
+def constrained_table(
+    ordered: Sequence[ArchitectureProfile],
+    spec: "ApplicationSpec",
+    max_rate: float,
+    resolution: float = 1.0,
+) -> CombinationTable:
+    """A combination table honouring the application's instance bounds.
+
+    With no ``max_instances`` the entries are the unconstrained DP optima;
+    otherwise each rate's combination uses at most that many machines.
+    ``min_instances`` pads every non-empty entry (rate 0 keeps the empty
+    combination: the service is scaled to zero, as in the unconstrained
+    tables).
+    """
+    max_units = int(math.ceil(max_rate / resolution - _TOL))
+    combos: List[Combination] = []
+    if spec.max_instances is None:
+        from .combination import build_table
+
+        base = build_table(ordered, {}, max_units * resolution, resolution, "ideal")
+        combos = [base.combination_for(k * resolution) for k in range(max_units + 1)]
+    else:
+        profs, caps, g_choice, f, f_n, f_arch, f_from = _solve_bounded(
+            ordered, max_units, resolution, spec.max_instances
+        )
+        for k in range(max_units + 1):
+            if not np.isfinite(f[k]):
+                raise CombinationError(
+                    f"max_instances={spec.max_instances} cannot serve "
+                    f"rate {k * resolution}"
+                )
+            counts: Dict[ArchitectureProfile, int] = {}
+            r, n, a = k, int(f_n[k]), int(f_arch[k])
+            if a >= 0:
+                counts[profs[a]] = counts.get(profs[a], 0) + 1
+                r = int(f_from[k])
+            while n > 0:
+                choice = int(g_choice[n, r])
+                counts[profs[choice]] = counts.get(profs[choice], 0) + 1
+                r -= caps[choice]
+                n -= 1
+            combos.append(Combination.of(counts))
+    combos = [
+        c if not c else enforce_min_nodes(c, spec.min_instances, ordered)
+        for c in combos
+    ]
+    return CombinationTable(ordered, combos, resolution, "constrained")

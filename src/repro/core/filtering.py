@@ -1,0 +1,129 @@
+"""Step 2 of the BML methodology: sort architectures and drop dominated ones.
+
+Building a BML infrastructure starts by sorting the profiled architectures
+by decreasing maximum performance and checking that their maximum power
+consumptions respect the same ordering.  Architectures are compared in
+pairs: one that delivers *lower performance* while *consuming at least as
+much power* as a faster one can never improve energy proportionality and is
+removed from the BML candidates (in the paper this removes the illustrative
+architecture D, and Taurus among the real machines).
+
+The surviving candidates are labelled by decreasing performance.  With
+three survivors the labels are the classic ``Big``, ``Medium``, ``Little``;
+with other counts the middle tiers are numbered (``Medium-1`` being the
+largest medium).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .profiles import ArchitectureProfile, ProfileError
+
+__all__ = [
+    "FilterResult",
+    "sort_by_performance",
+    "filter_dominated",
+    "assign_roles",
+    "bml_candidates",
+]
+
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Outcome of Step 2.
+
+    ``kept`` is sorted by decreasing ``max_perf``; ``removed`` maps each
+    discarded architecture name to the name of the architecture that
+    dominates it (for reporting, e.g. "D removed due to its poor energy
+    efficiency compared to A").
+    """
+
+    kept: Tuple[ArchitectureProfile, ...]
+    removed: Dict[str, str]
+    roles: Dict[str, str]
+
+    @property
+    def big(self) -> ArchitectureProfile:
+        """The most powerful surviving architecture."""
+        return self.kept[0]
+
+    @property
+    def little(self) -> ArchitectureProfile:
+        """The least powerful surviving architecture."""
+        return self.kept[-1]
+
+    def role_of(self, name: str) -> str:
+        """Role label (``Big``/``Medium``/``Little``) of a kept architecture."""
+        return self.roles[name]
+
+
+def sort_by_performance(
+    profiles: Iterable[ArchitectureProfile],
+) -> List[ArchitectureProfile]:
+    """Sort profiles by decreasing ``max_perf`` (ties: lower max power first).
+
+    Duplicate names are rejected: the methodology identifies architectures
+    by name throughout.
+    """
+    items = list(profiles)
+    names = [p.name for p in items]
+    if len(set(names)) != len(names):
+        raise ProfileError(f"duplicate architecture names in {names}")
+    return sorted(items, key=lambda p: (-p.max_perf, p.max_power, p.name))
+
+
+def filter_dominated(
+    profiles: Iterable[ArchitectureProfile],
+) -> Tuple[List[ArchitectureProfile], Dict[str, str]]:
+    """Remove architectures dominated by a faster, no-hungrier one.
+
+    Returns the kept profiles (sorted by decreasing performance) and a map
+    ``removed name -> dominator name``.  The scan keeps a running minimum of
+    the max power seen among faster machines, which is equivalent to the
+    paper's pairwise comparison of the sorted list.
+    """
+    ordered = sort_by_performance(profiles)
+    kept: List[ArchitectureProfile] = []
+    removed: Dict[str, str] = {}
+    best_power_so_far = float("inf")
+    best_holder = ""
+    for prof in ordered:
+        if prof.max_power >= best_power_so_far:
+            removed[prof.name] = best_holder
+            continue
+        kept.append(prof)
+        best_power_so_far = prof.max_power
+        best_holder = prof.name
+    return kept, removed
+
+
+def assign_roles(kept: Sequence[ArchitectureProfile]) -> Dict[str, str]:
+    """Label surviving candidates Big / Medium / Little by performance.
+
+    One survivor is just ``Big``; two are ``Big``/``Little``; three map to
+    the canonical triple; more than three number the middle tier
+    ``Medium-1`` (largest) through ``Medium-k``.
+    """
+    n = len(kept)
+    if n == 0:
+        raise ProfileError("no BML candidates survived filtering")
+    roles: Dict[str, str] = {}
+    for i, prof in enumerate(kept):
+        if i == 0:
+            roles[prof.name] = "Big"
+        elif i == n - 1:
+            roles[prof.name] = "Little"
+        elif n == 3:
+            roles[prof.name] = "Medium"
+        else:
+            roles[prof.name] = f"Medium-{i}"
+    return roles
+
+
+def bml_candidates(profiles: Iterable[ArchitectureProfile]) -> FilterResult:
+    """Run Step 2 end to end: sort, filter dominated, assign roles."""
+    kept, removed = filter_dominated(profiles)
+    roles = assign_roles(kept)
+    return FilterResult(kept=tuple(kept), removed=removed, roles=roles)

@@ -1,0 +1,306 @@
+"""Architecture energy/performance profiles (Step 1 of the BML methodology).
+
+An :class:`ArchitectureProfile` is the tuple the paper measures for every
+candidate machine type (Table I):
+
+* ``max_perf`` — maximum application performance rate a single node can
+  sustain, expressed in the application metric (requests/s for the paper's
+  stateless web server);
+* ``idle_power`` / ``max_power`` — average electrical power (Watts) drawn
+  when idle and when running at ``max_perf``;
+* ``on_time`` / ``on_energy`` — duration (s) and energy (J) of switching the
+  node on;
+* ``off_time`` / ``off_energy`` — duration (s) and energy (J) of switching
+  the node off.
+
+Between idle and full load the paper assumes a *linear* power model
+(Sec. IV-A, citing Rivoire et al. for the approximation error).  A
+homogeneous *stack* of nodes repeats the profile beyond ``max_perf``
+(Fig. 1): the canonical loading of ``k`` nodes serving rate ``r`` is
+``k - 1`` fully loaded nodes plus one node absorbing the remainder, which is
+optimal for a homogeneous group under the linear model because machines are
+most energy-efficient when fully loaded.
+
+The module also ships the paper's published profiles:
+
+* :data:`TABLE_I` — the five real machines of Table I;
+* :data:`ILLUSTRATIVE` — the four illustrative architectures A-D used by
+  Figs. 1 and 2 (the paper gives only the plots; the constants here are
+  chosen to reproduce the narrated behaviour: D dominated by A, Medium
+  threshold near 150, Big threshold jumping at Medium's ``max_perf`` in
+  Step 3 and increasing in Step 4).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+__all__ = [
+    "ArchitectureProfile",
+    "ProfileError",
+    "TABLE_I",
+    "ILLUSTRATIVE",
+    "table_i_profiles",
+    "illustrative_profiles",
+]
+
+ArrayLike = Union[float, int, np.ndarray]
+
+
+class ProfileError(ValueError):
+    """Raised when a profile is internally inconsistent."""
+
+
+@dataclass(frozen=True)
+class ArchitectureProfile:
+    """Energy/performance profile of one machine architecture.
+
+    Parameters mirror Table I of the paper.  All powers are in Watts, times
+    in seconds, energies in Joules, and performance rates in the abstract
+    application metric (requests/s in the paper's evaluation).
+    """
+
+    name: str
+    max_perf: float
+    idle_power: float
+    max_power: float
+    on_time: float = 0.0
+    on_energy: float = 0.0
+    off_time: float = 0.0
+    off_energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ProfileError("profile needs a non-empty name")
+        if not (self.max_perf > 0):
+            raise ProfileError(f"{self.name}: max_perf must be > 0, got {self.max_perf}")
+        if self.idle_power < 0:
+            raise ProfileError(f"{self.name}: idle_power must be >= 0, got {self.idle_power}")
+        if self.max_power < self.idle_power:
+            raise ProfileError(
+                f"{self.name}: max_power ({self.max_power}) must be >= idle_power "
+                f"({self.idle_power}); the linear model needs a non-negative slope"
+            )
+        for attr in ("on_time", "on_energy", "off_time", "off_energy"):
+            if getattr(self, attr) < 0:
+                raise ProfileError(f"{self.name}: {attr} must be >= 0")
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def dynamic_range(self) -> float:
+        """Dynamic power range ``max_power - idle_power`` in Watts."""
+        return self.max_power - self.idle_power
+
+    @property
+    def slope(self) -> float:
+        """Marginal power in W per unit of performance rate (linear model)."""
+        return self.dynamic_range / self.max_perf
+
+    @property
+    def full_load_efficiency(self) -> float:
+        """Watts per unit of rate when fully loaded (``max_power/max_perf``).
+
+        The *lower*, the more efficient; architectures are most efficient
+        when fully loaded, which motivates Step 5's fill-the-big-nodes-first
+        greedy.
+        """
+        return self.max_power / self.max_perf
+
+    @property
+    def boot_power(self) -> float:
+        """Average power drawn while booting (``on_energy / on_time``)."""
+        return self.on_energy / self.on_time if self.on_time > 0 else 0.0
+
+    @property
+    def shutdown_power(self) -> float:
+        """Average power drawn while shutting down (``off_energy/off_time``)."""
+        return self.off_energy / self.off_time if self.off_time > 0 else 0.0
+
+    @property
+    def switching_energy(self) -> float:
+        """Total energy of one on+off cycle in Joules."""
+        return self.on_energy + self.off_energy
+
+    @property
+    def switching_time(self) -> float:
+        """Total duration of one on+off cycle in seconds."""
+        return self.on_time + self.off_time
+
+    # ------------------------------------------------------------------
+    # Single-node linear power model
+    # ------------------------------------------------------------------
+    def power(self, rate: ArrayLike) -> ArrayLike:
+        """Power (W) of a single node serving ``rate``.
+
+        ``rate`` may be a scalar or a numpy array; it must lie in
+        ``[0, max_perf]`` (up to a small tolerance to absorb float noise).
+        """
+        r = np.asarray(rate, dtype=float)
+        if np.any(r < -1e-9) or np.any(r > self.max_perf * (1 + 1e-9)):
+            raise ProfileError(
+                f"{self.name}: rate out of [0, {self.max_perf}] for single node"
+            )
+        r = np.clip(r, 0.0, self.max_perf)
+        out = self.idle_power + self.slope * r
+        return float(out) if np.isscalar(rate) or out.ndim == 0 else out
+
+    def nodes_required(self, rate: ArrayLike) -> ArrayLike:
+        """Minimum number of nodes of this architecture needed for ``rate``."""
+        r = np.asarray(rate, dtype=float)
+        if np.any(r < -1e-9):
+            raise ProfileError(f"{self.name}: negative rate")
+        # ceil with tolerance so that rate == k * max_perf needs exactly k.
+        n = np.ceil(np.maximum(r, 0.0) / self.max_perf - 1e-12).astype(int)
+        return int(n) if np.isscalar(rate) or n.ndim == 0 else n
+
+    def stack_power(self, rate: ArrayLike, nodes: Optional[int] = None) -> ArrayLike:
+        """Power of a homogeneous stack serving ``rate``.
+
+        The canonical loading is used: all nodes but one are fully loaded
+        and the last absorbs the remainder ("the profile is repeated",
+        Fig. 1).  With ``nodes=None`` the minimal node count is used; an
+        explicit larger ``nodes`` models over-provisioned stacks whose spare
+        nodes idle.
+        """
+        r = np.asarray(rate, dtype=float)
+        needed = np.ceil(np.maximum(r, 0.0) / self.max_perf - 1e-12).astype(int)
+        if nodes is None:
+            n = needed
+        else:
+            if np.any(needed > nodes):
+                raise ProfileError(
+                    f"{self.name}: {nodes} nodes cannot serve rate {r} "
+                    f"(need {np.max(needed)})"
+                )
+            n = np.full_like(needed, nodes)
+        full = np.maximum(needed - 1, 0)
+        remainder = np.clip(r - full * self.max_perf, 0.0, self.max_perf)
+        # Nodes beyond the needed count idle; a zero-rate stack of n nodes
+        # draws n * idle_power (0 when n == 0 and nodes is None).
+        partial_active = (needed > 0).astype(float)
+        out = (
+            full * self.max_power
+            + partial_active * (self.idle_power + self.slope * remainder)
+            + (n - full - partial_active.astype(int)) * self.idle_power
+        )
+        return float(out) if np.isscalar(rate) or out.ndim == 0 else out
+
+    def energy_full_day(self, rate: float) -> float:
+        """Energy in Joules for a stack serving a constant ``rate`` for 24 h."""
+        return float(self.stack_power(rate)) * 86400.0
+
+    # ------------------------------------------------------------------
+    # Comparisons / utilities
+    # ------------------------------------------------------------------
+    def dominates(self, other: "ArchitectureProfile") -> bool:
+        """True when ``self`` makes ``other`` useless for BML (Step 2).
+
+        ``other`` is dominated when it delivers lower performance while its
+        maximum power consumption is at least as high — it can never improve
+        energy proportionality.
+        """
+        return self.max_perf > other.max_perf and other.max_power >= self.max_power
+
+    def scaled(self, factor: float, name: Optional[str] = None) -> "ArchitectureProfile":
+        """A copy whose performance axis is scaled by ``factor``.
+
+        Useful for what-if studies: power characteristics are unchanged,
+        only ``max_perf`` scales.
+        """
+        if factor <= 0:
+            raise ProfileError("scale factor must be > 0")
+        return replace(self, name=name or self.name, max_perf=self.max_perf * factor)
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view (for CSV/JSON export and table rendering)."""
+        return {
+            "name": self.name,
+            "max_perf": self.max_perf,
+            "idle_power": self.idle_power,
+            "max_power": self.max_power,
+            "on_time": self.on_time,
+            "on_energy": self.on_energy,
+            "off_time": self.off_time,
+            "off_energy": self.off_energy,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "ArchitectureProfile":
+        """Inverse of :meth:`as_dict`."""
+        return cls(
+            name=str(data["name"]),
+            max_perf=float(data["max_perf"]),
+            idle_power=float(data["idle_power"]),
+            max_power=float(data["max_power"]),
+            on_time=float(data.get("on_time", 0.0)),
+            on_energy=float(data.get("on_energy", 0.0)),
+            off_time=float(data.get("off_time", 0.0)),
+            off_energy=float(data.get("off_energy", 0.0)),
+        )
+
+
+# ----------------------------------------------------------------------
+# Published profiles
+# ----------------------------------------------------------------------
+
+#: The five architectures of Table I, verbatim from the paper.
+TABLE_I: Dict[str, ArchitectureProfile] = {
+    "paravance": ArchitectureProfile(
+        name="paravance", max_perf=1331.0, idle_power=69.9, max_power=200.5,
+        on_time=189.0, on_energy=21341.0, off_time=10.0, off_energy=657.0,
+    ),
+    "taurus": ArchitectureProfile(
+        name="taurus", max_perf=860.0, idle_power=95.8, max_power=223.7,
+        on_time=164.0, on_energy=20628.0, off_time=11.0, off_energy=1173.0,
+    ),
+    "graphene": ArchitectureProfile(
+        name="graphene", max_perf=272.0, idle_power=47.7, max_power=123.8,
+        on_time=71.0, on_energy=4940.0, off_time=16.0, off_energy=760.0,
+    ),
+    "chromebook": ArchitectureProfile(
+        name="chromebook", max_perf=33.0, idle_power=4.0, max_power=7.6,
+        on_time=12.0, on_energy=49.3, off_time=21.0, off_energy=77.6,
+    ),
+    "raspberry": ArchitectureProfile(
+        name="raspberry", max_perf=9.0, idle_power=3.1, max_power=3.7,
+        on_time=16.0, on_energy=40.5, off_time=14.0, off_energy=36.2,
+    ),
+}
+
+#: Illustrative architectures A-D of Sec. IV / Figs. 1-2.  The paper only
+#: plots them; these constants reproduce the narrated behaviour (see module
+#: docstring).  On/Off costs are plausible placeholders scaled with size.
+ILLUSTRATIVE: Dict[str, ArchitectureProfile] = {
+    "A": ArchitectureProfile(
+        name="A", max_perf=600.0, idle_power=60.0, max_power=80.0,
+        on_time=120.0, on_energy=9000.0, off_time=12.0, off_energy=700.0,
+    ),
+    "B": ArchitectureProfile(
+        name="B", max_perf=150.0, idle_power=15.0, max_power=50.0,
+        on_time=60.0, on_energy=2000.0, off_time=10.0, off_energy=300.0,
+    ),
+    "C": ArchitectureProfile(
+        name="C", max_perf=30.0, idle_power=2.0, max_power=10.0,
+        on_time=15.0, on_energy=60.0, off_time=10.0, off_energy=30.0,
+    ),
+    "D": ArchitectureProfile(
+        name="D", max_perf=300.0, idle_power=40.0, max_power=90.0,
+        on_time=90.0, on_energy=5000.0, off_time=12.0, off_energy=500.0,
+    ),
+}
+
+
+def table_i_profiles() -> List[ArchitectureProfile]:
+    """The five Table I profiles as a list (paper's presentation order)."""
+    return [TABLE_I[k] for k in ("paravance", "taurus", "graphene", "chromebook", "raspberry")]
+
+
+def illustrative_profiles() -> List[ArchitectureProfile]:
+    """The four illustrative architectures A, B, C, D of Fig. 1."""
+    return [ILLUSTRATIVE[k] for k in ("A", "B", "C", "D")]

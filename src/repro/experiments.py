@@ -1,0 +1,182 @@
+"""Packaged experiments: one callable per paper table/figure.
+
+Benchmarks, examples and the CLI all call these entry points so every
+reproduction runs exactly one code path.  See DESIGN.md's per-experiment
+index (E1..E6, A1..A4) for the mapping to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .analysis.figures import (
+    FigureSeries,
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+)
+from .analysis.metrics import OverheadStats, overhead_stats
+from .core.baselines import global_upper_bound_plan, per_day_upper_bound_plan
+from .core.bml import BMLInfrastructure, design
+from .core.prediction import LookAheadMaxPredictor, Predictor
+from .core.profiles import (
+    ArchitectureProfile,
+    illustrative_profiles,
+    table_i_profiles,
+)
+from .core.scheduler import BMLScheduler
+from .profiling.harness import MachineReport, ProfilingCampaign
+from .profiling.hardware import paper_hardware
+from .sim.datacenter import execute_plan, lower_bound_result
+from .sim.results import SimulationResult
+from .workload.trace import LoadTrace
+from .workload.worldcup import synthesize
+
+__all__ = [
+    "run_table1",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "Fig5Outcome",
+    "run_fig5",
+    "SCENARIO_GLOBAL",
+    "SCENARIO_PER_DAY",
+    "SCENARIO_BML",
+    "SCENARIO_LOWER_BOUND",
+]
+
+SCENARIO_GLOBAL = "UpperBound Global"
+SCENARIO_PER_DAY = "UpperBound PerDay"
+SCENARIO_BML = "Big-Medium-Little"
+SCENARIO_LOWER_BOUND = "LowerBound Theoretical"
+
+
+def run_table1(
+    campaign: Optional[ProfilingCampaign] = None,
+) -> List[MachineReport]:
+    """E1 — regenerate Table I by profiling the modelled testbed."""
+    campaign = campaign or ProfilingCampaign()
+    return campaign.run(paper_hardware())
+
+
+def run_fig1() -> FigureSeries:
+    """E2 — illustrative architectures A-D and the Step 2 filter."""
+    profiles = illustrative_profiles()
+    infra = design(profiles)
+    removed = dict(infra.removed)
+    return fig1_series(profiles, kept=infra.names, removed=removed)
+
+
+def run_fig2() -> FigureSeries:
+    """E3 — crossing points between architectures (Steps 3-4)."""
+    return fig2_series(design(illustrative_profiles()))
+
+
+def run_fig3(
+    profiles: Optional[Sequence[ArchitectureProfile]] = None,
+) -> FigureSeries:
+    """E4 — measured power/performance profiles of the five machines."""
+    return fig3_series(list(profiles) if profiles else table_i_profiles())
+
+
+def run_fig4(method: str = "greedy") -> FigureSeries:
+    """E5 — ideal BML combination power vs Big-only vs BML linear."""
+    return fig4_series(design(table_i_profiles()), method=method)
+
+
+@dataclass
+class Fig5Outcome:
+    """All four scenarios of Fig. 5 plus the headline statistics."""
+
+    trace: LoadTrace
+    infra: BMLInfrastructure
+    upper_global: SimulationResult
+    upper_per_day: SimulationResult
+    bml: SimulationResult
+    lower_bound: SimulationResult
+    overhead: OverheadStats
+
+    @property
+    def results(self) -> List[SimulationResult]:
+        return [self.upper_global, self.upper_per_day, self.bml, self.lower_bound]
+
+    def figure(self) -> FigureSeries:
+        """The Fig. 5 series with overhead annotations."""
+        return fig5_series(self.results, reference=self.lower_bound)
+
+    def summary_rows(self) -> List[Dict[str, object]]:
+        """One row per scenario for report tables."""
+        rows = []
+        for r in self.results:
+            qos = r.qos(self.trace)
+            rows.append(
+                {
+                    "scenario": r.scenario,
+                    "energy_kwh": round(r.total_energy_kwh, 2),
+                    "mean_power_w": round(r.mean_power, 1),
+                    "reconfigs": r.n_reconfigurations,
+                    "switch_kwh": round(r.switch_energy / 3.6e6, 3),
+                    "unserved_s": qos.violation_seconds,
+                    "served_frac": round(qos.served_fraction, 6),
+                }
+            )
+        return rows
+
+
+def run_fig5(
+    trace: Optional[LoadTrace] = None,
+    infra: Optional[BMLInfrastructure] = None,
+    predictor: Optional[Predictor] = None,
+    n_days: int = 87,
+    seed: int = 1998,
+    method: str = "greedy",
+    policy: str = "bml",
+) -> Fig5Outcome:
+    """E6 — the World Cup replay: 4 scenarios, per-day energy, overheads.
+
+    Defaults reproduce the paper's setup: 87 days (6..92), look-ahead-max
+    prediction over 378 s, greedy Step 5 combinations.  Pass a shorter
+    synthetic trace (``n_days``) for quick runs.  ``policy`` selects the
+    BML scenario's scheduler: ``"bml"`` (the paper) or
+    ``"transition-aware"`` (the Sec. VI future-work policy).
+    """
+    trace = trace if trace is not None else synthesize(n_days=n_days, seed=seed)
+    infra = infra if infra is not None else design(table_i_profiles())
+    predictor = predictor or LookAheadMaxPredictor(378)
+
+    if policy == "bml":
+        scheduler = BMLScheduler(infra, predictor=predictor, method=method)
+    elif policy == "transition-aware":
+        from .core.adaptive import TransitionAwareScheduler
+
+        scheduler = TransitionAwareScheduler(
+            infra, predictor=predictor, method=method
+        )
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    bml = execute_plan(scheduler.plan(trace), trace, SCENARIO_BML)
+    upper_global = execute_plan(
+        global_upper_bound_plan(trace, infra.big), trace, SCENARIO_GLOBAL
+    )
+    upper_per_day = execute_plan(
+        per_day_upper_bound_plan(trace, infra.big), trace, SCENARIO_PER_DAY
+    )
+    lower = lower_bound_result(
+        trace, infra.table(max(trace.peak, 1.0), method), SCENARIO_LOWER_BOUND
+    )
+    overhead = overhead_stats(bml.per_day_energy(), lower.per_day_energy())
+    return Fig5Outcome(
+        trace=trace,
+        infra=infra,
+        upper_global=upper_global,
+        upper_per_day=upper_per_day,
+        bml=bml,
+        lower_bound=lower,
+        overhead=overhead,
+    )

@@ -1,0 +1,31 @@
+"""Profiling substrate: Step 1 (Table I) without the physical testbed.
+
+Hardware models calibrated to the paper's machines
+(:mod:`~repro.profiling.hardware`), a simulated lighttpd+CGI web server
+(:mod:`~repro.profiling.webserver`), a Siege-style closed-loop benchmark
+(:mod:`~repro.profiling.siege`), a wattmeter emulation
+(:mod:`~repro.profiling.wattmeter`) and the campaign harness gluing them
+into :class:`~repro.core.profiles.ArchitectureProfile` outputs
+(:mod:`~repro.profiling.harness`).
+"""
+
+from .hardware import MEAN_REQUEST_WORK, PAPER_HARDWARE, HardwareModel, paper_hardware
+from .harness import MachineReport, ProfilingCampaign
+from .siege import RampResult, SiegeEmulator
+from .wattmeter import PowerTrace, Wattmeter
+from .webserver import BenchmarkSample, SimulatedWebServer
+
+__all__ = [
+    "HardwareModel",
+    "PAPER_HARDWARE",
+    "paper_hardware",
+    "MEAN_REQUEST_WORK",
+    "SimulatedWebServer",
+    "BenchmarkSample",
+    "SiegeEmulator",
+    "RampResult",
+    "Wattmeter",
+    "PowerTrace",
+    "ProfilingCampaign",
+    "MachineReport",
+]

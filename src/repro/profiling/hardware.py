@@ -1,0 +1,155 @@
+"""Parametric hardware models standing in for the paper's test machines.
+
+The paper profiles five physical machines (two Grid'5000 x86 servers
+monitored through Kwapi, plus a Samsung Chromebook and a Raspberry Pi 2
+monitored with a WattsUp?Pro wattmeter).  Offline we model each machine as
+a :class:`HardwareModel`: cores x per-core work rate for performance, a
+linear utilisation->power law for electricity, and boot/shutdown ramps
+carrying the measured On/Off overheads.
+
+``PAPER_HARDWARE`` is calibrated so that a full profiling campaign
+(:mod:`repro.profiling.harness`) reproduces Table I: the per-core work
+rates are set from the published ``maxPerf`` and the mean request cost of
+the paper's CGI workload (uniform 1000..2000 loop iterations -> 1500
+work units per request).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.profiles import TABLE_I, ArchitectureProfile
+
+__all__ = ["HardwareModel", "PAPER_HARDWARE", "paper_hardware"]
+
+#: Mean work units per request of the paper's CGI script: loop iterations
+#: drawn uniformly from [1000, 2000].
+MEAN_REQUEST_WORK = 1500.0
+
+
+@dataclass(frozen=True)
+class HardwareModel:
+    """A machine the profiling harness can benchmark.
+
+    Parameters
+    ----------
+    name / cores:
+        Identity and core count (Table I lists them: Paravance 2x8,
+        Taurus 2x6, Graphene 1x4, Chromebook 1x2, Raspberry 1x4).
+    core_work_rate:
+        Loop-iteration throughput of one core in work units/s, including
+        the whole web-server software stack.
+    idle_power / max_power:
+        Electrical draw at 0 % and 100 % utilisation (W); in between the
+        model is linear in utilisation, matching the paper's assumption.
+    on_time / on_energy / off_time / off_energy:
+        Switching overheads (s, J) — the quantity Table I reports.
+    """
+
+    name: str
+    cores: int
+    core_work_rate: float
+    idle_power: float
+    max_power: float
+    on_time: float
+    on_energy: float
+    off_time: float
+    off_energy: float
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError(f"{self.name}: cores must be >= 1")
+        if self.core_work_rate <= 0:
+            raise ValueError(f"{self.name}: core_work_rate must be > 0")
+        if not 0 <= self.idle_power <= self.max_power:
+            raise ValueError(f"{self.name}: need 0 <= idle <= max power")
+
+    # -- performance ------------------------------------------------------
+    @property
+    def work_capacity(self) -> float:
+        """Total work units/s across all cores."""
+        return self.cores * self.core_work_rate
+
+    def request_capacity(self, mean_work: float = MEAN_REQUEST_WORK) -> float:
+        """Sustainable requests/s for a workload of ``mean_work`` units."""
+        return self.work_capacity / mean_work
+
+    def service_time(self, work: float) -> float:
+        """Seconds one core needs for a request of ``work`` units."""
+        return work / self.core_work_rate
+
+    # -- power ---------------------------------------------------------------
+    def power_at_utilisation(self, u: float) -> float:
+        """Draw at CPU utilisation ``u`` in [0, 1] (linear law)."""
+        if not -1e-9 <= u <= 1 + 1e-9:
+            raise ValueError(f"utilisation {u} outside [0, 1]")
+        u = min(max(u, 0.0), 1.0)
+        return self.idle_power + (self.max_power - self.idle_power) * u
+
+    def boot_power_curve(self, t: float) -> float:
+        """Instantaneous draw ``t`` seconds into the boot.
+
+        A spin-up spike at 1.2x the average boot power over the first
+        third, then 0.9x for the remainder — the curve integrates to
+        exactly ``on_energy`` over ``on_time`` (the harness relies on the
+        integral and the duration, not the shape).
+        """
+        if t < 0 or t > self.on_time or self.on_time <= 0:
+            return 0.0
+        avg = self.on_energy / self.on_time
+        return avg * (1.2 if t < self.on_time / 3.0 else 0.9)
+
+    def shutdown_power(self) -> float:
+        """Average draw while shutting down."""
+        return self.off_energy / self.off_time if self.off_time > 0 else 0.0
+
+    # -- conversion ---------------------------------------------------------
+    def true_profile(self) -> ArchitectureProfile:
+        """The architecture profile a noise-free campaign would measure."""
+        return ArchitectureProfile(
+            name=self.name,
+            max_perf=self.request_capacity(),
+            idle_power=self.idle_power,
+            max_power=self.max_power,
+            on_time=self.on_time,
+            on_energy=self.on_energy,
+            off_time=self.off_time,
+            off_energy=self.off_energy,
+        )
+
+
+def _from_table(name: str, cores: int) -> HardwareModel:
+    prof = TABLE_I[name]
+    return HardwareModel(
+        name=name,
+        cores=cores,
+        core_work_rate=prof.max_perf * MEAN_REQUEST_WORK / cores,
+        idle_power=prof.idle_power,
+        max_power=prof.max_power,
+        on_time=prof.on_time,
+        on_energy=prof.on_energy,
+        off_time=prof.off_time,
+        off_energy=prof.off_energy,
+    )
+
+
+#: The five machines of the paper's testbed, calibrated to Table I.
+PAPER_HARDWARE: Dict[str, HardwareModel] = {
+    "paravance": _from_table("paravance", 16),  # 2x8-core Xeon E5-2630v3
+    "taurus": _from_table("taurus", 12),        # 2x6-core Xeon E5-2630
+    "graphene": _from_table("graphene", 4),     # 1x4-core Xeon X3440
+    "chromebook": _from_table("chromebook", 2), # ARM Cortex-A15
+    "raspberry": _from_table("raspberry", 4),   # ARM Cortex-A7
+}
+
+
+def paper_hardware() -> List[HardwareModel]:
+    """The testbed machines in the paper's presentation order."""
+    return [
+        PAPER_HARDWARE[k]
+        for k in ("paravance", "taurus", "graphene", "chromebook", "raspberry")
+    ]

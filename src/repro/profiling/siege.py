@@ -1,0 +1,88 @@
+"""Siege-style closed-loop benchmark driver.
+
+Reproduces the paper's measurement protocol: "We execute the benchmark
+with an increasing number of concurrent clients in order to find the
+maximum request rate that can be processed.  Each test runs for 30 seconds
+and the maximum performance is the average of 5 results."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from .webserver import BenchmarkSample, SimulatedWebServer
+
+__all__ = ["SiegeEmulator", "RampResult"]
+
+
+@dataclass(frozen=True)
+class RampResult:
+    """Outcome of a concurrency ramp against one server."""
+
+    samples: Tuple[BenchmarkSample, ...]
+    best_concurrency: int
+    max_rate: float          # average of the repeated best-point runs
+    repeat_rates: Tuple[float, ...]
+
+    @property
+    def ramp_curve(self) -> List[Tuple[int, float]]:
+        """(concurrency, throughput) points of the ramp."""
+        return [(s.concurrency, s.throughput) for s in self.samples]
+
+
+@dataclass
+class SiegeEmulator:
+    """Concurrency-ramping benchmark tool (the paper uses Siege).
+
+    The ramp doubles the client count until throughput stops improving by
+    more than ``plateau_tolerance``, then the best point is re-run
+    ``repeats`` times and averaged — the paper's "average of 5 results".
+    """
+
+    duration_s: float = 30.0
+    repeats: int = 5
+    start_concurrency: int = 1
+    max_concurrency: int = 4096
+    plateau_tolerance: float = 0.003
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0 or self.repeats < 1:
+            raise ValueError("duration must be > 0 and repeats >= 1")
+        if not 1 <= self.start_concurrency <= self.max_concurrency:
+            raise ValueError("bad concurrency bounds")
+
+    def ramp(self, server: SimulatedWebServer) -> RampResult:
+        """Find the server's maximum sustainable request rate."""
+        rng = np.random.default_rng(self.seed)
+        samples: List[BenchmarkSample] = []
+        best_rate = -1.0
+        best_conc = self.start_concurrency
+        conc = self.start_concurrency
+        stall = 0
+        while conc <= self.max_concurrency:
+            sample = server.run_closed(conc, self.duration_s, rng)
+            samples.append(sample)
+            if sample.throughput > best_rate * (1.0 + self.plateau_tolerance):
+                best_rate = sample.throughput
+                best_conc = conc
+                stall = 0
+            else:
+                stall += 1
+                if stall >= 2:  # two consecutive non-improving doublings
+                    break
+            conc *= 2
+        repeat_rates = [
+            server.run_closed(best_conc, self.duration_s, rng).throughput
+            for _ in range(self.repeats)
+        ]
+        return RampResult(
+            samples=tuple(samples),
+            best_concurrency=best_conc,
+            max_rate=float(np.mean(repeat_rates)),
+            repeat_rates=tuple(repeat_rates),
+        )

@@ -1,0 +1,107 @@
+"""Wattmeter emulation (WattsUp?Pro / Kwapi stand-in).
+
+The paper measures the Chromebook and Raspberry with a WattsUp?Pro (1 Hz
+samples) and reads Grid'5000 servers through Kwapi.  The emulation samples
+an arbitrary ``power(t)`` callable at a fixed rate, with optional gaussian
+sensor noise and quantisation, and offers the two derived measurements the
+profiling campaign needs: average power over a window and energy of a
+transient (boot/shutdown) detected against an idle baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Wattmeter", "PowerTrace"]
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """A sampled power series (W at ``1/interval`` Hz)."""
+
+    samples: np.ndarray
+    interval: float
+
+    @property
+    def mean_power(self) -> float:
+        return float(np.mean(self.samples)) if self.samples.size else 0.0
+
+    @property
+    def energy(self) -> float:
+        """Left-Riemann integral in Joules."""
+        return float(np.sum(self.samples) * self.interval)
+
+    @property
+    def duration(self) -> float:
+        return len(self.samples) * self.interval
+
+
+@dataclass
+class Wattmeter:
+    """Samples a power function like a physical meter would.
+
+    ``noise_sigma`` is the absolute gaussian sensor noise per sample (W);
+    ``resolution`` quantises readings (WattsUp?Pro reports 0.1 W steps).
+    """
+
+    sample_interval: float = 1.0
+    noise_sigma: float = 0.0
+    resolution: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sample_interval <= 0:
+            raise ValueError("sample_interval must be > 0")
+        if self.noise_sigma < 0 or self.resolution < 0:
+            raise ValueError("noise_sigma and resolution must be >= 0")
+        self._rng = np.random.default_rng(self.seed)
+
+    def record(
+        self, power_fn: Callable[[float], float], duration: float
+    ) -> PowerTrace:
+        """Sample ``power_fn`` over ``[0, duration)``."""
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        n = max(1, int(round(duration / self.sample_interval)))
+        times = np.arange(n) * self.sample_interval
+        vals = np.array([max(power_fn(float(t)), 0.0) for t in times])
+        if self.noise_sigma > 0:
+            vals = np.maximum(vals + self._rng.normal(0, self.noise_sigma, n), 0.0)
+        if self.resolution > 0:
+            vals = np.round(vals / self.resolution) * self.resolution
+        return PowerTrace(samples=vals, interval=self.sample_interval)
+
+    def measure_average(
+        self, power_fn: Callable[[float], float], duration: float
+    ) -> float:
+        """Average power over a measurement window (W)."""
+        return self.record(power_fn, duration).mean_power
+
+    def measure_transient(
+        self,
+        power_fn: Callable[[float], float],
+        max_duration: float,
+        settle_level: float,
+        settle_tolerance: float = 0.05,
+    ) -> Tuple[float, float]:
+        """Duration (s) and energy (J) of a transient such as a boot.
+
+        Records until ``max_duration`` and takes the transient to end right
+        after the **last** reading outside ``settle_tolerance`` (relative,
+        floored at 0.2 W) of the expected ``settle_level`` — robust even
+        when parts of the transient happen to draw baseline-like power
+        (e.g. a Raspberry Pi boots *below* its idle power).  Mirrors how
+        On/Off costs are measured on real machines: trigger the action,
+        watch the wattmeter, integrate what precedes the settled tail.
+        """
+        trace = self.record(power_fn, max_duration)
+        tol = max(abs(settle_level) * settle_tolerance, 0.2)
+        outside = np.flatnonzero(np.abs(trace.samples - settle_level) > tol)
+        end_idx = int(outside[-1]) + 1 if outside.size else 0
+        duration = end_idx * trace.interval
+        energy = float(np.sum(trace.samples[:end_idx]) * trace.interval)
+        return duration, energy

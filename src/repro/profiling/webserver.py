@@ -1,0 +1,136 @@
+"""Simulated stateless web server (the paper's lighttpd + CGI workload).
+
+The paper's target application: lighttpd serving a Python CGI script whose
+request cost is a loop of random-number generations, with the iteration
+count itself drawn uniformly from [1000, 2000]; the response is a small
+static HTML page.  Being CPU-bound, the server's throughput is governed by
+the machine's aggregate work rate.
+
+:class:`SimulatedWebServer` exposes the same observable surface a real
+deployment would: offer it a closed population of concurrent clients (like
+the Siege benchmark does) and it reports throughput, utilisation and mean
+latency for a measurement window; offer it an open request rate (like the
+data-center replay does) and it reports utilisation and served rate.
+
+The closed-loop model is the classic asymptotic bound for a closed
+queueing network with ``c`` servers and no think time — throughput rises
+almost linearly with the client count until the cores saturate::
+
+    X(K) ~= min(K / E[S], c / E[S])  requests/s,  E[S] = E[work] / core_rate
+
+with a small contention penalty near the knee, plus measurement noise
+(seeded) to emulate a finite 30 s run.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .hardware import MEAN_REQUEST_WORK, HardwareModel
+
+__all__ = ["SimulatedWebServer", "BenchmarkSample"]
+
+
+@dataclass(frozen=True)
+class BenchmarkSample:
+    """Measurement of one closed-loop benchmark run."""
+
+    concurrency: int
+    duration_s: float
+    throughput: float       # requests/s completed
+    mean_latency_s: float   # mean response time
+    utilisation: float      # CPU utilisation in [0, 1]
+    requests_completed: int
+
+
+@dataclass
+class SimulatedWebServer:
+    """A stateless web-server instance bound to one hardware model.
+
+    ``work_low``/``work_high`` parameterise the CGI loop bounds (the
+    paper's 1000/2000); ``overhead_work`` models the fixed per-request
+    stack cost (connection handling, CGI fork) in work units.
+    """
+
+    hardware: HardwareModel
+    work_low: float = 1000.0
+    work_high: float = 2000.0
+    overhead_work: float = 0.0
+    contention: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0 < self.work_low <= self.work_high:
+            raise ValueError("need 0 < work_low <= work_high")
+        if self.overhead_work < 0 or self.contention < 0:
+            raise ValueError("overhead_work and contention must be >= 0")
+
+    @property
+    def mean_request_work(self) -> float:
+        """Expected work units per request (uniform loop + fixed stack)."""
+        return (self.work_low + self.work_high) / 2.0 + self.overhead_work
+
+    @property
+    def max_throughput(self) -> float:
+        """Saturation throughput in requests/s."""
+        return self.hardware.work_capacity / self.mean_request_work
+
+    @property
+    def mean_service_time(self) -> float:
+        """Expected single-core service time of one request (s)."""
+        return self.mean_request_work / self.hardware.core_work_rate
+
+    # -- closed loop (Siege) -----------------------------------------------
+    def run_closed(
+        self,
+        concurrency: int,
+        duration_s: float = 30.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> BenchmarkSample:
+        """One benchmark run with ``concurrency`` looping clients."""
+        if concurrency < 1:
+            raise ValueError("concurrency must be >= 1")
+        if duration_s <= 0:
+            raise ValueError("duration must be > 0")
+        rng = rng if rng is not None else np.random.default_rng(0)
+        cores = self.hardware.cores
+        s = self.mean_service_time
+        # Asymptotic closed-network bounds with a contention dip near the
+        # knee (largest when the client count matches the core count).
+        x_light = concurrency / s
+        x_heavy = cores / s
+        knee = self.contention * min(concurrency / cores, cores / concurrency)
+        x = min(x_light, x_heavy) * (1.0 - knee)
+        # Finite-run sampling noise: each completed request's cost varies
+        # uniformly, so a duration-long average has relative std
+        # ~ cv / sqrt(n) with cv of U(1000,2000) ~= 0.19.
+        n_expected = max(x * duration_s, 1.0)
+        cv = (self.work_high - self.work_low) / math.sqrt(12.0) / self.mean_request_work
+        measured = x * (1.0 + rng.normal(0.0, cv / math.sqrt(n_expected)))
+        measured = max(measured, 0.0)
+        utilisation = min(measured * s / cores, 1.0)
+        latency = concurrency / measured if measured > 0 else float("inf")
+        return BenchmarkSample(
+            concurrency=concurrency,
+            duration_s=duration_s,
+            throughput=measured,
+            mean_latency_s=latency,
+            utilisation=utilisation,
+            requests_completed=int(measured * duration_s),
+        )
+
+    # -- open loop (replay) -------------------------------------------------
+    def serve_open(self, offered_rate: float) -> Tuple[float, float]:
+        """Serve an open arrival rate; returns (served_rate, utilisation)."""
+        if offered_rate < 0:
+            raise ValueError("offered_rate must be >= 0")
+        served = min(offered_rate, self.max_throughput)
+        return served, served * self.mean_service_time / self.hardware.cores
+
+    def power_at_rate(self, offered_rate: float) -> float:
+        """Electrical draw while serving ``offered_rate`` (linear law)."""
+        _, u = self.serve_open(offered_rate)
+        return self.hardware.power_at_utilisation(u)

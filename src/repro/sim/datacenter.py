@@ -1,0 +1,91 @@
+"""Fast data-center replay: integrate a :class:`SchedulePlan` over a trace.
+
+The planner (scheduler or baseline policy) produces segments with constant
+serving combination and constant overhead power; this module turns them
+into per-second power and unserved-demand series with pure numpy slicing —
+replaying the paper's 87-day World Cup scenario takes a fraction of a
+second instead of a 7.5-million-iteration Python loop.
+
+The event-driven machine-level simulator in :mod:`repro.sim.machine` /
+:mod:`repro.sim.cluster` computes the same quantities from first
+principles; the test suite cross-checks both paths on shorter traces.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.combination import CombinationTable
+from ..core.reconfiguration import SchedulePlan
+from ..workload.trace import LoadTrace
+from .energy import combination_power
+from .results import SimulationResult
+
+__all__ = ["execute_plan", "lower_bound_result"]
+
+
+def execute_plan(
+    plan: SchedulePlan,
+    trace: LoadTrace,
+    scenario: str = "plan",
+) -> SimulationResult:
+    """Replay ``plan`` against ``trace`` and account energy and QoS.
+
+    The plan horizon must match the trace length (both count seconds when
+    the trace is sampled at 1 Hz; generally, plan times are in samples).
+    """
+    n = len(trace)
+    if plan.horizon != n:
+        raise ValueError(f"plan horizon {plan.horizon} != trace length {n}")
+    power = np.empty(n)
+    unserved = np.zeros(n)
+    for seg in plan.segments:
+        loads = trace.values[seg.t_start : seg.t_end]
+        capacity = seg.serving.capacity
+        served = np.minimum(loads, capacity)
+        power[seg.t_start : seg.t_end] = (
+            combination_power(seg.serving, served) + seg.overhead_power
+        )
+        deficit = loads - served
+        if np.any(deficit > 0):
+            unserved[seg.t_start : seg.t_end] = deficit
+    return SimulationResult(
+        scenario=scenario,
+        trace_name=trace.name,
+        timestep=trace.timestep,
+        power=power,
+        unserved=unserved,
+        reconfigurations=list(plan.reconfigurations),
+        meta={
+            "segments": len(plan.segments),
+            "switch_energy_j": plan.total_switch_energy,
+        },
+    )
+
+
+def lower_bound_result(
+    trace: LoadTrace,
+    table: CombinationTable,
+    scenario: str = "LowerBound Theoretical",
+) -> SimulationResult:
+    """The paper's unreachable lower bound.
+
+    The infrastructure is re-dimensioned **every second** with the ideal
+    BML combination for the instantaneous load, with **no switching latency
+    or energy** — "picturing the best energy proportionality we could
+    reach".  The combination is sized on the table's grid (1 req/s by
+    default, like the scheduler) but its power is charged at the actual
+    instantaneous load, so the bound is a true floor for any executed plan.
+    """
+    power = np.asarray(table.power_at_load(trace.values), dtype=float)
+    return SimulationResult(
+        scenario=scenario,
+        trace_name=trace.name,
+        timestep=trace.timestep,
+        power=power,
+        unserved=np.zeros(len(trace)),
+        reconfigurations=[],
+        meta={"table_method": table.method},
+    )

@@ -1,0 +1,110 @@
+"""Vectorised power evaluation and energy accounting.
+
+The hot path of every replay is "power of combination C at load L(t)" for
+millions of t.  Under the linear model this is a piecewise-linear,
+concave-increasing function of the served load (machines are filled by
+increasing marginal cost), so each combination reduces to a breakpoint
+table evaluated with :func:`numpy.interp`.  Tables are memoised per
+combination (combinations are frozen/hashable).
+
+:class:`EnergyMeter` is the per-machine ledger used by the event-driven
+validation simulator (:mod:`repro.sim.machine`); the fast path never needs
+it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple, Union
+
+import numpy as np
+
+from ..core.combination import Combination
+
+__all__ = ["power_breakpoints", "combination_power", "EnergyMeter"]
+
+_BreakTable = Tuple[np.ndarray, np.ndarray]
+_cache: Dict[Combination, _BreakTable] = {}
+
+
+def power_breakpoints(combo: Combination) -> _BreakTable:
+    """Breakpoints ``(loads, powers)`` of the combination's power function.
+
+    ``powers[0]`` is the all-idle draw; subsequent points add each
+    architecture group's capacity in increasing-slope order.  Evaluating
+    with :func:`numpy.interp` gives the minimal power for any served load
+    in ``[0, capacity]``.
+    """
+    cached = _cache.get(combo)
+    if cached is not None:
+        return cached
+    caps = [0.0]
+    powers = [combo.idle_power]
+    for prof, count in sorted(combo.items, key=lambda pc: pc[0].slope):
+        group_cap = prof.max_perf * count
+        caps.append(caps[-1] + group_cap)
+        powers.append(powers[-1] + prof.slope * group_cap)
+    table = (np.asarray(caps), np.asarray(powers))
+    _cache[combo] = table
+    return table
+
+
+def combination_power(
+    combo: Combination, load: Union[float, np.ndarray]
+) -> Union[float, np.ndarray]:
+    """Power (W) of ``combo`` serving ``load`` (scalar or vector).
+
+    Loads beyond capacity saturate at peak power (the excess demand is the
+    QoS accounting's business, not the power model's).
+    """
+    caps, powers = power_breakpoints(combo)
+    out = np.interp(np.asarray(load, dtype=float), caps, powers)
+    return float(out) if np.ndim(load) == 0 else out
+
+
+@dataclass
+class EnergyMeter:
+    """Per-machine energy ledger for the event-driven simulator.
+
+    Mimics the role of the paper's wattmeters/Kwapi: every state interval
+    of every machine is recorded as (power, duration) and integrated
+    exactly.
+    """
+
+    _totals: Dict[str, float] = field(default_factory=dict)
+    _power_now: Dict[str, float] = field(default_factory=dict)
+    _since: Dict[str, float] = field(default_factory=dict)
+
+    def set_power(self, machine_id: str, power: float, now: float) -> None:
+        """Machine ``machine_id`` draws ``power`` Watts from ``now`` on."""
+        if power < 0:
+            raise ValueError("power must be >= 0")
+        self._settle(machine_id, now)
+        self._power_now[machine_id] = power
+        self._since[machine_id] = now
+
+    def _settle(self, machine_id: str, now: float) -> None:
+        prev_power = self._power_now.get(machine_id)
+        if prev_power is None:
+            return
+        since = self._since[machine_id]
+        if now < since - 1e-9:
+            raise ValueError(f"time went backwards for {machine_id}")
+        self._totals[machine_id] = self._totals.get(machine_id, 0.0) + prev_power * (
+            now - since
+        )
+
+    def finalize(self, now: float) -> None:
+        """Close all open intervals at ``now`` (end of simulation)."""
+        for machine_id in list(self._power_now):
+            self._settle(machine_id, now)
+            self._since[machine_id] = now
+
+    def energy_of(self, machine_id: str) -> float:
+        """Energy (J) accumulated so far by one machine."""
+        return self._totals.get(machine_id, 0.0)
+
+    @property
+    def total_energy(self) -> float:
+        """Energy (J) accumulated by all machines (closed intervals only)."""
+        return sum(self._totals.values())

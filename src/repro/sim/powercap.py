@@ -1,0 +1,111 @@
+"""RAPL-style power capping (the Sec. II counterpoint).
+
+Related work (Sec. II) discusses Intel RAPL: "via this mechanism a user
+can specify a power consumption threshold that the processor will not
+exceed ... This power capping tool offers better energy proportionality,
+but does not help reducing idle consumption."  The BML argument rests on
+that observation — capping shrinks the dynamic range from the top, while
+heterogeneity attacks the idle floor.
+
+This module models a capped machine so the argument can be *measured*:
+under the linear power model, a cap ``P_cap`` on a machine translates to
+a performance ceiling (the rate where the linear law hits the cap), so a
+capped homogeneous data center trades peak capacity for a flatter power
+profile while its idle draw — and therefore its IPR — stays put.  The A6
+benchmark quantifies this against the BML combination.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from ..core.profiles import ArchitectureProfile, ProfileError
+
+__all__ = ["CappedMachine", "capped_profile", "capped_stack_power"]
+
+
+@dataclass(frozen=True)
+class CappedMachine:
+    """A machine whose draw is limited to ``cap`` Watts (RAPL-like).
+
+    The cap must lie in ``[idle_power, max_power]``: RAPL throttles the
+    processor's *active* consumption; it cannot push a machine below its
+    idle draw (the crux of the Sec. II argument).
+    """
+
+    profile: ArchitectureProfile
+    cap: float
+
+    def __post_init__(self) -> None:
+        if not self.profile.idle_power <= self.cap <= self.profile.max_power:
+            raise ProfileError(
+                f"cap {self.cap} W outside "
+                f"[{self.profile.idle_power}, {self.profile.max_power}] — "
+                "RAPL cannot cap below idle power"
+            )
+
+    @property
+    def max_perf(self) -> float:
+        """Performance ceiling the cap imposes (linear model inverse)."""
+        p = self.profile
+        if p.slope == 0:
+            return p.max_perf
+        return min((self.cap - p.idle_power) / p.slope, p.max_perf)
+
+    def power(self, rate: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
+        """Draw while serving ``rate`` (requests beyond the ceiling are
+        the QoS accounting's business, like everywhere else)."""
+        r = np.minimum(np.asarray(rate, dtype=float), self.max_perf)
+        out = np.minimum(self.profile.idle_power + self.profile.slope * r, self.cap)
+        return float(out) if np.ndim(rate) == 0 else out
+
+    @property
+    def ipr(self) -> float:
+        """Idle-to-Peak Ratio under the cap — never better than uncapped
+        at full machine utilisation, because idle is untouched."""
+        return self.profile.idle_power / self.cap
+
+
+def capped_profile(
+    profile: ArchitectureProfile, cap: float, name: Optional[str] = None
+) -> ArchitectureProfile:
+    """An :class:`ArchitectureProfile` view of the capped machine.
+
+    Useful to push capped machines through the regular BML pipeline
+    (filtering, crossing points, combinations).
+    """
+    machine = CappedMachine(profile, cap)
+    return ArchitectureProfile(
+        name=name or f"{profile.name}@{cap:g}W",
+        max_perf=machine.max_perf,
+        idle_power=profile.idle_power,
+        max_power=cap,
+        on_time=profile.on_time,
+        on_energy=profile.on_energy,
+        off_time=profile.off_time,
+        off_energy=profile.off_energy,
+    )
+
+
+def capped_stack_power(
+    profile: ArchitectureProfile,
+    cap: float,
+    rate: Union[float, np.ndarray],
+    nodes: int,
+) -> Union[float, np.ndarray]:
+    """Power of ``nodes`` always-on capped machines sharing ``rate``.
+
+    The classical deployment RAPL targets: a fixed homogeneous fleet, all
+    machines on, load spread evenly, caps keeping the peak in check.
+    Rates beyond the capped fleet's ceiling saturate at ``nodes * cap``.
+    """
+    if nodes < 1:
+        raise ProfileError("need at least one machine")
+    machine = CappedMachine(profile, cap)
+    share = np.asarray(rate, dtype=float) / nodes
+    out = nodes * np.asarray(machine.power(share))
+    return float(out) if np.ndim(rate) == 0 else out

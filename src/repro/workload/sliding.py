@@ -1,0 +1,88 @@
+"""Sliding-window maxima for look-ahead load prediction.
+
+The paper emulates its load prediction mechanism by taking, at each time
+step, the **maximum load value over a look-ahead window** of 378 s (twice
+the longest switch-on duration).  Computing that for multi-million-second
+traces is the hot path of the proactive scheduler, so the default
+implementation delegates to :func:`scipy.ndimage.maximum_filter1d`
+(O(n) in C); a pure-Python monotonic-deque implementation is kept as the
+reference for property tests.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, Sequence
+
+import numpy as np
+
+try:  # scipy is an optional accelerator; numpy fallback below.
+    from scipy.ndimage import maximum_filter1d as _maxfilter
+except Exception:  # pragma: no cover - scipy is present in the test env
+    _maxfilter = None
+
+__all__ = [
+    "lookahead_max",
+    "lookahead_max_reference",
+    "trailing_max",
+]
+
+
+def _validate(values: np.ndarray, window: int) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise ValueError(f"expected a 1-D series, got shape {arr.shape}")
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    return arr
+
+
+def lookahead_max(values: Sequence[float], window: int) -> np.ndarray:
+    """``out[t] = max(values[t : t + window])`` for every ``t``.
+
+    Near the end of the series the window truncates to the remaining
+    samples (the scheduler keeps serving the real tail of the trace).
+    """
+    arr = _validate(np.asarray(values), window)
+    n = len(arr)
+    if n == 0:
+        return arr.copy()
+    w = min(window, n)
+    if _maxfilter is not None:
+        # Pad the tail with -inf so truncated windows stay exact, then shift
+        # the filter window right with origin = -(w // 2) so it covers
+        # [t, t + w - 1] (verified for even and odd sizes).
+        padded = np.concatenate([arr, np.full(w - 1, -np.inf)])
+        out = _maxfilter(padded, size=w, mode="constant", cval=-np.inf, origin=-(w // 2))
+        return out[:n]
+    return lookahead_max_reference(arr, w)
+
+
+def lookahead_max_reference(values: Sequence[float], window: int) -> np.ndarray:
+    """Monotonic-deque reference implementation (O(n), pure Python)."""
+    arr = _validate(np.asarray(values), window)
+    n = len(arr)
+    out = np.empty(n)
+    dq: deque = deque()  # indices, values decreasing
+    # Sweep right-to-left: window [t, t+window-1].
+    for t in range(n - 1, -1, -1):
+        while dq and arr[dq[-1]] <= arr[t]:
+            dq.pop()
+        dq.append(t)
+        while dq and dq[0] > t + window - 1:
+            dq.popleft()
+        out[t] = arr[dq[0]]
+    return out
+
+
+def trailing_max(values: Sequence[float], window: int) -> np.ndarray:
+    """``out[t] = max(values[max(0, t - window + 1) : t + 1])``.
+
+    The backward-looking counterpart, useful for reactive policies that
+    hold capacity for recently seen peaks.
+    """
+    arr = _validate(np.asarray(values), window)
+    n = len(arr)
+    if n == 0:
+        return arr.copy()
+    return lookahead_max_reference(arr[::-1], window)[::-1].copy()

@@ -1,0 +1,289 @@
+"""Load traces: the time-varying application demand the scheduler replays.
+
+A :class:`LoadTrace` is a 1 Hz series of the application performance metric
+(requests/s for the paper's web server).  The paper replays days 6-92 of
+the 1998 World Cup access logs; this module provides the generic container
+(numpy-backed, CSV/NPZ round-trip, per-day views and statistics) while
+:mod:`repro.workload.worldcup` synthesises the World-Cup-shaped workload.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+__all__ = ["LoadTrace", "TraceError", "SECONDS_PER_DAY"]
+
+SECONDS_PER_DAY = 86_400
+
+
+class TraceError(ValueError):
+    """Raised for malformed traces or out-of-range accesses."""
+
+
+@dataclass(frozen=True)
+class LoadTrace:
+    """An application load series sampled on a fixed time step.
+
+    Parameters
+    ----------
+    values:
+        Non-negative load samples (application metric per second).
+    timestep:
+        Seconds between samples (default 1.0, the paper's granularity).
+    name:
+        Free-form label used in reports.
+    t0:
+        Absolute start time in seconds (e.g. ``5 * 86400`` when the trace
+        starts at day 6 of the World Cup, counting days from 1).
+    """
+
+    values: np.ndarray
+    timestep: float = 1.0
+    name: str = "trace"
+    t0: float = 0.0
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.values, dtype=float)
+        if arr.ndim != 1:
+            raise TraceError(f"trace must be 1-D, got shape {arr.shape}")
+        if arr.size == 0:
+            raise TraceError("trace must contain at least one sample")
+        if np.any(~np.isfinite(arr)):
+            raise TraceError("trace contains non-finite samples")
+        if np.any(arr < 0):
+            raise TraceError("trace contains negative load")
+        if self.timestep <= 0:
+            raise TraceError("timestep must be > 0")
+        arr = arr.copy()
+        arr.flags.writeable = False
+        object.__setattr__(self, "values", arr)
+
+    # -- basics ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, idx: Union[int, slice]) -> Union[float, "LoadTrace"]:
+        if isinstance(idx, slice):
+            start, _, step = idx.indices(len(self))
+            if step != 1:
+                raise TraceError("strided slicing is not supported")
+            vals = self.values[idx]
+            if vals.size == 0:
+                raise TraceError("empty slice")
+            return LoadTrace(
+                vals, self.timestep, self.name, self.t0 + start * self.timestep
+            )
+        return float(self.values[idx])
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds."""
+        return len(self.values) * self.timestep
+
+    @property
+    def peak(self) -> float:
+        """Maximum load over the whole trace."""
+        return float(np.max(self.values))
+
+    @property
+    def mean(self) -> float:
+        """Mean load over the whole trace."""
+        return float(np.mean(self.values))
+
+    @property
+    def total_demand(self) -> float:
+        """Integral of the load (e.g. total requests over the trace)."""
+        return float(np.sum(self.values) * self.timestep)
+
+    def stats(self) -> dict:
+        """Summary statistics used by reports."""
+        v = self.values
+        return {
+            "name": self.name,
+            "samples": int(v.size),
+            "duration_s": self.duration,
+            "peak": float(v.max()),
+            "mean": float(v.mean()),
+            "p50": float(np.percentile(v, 50)),
+            "p95": float(np.percentile(v, 95)),
+            "p99": float(np.percentile(v, 99)),
+            "min": float(v.min()),
+        }
+
+    # -- day-level views ---------------------------------------------------
+    @property
+    def samples_per_day(self) -> int:
+        spd = SECONDS_PER_DAY / self.timestep
+        if abs(spd - round(spd)) > 1e-9:
+            raise TraceError(
+                f"timestep {self.timestep} does not divide a day evenly"
+            )
+        return int(round(spd))
+
+    @property
+    def n_days(self) -> int:
+        """Number of (possibly partial) days covered."""
+        return math.ceil(len(self.values) / self.samples_per_day)
+
+    def day(self, index: int) -> "LoadTrace":
+        """The ``index``-th day of the trace (0-based) as a sub-trace."""
+        spd = self.samples_per_day
+        if not 0 <= index < self.n_days:
+            raise TraceError(f"day {index} out of range 0..{self.n_days - 1}")
+        sl = self.values[index * spd : (index + 1) * spd]
+        return LoadTrace(
+            sl,
+            self.timestep,
+            f"{self.name}/day{index}",
+            self.t0 + index * spd * self.timestep,
+        )
+
+    def days(self) -> Iterator["LoadTrace"]:
+        """Iterate over per-day sub-traces."""
+        for i in range(self.n_days):
+            yield self.day(i)
+
+    def per_day_max(self) -> np.ndarray:
+        """Daily peak loads (vectorised; last partial day included)."""
+        spd = self.samples_per_day
+        n = len(self.values)
+        full = n // spd
+        out: List[float] = []
+        if full:
+            out.extend(self.values[: full * spd].reshape(full, spd).max(axis=1))
+        if n % spd:
+            out.append(float(self.values[full * spd :].max()))
+        return np.asarray(out)
+
+    def per_day_mean(self) -> np.ndarray:
+        """Daily mean loads."""
+        spd = self.samples_per_day
+        n = len(self.values)
+        full = n // spd
+        out: List[float] = []
+        if full:
+            out.extend(self.values[: full * spd].reshape(full, spd).mean(axis=1))
+        if n % spd:
+            out.append(float(self.values[full * spd :].mean()))
+        return np.asarray(out)
+
+    # -- transforms ---------------------------------------------------------
+    def scaled(self, factor: float) -> "LoadTrace":
+        """Multiply the load by ``factor`` (capacity-planning what-ifs)."""
+        if factor < 0:
+            raise TraceError("scale factor must be >= 0")
+        return LoadTrace(self.values * factor, self.timestep, self.name, self.t0)
+
+    def scaled_to_peak(self, peak: float) -> "LoadTrace":
+        """Rescale so the global maximum equals ``peak``."""
+        cur = self.peak
+        if cur <= 0:
+            raise TraceError("cannot rescale an all-zero trace")
+        return self.scaled(peak / cur)
+
+    def clipped(self, max_value: float) -> "LoadTrace":
+        """Clip the load from above (overload studies)."""
+        return LoadTrace(
+            np.minimum(self.values, max_value), self.timestep, self.name, self.t0
+        )
+
+    def resampled(self, new_step: float, how: str = "max") -> "LoadTrace":
+        """Downsample to ``new_step`` seconds per sample.
+
+        ``how="max"`` is conservative for provisioning (never hides a
+        peak); ``how="mean"`` preserves total demand.  ``new_step`` must be
+        an integer multiple of the current step.
+        """
+        ratio = new_step / self.timestep
+        if ratio < 1 or abs(ratio - round(ratio)) > 1e-9:
+            raise TraceError(
+                f"new step {new_step} must be an integer multiple of {self.timestep}"
+            )
+        k = int(round(ratio))
+        n = len(self.values)
+        full = n // k
+        head = self.values[: full * k].reshape(full, k)
+        agg = head.max(axis=1) if how == "max" else head.mean(axis=1)
+        if how not in ("max", "mean"):
+            raise TraceError(f"unknown resampling {how!r}")
+        tail = self.values[full * k :]
+        if tail.size:
+            agg = np.concatenate(
+                [agg, [tail.max() if how == "max" else tail.mean()]]
+            )
+        return LoadTrace(agg, new_step, self.name, self.t0)
+
+    def concatenated(self, other: "LoadTrace") -> "LoadTrace":
+        """Append ``other`` (same timestep) after this trace."""
+        if abs(other.timestep - self.timestep) > 1e-12:
+            raise TraceError("timesteps differ")
+        return LoadTrace(
+            np.concatenate([self.values, other.values]),
+            self.timestep,
+            self.name,
+            self.t0,
+        )
+
+    # -- io -------------------------------------------------------------------
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """Write ``time,load`` rows (absolute seconds, one per sample)."""
+        path = Path(path)
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time_s", "load"])
+            t = self.t0
+            for v in self.values:
+                writer.writerow([f"{t:.6g}", f"{v:.10g}"])
+                t += self.timestep
+
+    @classmethod
+    def from_csv(
+        cls, path: Union[str, Path], name: Optional[str] = None
+    ) -> "LoadTrace":
+        """Read a trace written by :meth:`to_csv` (or any ``t,v`` CSV)."""
+        path = Path(path)
+        times: List[float] = []
+        vals: List[float] = []
+        with path.open() as fh:
+            reader = csv.reader(fh)
+            for row in reader:
+                if not row:
+                    continue
+                try:
+                    t, v = float(row[0]), float(row[1])
+                except (ValueError, IndexError):
+                    continue  # header or comment
+                times.append(t)
+                vals.append(v)
+        if len(vals) < 1:
+            raise TraceError(f"no samples found in {path}")
+        step = times[1] - times[0] if len(times) > 1 else 1.0
+        return cls(np.asarray(vals), step, name or path.stem, times[0])
+
+    def to_npz(self, path: Union[str, Path]) -> None:
+        """Binary round-trip (compact, exact)."""
+        np.savez_compressed(
+            Path(path),
+            values=self.values,
+            timestep=self.timestep,
+            t0=self.t0,
+            name=np.asarray(self.name),
+        )
+
+    @classmethod
+    def from_npz(cls, path: Union[str, Path]) -> "LoadTrace":
+        """Load a trace written by :meth:`to_npz`."""
+        with np.load(Path(path), allow_pickle=False) as data:
+            return cls(
+                data["values"],
+                float(data["timestep"]),
+                str(data["name"]),
+                float(data["t0"]),
+            )

@@ -1,0 +1,71 @@
+"""Unit tests for terminal charts."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.charts import line_chart, sparkline
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_width_resampling(self):
+        out = sparkline(np.arange(1000.0), width=20)
+        assert len(out) == 20
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert list(out) == sorted(out)
+
+    def test_constant_series(self):
+        out = sparkline([5.0, 5.0, 5.0])
+        assert len(set(out)) == 1
+
+    def test_peak_survives_resampling(self):
+        values = np.zeros(1000)
+        values[123] = 9.0
+        out = sparkline(values, width=10)
+        assert "█" in out
+
+    def test_ascii_mode(self):
+        out = sparkline([0.0, 9.0], unicode=False)
+        assert all(ord(ch) < 128 for ch in out)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+
+class TestLineChart:
+    def test_renders_all_series_markers(self):
+        x = np.arange(10.0)
+        chart = line_chart({"a": (x, x), "b": (x, x[::-1])})
+        assert "*" in chart and "o" in chart
+        assert "* a" in chart and "o b" in chart
+
+    def test_axis_labels(self):
+        x = np.arange(5.0)
+        chart = line_chart({"s": (x, x)}, x_label="rate", y_label="W")
+        assert "rate" in chart and chart.splitlines()[0] == "W"
+
+    def test_bounds_in_output(self):
+        x = np.array([0.0, 100.0])
+        y = np.array([3.0, 47.0])
+        chart = line_chart({"s": (x, y)})
+        assert "47" in chart and "3" in chart and "100" in chart
+
+    def test_figure_series_compatible(self, infra):
+        from repro.analysis.figures import fig4_series
+
+        fig = fig4_series(infra)
+        chart = line_chart(fig.series, width=60, height=12)
+        assert "BML combination" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+        with pytest.raises(ValueError):
+            line_chart({"s": ([0.0], [1.0])}, width=4)

@@ -1,0 +1,116 @@
+"""Unit tests for figure series builders."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import (
+    fig1_series,
+    fig2_series,
+    fig3_series,
+    fig4_series,
+    fig5_series,
+)
+from repro.core.profiles import illustrative_profiles, table_i_profiles
+from repro.sim.results import SimulationResult
+from repro.workload.trace import SECONDS_PER_DAY
+
+
+class TestFig1:
+    def test_series_per_architecture(self):
+        fig = fig1_series(
+            illustrative_profiles(), kept=("A", "B", "C"), removed={"D": "A"}
+        )
+        assert set(fig.series) == {"A", "B", "C", "D"}
+        assert fig.annotations["removed"] == {"D": "A"}
+
+    def test_stack_curves_repeat_profiles(self):
+        fig = fig1_series(illustrative_profiles(), ("A",), {}, max_rate=400.0)
+        x, y = fig.series["C"]  # C has max_perf 30 -> staircase by 30
+        idx60 = int(np.searchsorted(x, 60.0))
+        assert y[idx60] == pytest.approx(20.0)  # two full C nodes
+
+
+class TestFig2:
+    def test_adversary_series_present(self, infra_abc):
+        fig = fig2_series(infra_abc)
+        names = list(fig.series)
+        assert any("single node" in n for n in names)
+        assert any("step3 adversary" in n for n in names)
+        assert any("step4 adversary" in n for n in names)
+
+    def test_threshold_annotations(self, infra_abc):
+        fig = fig2_series(infra_abc)
+        assert fig.annotations["step3_thresholds"]["A"] == 151.0
+        assert fig.annotations["step4_thresholds"]["A"] > 151.0
+
+    def test_step4_adversary_never_above_step3(self, infra_abc):
+        fig = fig2_series(infra_abc)
+        s3 = dict(fig.series)["B stack (step3 adversary of A)"]
+        s4 = dict(fig.series)["ideal mix below A (step4 adversary)"]
+        assert np.all(s4[1] <= s3[1] + 1e-9)
+
+
+class TestFig3:
+    def test_five_profiles(self):
+        fig = fig3_series(table_i_profiles())
+        assert len(fig.series) == 5
+        x, y = fig.series["paravance"]
+        assert y[0] == pytest.approx(69.9)
+        assert y[-1] == pytest.approx(200.5)
+        assert x[-1] == pytest.approx(1331.0)
+
+    def test_annotations_carry_table_values(self):
+        fig = fig3_series(table_i_profiles())
+        assert fig.annotations["raspberry"]["max_perf"] == 9.0
+
+
+class TestFig4:
+    def test_three_series(self, infra):
+        fig = fig4_series(infra)
+        assert set(fig.series) == {"BML combination", "Big only", "BML linear"}
+
+    def test_range_up_to_big_max_perf(self, infra):
+        fig = fig4_series(infra)
+        x, _ = fig.series["BML combination"]
+        assert x[-1] == pytest.approx(1331.0)
+
+    def test_bml_below_big(self, infra):
+        fig = fig4_series(infra)
+        _, bml = fig.series["BML combination"]
+        _, big = fig.series["Big only"]
+        assert np.all(bml[1:] <= big[1:] + 1e-9)
+
+    def test_threshold_annotation(self, infra):
+        assert fig4_series(infra).annotations["thresholds"]["paravance"] == 529.0
+
+
+class TestFig5:
+    def _result(self, name, level):
+        power = np.full(2 * SECONDS_PER_DAY, level)
+        return SimulationResult(
+            scenario=name,
+            trace_name="t",
+            timestep=1.0,
+            power=power,
+            unserved=np.zeros_like(power),
+        )
+
+    def test_per_day_series(self):
+        a = self._result("A", 100.0)
+        b = self._result("B", 50.0)
+        fig = fig5_series([a, b], reference=b)
+        days, kwh = fig.series["A"]
+        assert len(days) == 2
+        assert kwh[0] == pytest.approx(100.0 * 86400 / 3.6e6)
+
+    def test_overhead_annotations_vs_reference(self):
+        a = self._result("A", 132.0)
+        ref = self._result("LB", 100.0)
+        fig = fig5_series([a, ref], reference=ref)
+        note = fig.annotations["A vs LB"]
+        assert note["avg_overhead"] == pytest.approx(0.32)
+
+    def test_rows_long_format(self):
+        a = self._result("A", 1.0)
+        rows = fig5_series([a]).rows()
+        assert rows[0] == {"series": "A", "x": 0.0, "y": pytest.approx(0.024)}

@@ -1,0 +1,90 @@
+"""Unit tests for energy-proportionality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import (
+    energy_savings,
+    ipr,
+    ldr,
+    overhead_stats,
+    proportionality_gap,
+)
+
+
+class TestIPR:
+    def test_half_idle_server(self):
+        # the paper's motivating case: idle = 50 % of peak
+        assert ipr([50.0, 75.0, 100.0]) == pytest.approx(0.5)
+
+    def test_perfectly_proportional(self):
+        assert ipr([0.0, 50.0, 100.0]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ipr([10.0])
+        with pytest.raises(ValueError):
+            ipr([1.0, 0.0])
+
+
+class TestLDR:
+    def test_linear_curve_has_zero_ldr(self):
+        assert ldr(np.linspace(10, 100, 50)) == pytest.approx(0.0)
+
+    def test_bulge_above_line_positive(self):
+        x = np.linspace(0, 1, 101)
+        curve = 10 + 90 * np.sqrt(x)  # concave: above the chord
+        assert ldr(curve) > 0
+
+    def test_sag_below_line_negative(self):
+        x = np.linspace(0, 1, 101)
+        curve = 10 + 90 * x**2
+        assert ldr(curve) < 0
+
+    def test_known_midpoint_deviation(self):
+        # line 10..30, curve hits 30 at midpoint: deviation (30-20)/20 = 0.5
+        assert ldr([10.0, 30.0, 30.0]) == pytest.approx(0.5)
+
+
+class TestProportionalityGap:
+    def test_proportional_curve_zero(self):
+        assert proportionality_gap(np.linspace(0, 100, 11)) == pytest.approx(0.0)
+
+    def test_idle_dominated_curve_positive(self):
+        assert proportionality_gap([50.0, 75.0, 100.0]) > 0
+
+    def test_bml_smaller_gap_than_big_only(self, infra):
+        rates = np.arange(0.0, 1332.0)
+        bml = infra.power_curve(rates)
+        big = np.asarray(infra.big.stack_power(rates))
+        big[0] = infra.big.idle_power  # one big always on at rate 0
+        assert proportionality_gap(bml) < proportionality_gap(big)
+
+
+class TestOverheadStats:
+    def test_stats_values(self):
+        stats = overhead_stats([110.0, 150.0, 100.0], [100.0, 100.0, 100.0])
+        assert stats.mean == pytest.approx(0.2)
+        assert stats.minimum == pytest.approx(0.0)
+        assert stats.maximum == pytest.approx(0.5)
+        assert stats.median == pytest.approx(0.1)
+        assert len(stats.per_day) == 3
+
+    def test_describe_format(self):
+        text = overhead_stats([132.0], [100.0]).describe()
+        assert "32.0%" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overhead_stats([1.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            overhead_stats([1.0], [0.0])
+
+
+class TestSavings:
+    def test_savings(self):
+        assert energy_savings(60.0, 100.0) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            energy_savings(10.0, 0.0)

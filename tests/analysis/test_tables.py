@@ -1,0 +1,82 @@
+"""Unit tests for table rendering and CSV output."""
+
+import csv
+
+import pytest
+
+from repro.analysis.tables import format_value, render_table, write_csv
+
+
+class TestFormatValue:
+    def test_none_is_dash(self):
+        assert format_value(None) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_int(self):
+        assert format_value(42) == "42"
+
+    def test_float_trims_zeros(self):
+        assert format_value(1.5) == "1.5"
+        assert format_value(2.0) == "2"
+
+    def test_large_and_tiny_use_general_format(self):
+        assert format_value(123456.0) == "1.23e+05"
+        assert format_value(0.00001) == "1e-05"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+
+class TestRenderTable:
+    def test_empty(self):
+        assert "(empty)" in render_table([])
+
+    def test_header_and_rows(self):
+        out = render_table([{"name": "a", "v": 1}, {"name": "bb", "v": 22}])
+        lines = out.splitlines()
+        assert lines[0].split() == ["name", "v"]
+        assert lines[2].split() == ["a", "1"]
+        assert lines[3].split() == ["bb", "22"]
+
+    def test_title(self):
+        out = render_table([{"x": 1}], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_numeric_right_aligned(self):
+        out = render_table([{"value": 1}, {"value": 100}])
+        lines = out.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")
+
+    def test_column_selection_and_order(self):
+        out = render_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        assert out.splitlines()[0].split() == ["b", "a"]
+
+    def test_missing_cells_dash(self):
+        out = render_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "-" in out.splitlines()[2]
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        rows = [{"x": 1, "y": "a"}, {"x": 2, "y": "b"}]
+        path = tmp_path / "out.csv"
+        write_csv(path, rows)
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"x": "1", "y": "a"}, {"x": "2", "y": "b"}]
+
+    def test_empty_rows(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_csv(path, [])
+        assert path.read_text() == ""
+
+    def test_column_filter(self, tmp_path):
+        path = tmp_path / "cols.csv"
+        write_csv(path, [{"a": 1, "b": 2}], columns=["a"])
+        with path.open() as fh:
+            back = list(csv.DictReader(fh))
+        assert back == [{"a": "1"}]

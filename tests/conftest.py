@@ -1,0 +1,71 @@
+"""Shared fixtures: designed infrastructures, short traces, RNGs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bml import design
+from repro.core.profiles import (
+    ArchitectureProfile,
+    illustrative_profiles,
+    table_i_profiles,
+)
+from repro.workload.trace import LoadTrace
+from repro.workload.worldcup import WorldCupSynthesizer
+
+
+@pytest.fixture(scope="session")
+def table_i():
+    """The five Table I profiles."""
+    return table_i_profiles()
+
+
+@pytest.fixture(scope="session")
+def infra(table_i):
+    """BML infrastructure designed from Table I (paper's evaluation)."""
+    return design(table_i)
+
+
+@pytest.fixture(scope="session")
+def infra_abc():
+    """BML infrastructure from the illustrative A-D architectures."""
+    return design(illustrative_profiles())
+
+
+@pytest.fixture(scope="session")
+def short_trace():
+    """Two hours of World-Cup-shaped load (1 Hz), deterministic."""
+    full = WorldCupSynthesizer(n_days=1, seed=123, peak_rate=2500).build()
+    return full[: 2 * 3600]
+
+
+@pytest.fixture(scope="session")
+def day_trace():
+    """One full day of World-Cup-shaped load (1 Hz), deterministic."""
+    return WorldCupSynthesizer(n_days=1, seed=321, peak_rate=3000).build()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(2016)
+
+
+@pytest.fixture(scope="session")
+def toy_profiles():
+    """Tiny hand-checkable architectures used across unit tests.
+
+    big:    maxPerf 100, idle 50, max 100  (slope 0.5)
+    little: maxPerf 10,  idle 2,  max 10   (slope 0.8)
+    Crossing: big(r) = 50 + 0.5 r, little stack corners 10k at r=10k
+    -> big wins from r = 100 exactly (50+50 = 100 = 10 stacks of 10).
+    """
+    big = ArchitectureProfile(
+        name="big", max_perf=100.0, idle_power=50.0, max_power=100.0,
+        on_time=20.0, on_energy=1000.0, off_time=5.0, off_energy=100.0,
+    )
+    little = ArchitectureProfile(
+        name="little", max_perf=10.0, idle_power=2.0, max_power=10.0,
+        on_time=4.0, on_energy=20.0, off_time=2.0, off_energy=6.0,
+    )
+    return big, little

@@ -1,0 +1,135 @@
+"""Unit tests for the transition-aware scheduler (future-work extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import TransitionAwareScheduler, transition_cost
+from repro.core.combination import Combination
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.profiles import TABLE_I
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.workload.trace import LoadTrace
+
+P = TABLE_I["paravance"]
+C = TABLE_I["chromebook"]
+R = TABLE_I["raspberry"]
+
+
+def combo(**counts):
+    profs = {"p": P, "c": C, "r": R}
+    return Combination.of({profs[k]: v for k, v in counts.items()})
+
+
+class TestTransitionCost:
+    def test_no_change_is_free(self):
+        assert transition_cost(combo(r=1), combo(r=1)) == 0.0
+
+    def test_boot_cost(self):
+        assert transition_cost(combo(), combo(p=1)) == pytest.approx(P.on_energy)
+
+    def test_shutdown_cost(self):
+        assert transition_cost(combo(p=1), combo()) == pytest.approx(P.off_energy)
+
+    def test_waiting_idle_included(self):
+        # chromebook boots in 12 s but waits for the paravance (189 s)
+        cost = transition_cost(combo(), combo(p=1, c=1))
+        expected = P.on_energy + C.on_energy + (189 - 12) * C.idle_power
+        assert cost == pytest.approx(expected)
+
+    def test_swap_counts_both_sides(self):
+        cost = transition_cost(combo(c=5), combo(p=1))
+        assert cost == pytest.approx(P.on_energy + 5 * C.off_energy)
+
+
+class TestScheduling:
+    def test_validation(self, infra):
+        with pytest.raises(ValueError):
+            TransitionAwareScheduler(infra, horizon=0)
+        with pytest.raises(ValueError):
+            TransitionAwareScheduler(infra, recheck_interval=0)
+
+    def test_constant_load_no_reconfig(self, infra):
+        trace = LoadTrace(np.full(2000, 100.0))
+        plan = TransitionAwareScheduler(infra).plan(trace)
+        assert plan.n_reconfigurations == 0
+
+    def test_step_change_still_provisions(self, infra):
+        values = np.concatenate([np.full(1000, 5.0), np.full(1000, 1000.0)])
+        trace = LoadTrace(values)
+        plan = TransitionAwareScheduler(infra).plan(trace)
+        res = execute_plan(plan, trace)
+        assert res.qos().violation_seconds == 0
+        assert plan.final.capacity >= 1000.0
+
+    def test_plan_wellformed(self, infra, short_trace):
+        plan = TransitionAwareScheduler(infra).plan(short_trace)
+        t = 0
+        for seg in plan.segments:
+            assert seg.t_start == t
+            t = seg.t_end
+        assert t == len(short_trace)
+
+    def test_never_more_switch_energy_than_baseline(self, infra, short_trace):
+        base = BMLScheduler(infra).plan(short_trace)
+        adapt = TransitionAwareScheduler(infra).plan(short_trace)
+        assert adapt.total_switch_energy <= base.total_switch_energy + 1e-6
+
+    def test_qos_not_sacrificed(self, infra, short_trace):
+        base = execute_plan(BMLScheduler(infra).plan(short_trace), short_trace)
+        adapt = execute_plan(
+            TransitionAwareScheduler(infra).plan(short_trace), short_trace
+        )
+        assert (
+            adapt.qos(short_trace).unserved_demand
+            <= base.qos(short_trace).unserved_demand + 1e-6
+        )
+
+    def test_hysteresis_keeps_big_through_short_dip(self, infra):
+        """Load dips below the Big threshold for well under the amortisation
+        horizon: the baseline cycles the Big off and on, the transition-aware
+        policy keeps it."""
+        values = np.concatenate(
+            [np.full(1000, 1000.0), np.full(120, 5.0), np.full(1000, 1000.0)]
+        )
+        trace = LoadTrace(values)
+        pred = LookAheadMaxPredictor(60)  # short window exposes the dip
+        base = BMLScheduler(infra, predictor=pred).plan(trace)
+        adapt = TransitionAwareScheduler(
+            infra, predictor=pred, horizon=600
+        ).plan(trace)
+        base_big_offs = sum(
+            1
+            for r in base.reconfigurations
+            if r.before.count_of("paravance") > r.after.count_of("paravance")
+        )
+        adapt_big_offs = sum(
+            1
+            for r in adapt.reconfigurations
+            if r.before.count_of("paravance") > r.after.count_of("paravance")
+        )
+        assert base_big_offs >= 1
+        assert adapt_big_offs < base_big_offs
+
+    def test_outcome_interface_matches_baseline(self, infra, short_trace):
+        out = TransitionAwareScheduler(infra).plan_detailed(short_trace)
+        assert len(out.predictions) == len(short_trace)
+        assert out.plan.horizon == len(short_trace)
+
+
+class TestOptions:
+    def test_union_disabled_still_plans(self, infra, short_trace):
+        plan = TransitionAwareScheduler(
+            infra, consider_union=False
+        ).plan(short_trace)
+        assert plan.horizon == len(short_trace)
+
+    def test_explicit_horizon_used(self, infra):
+        sched = TransitionAwareScheduler(infra, horizon=1200)
+        assert sched._effective_horizon() == 1200
+
+    def test_horizon_defaults_to_predictor_window(self, infra):
+        sched = TransitionAwareScheduler(
+            infra, predictor=LookAheadMaxPredictor(200)
+        )
+        assert sched._effective_horizon() == 200

@@ -1,0 +1,89 @@
+"""Unit tests for the upper/lower bound scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    big_machines_needed,
+    global_upper_bound_plan,
+    per_day_upper_bound_plan,
+)
+from repro.core.profiles import TABLE_I
+from repro.workload.trace import SECONDS_PER_DAY, LoadTrace
+
+P = TABLE_I["paravance"]
+
+
+class TestSizing:
+    def test_exact_multiples(self):
+        assert big_machines_needed(1331.0, P) == 1
+        assert big_machines_needed(2662.0, P) == 2
+
+    def test_rounds_up(self):
+        assert big_machines_needed(1332.0, P) == 2
+        assert big_machines_needed(1.0, P) == 1
+
+    def test_zero_peak_needs_nothing(self):
+        assert big_machines_needed(0.0, P) == 0
+
+    def test_paper_sizing_four_bigs(self):
+        # the paper's World Cup peak needs 4 Paravance machines
+        assert big_machines_needed(5000.0, P) == 4
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            big_machines_needed(-1.0, P)
+
+
+class TestGlobalUpperBound:
+    def test_constant_plan_no_reconfigs(self):
+        trace = LoadTrace(np.linspace(10, 5000, 1000))
+        plan = global_upper_bound_plan(trace, P)
+        assert plan.n_reconfigurations == 0
+        assert len(plan.segments) == 1
+        assert plan.initial.counts == {"paravance": 4}
+
+    def test_capacity_covers_peak(self):
+        trace = LoadTrace(np.array([10.0, 900.0, 4100.0]))
+        plan = global_upper_bound_plan(trace, P)
+        assert plan.initial.capacity >= trace.peak
+
+
+class TestPerDayUpperBound:
+    def _two_day_trace(self, peak1, peak2):
+        day1 = np.full(SECONDS_PER_DAY, 10.0)
+        day1[43200] = peak1
+        day2 = np.full(SECONDS_PER_DAY, 10.0)
+        day2[43200] = peak2
+        return LoadTrace(np.concatenate([day1, day2]))
+
+    def test_daily_resize(self):
+        trace = self._two_day_trace(1000.0, 3000.0)
+        plan = per_day_upper_bound_plan(trace, P)
+        assert plan.initial.counts == {"paravance": 1}
+        assert plan.n_reconfigurations == 1
+        recon = plan.reconfigurations[0]
+        assert recon.decided_at == SECONDS_PER_DAY
+        assert recon.after.counts == {"paravance": 3}
+
+    def test_no_resize_when_counts_equal(self):
+        trace = self._two_day_trace(1000.0, 1200.0)
+        plan = per_day_upper_bound_plan(trace, P)
+        assert plan.n_reconfigurations == 0
+
+    def test_min_servers_floor(self):
+        trace = LoadTrace(np.full(2 * SECONDS_PER_DAY, 0.5))
+        plan = per_day_upper_bound_plan(trace, P, min_servers=2)
+        assert plan.initial.counts == {"paravance": 2}
+
+    def test_switch_energy_charged(self):
+        trace = self._two_day_trace(1000.0, 3000.0)
+        plan = per_day_upper_bound_plan(trace, P)
+        assert plan.total_switch_energy == pytest.approx(2 * P.on_energy)
+
+    def test_partial_last_day_handled(self):
+        values = np.full(SECONDS_PER_DAY + 7200, 100.0)
+        values[-1] = 2000.0
+        plan = per_day_upper_bound_plan(LoadTrace(values), P)
+        assert plan.horizon == len(values)
+        assert plan.final.counts == {"paravance": 2}

@@ -1,0 +1,135 @@
+"""Unit tests for the design facade (Steps 1-5 wired together)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bml import design
+from repro.core.profiles import (
+    ArchitectureProfile,
+    ProfileError,
+    illustrative_profiles,
+    table_i_profiles,
+)
+
+
+class TestDesignTableI:
+    def test_survivors_and_roles(self, infra):
+        assert infra.names == ("paravance", "chromebook", "raspberry")
+        assert infra.roles == {
+            "paravance": "Big",
+            "chromebook": "Medium",
+            "raspberry": "Little",
+        }
+
+    def test_published_thresholds(self, infra):
+        assert infra.thresholds == {
+            "paravance": 529.0,
+            "chromebook": 10.0,
+            "raspberry": 1.0,
+        }
+
+    def test_removed_reasons(self, infra):
+        assert "dominated by paravance" in infra.removed["taurus"]
+        assert "step3" in infra.removed["graphene"]
+
+    def test_big_and_little_accessors(self, infra):
+        assert infra.big.name == "paravance"
+        assert infra.little.name == "raspberry"
+
+    def test_profile_lookup(self, infra):
+        assert infra.profile("chromebook").max_perf == 33.0
+        with pytest.raises(ProfileError):
+            infra.profile("taurus")
+
+    def test_describe_mentions_everything(self, infra):
+        text = infra.describe()
+        for name in ("paravance", "chromebook", "raspberry", "taurus", "graphene"):
+            assert name in text
+
+
+class TestDesignIllustrative:
+    def test_step4_raises_big_threshold(self, infra_abc):
+        assert infra_abc.thresholds["A"] > infra_abc.step3_thresholds["A"]
+        assert infra_abc.step3_thresholds["A"] == 151.0
+
+    def test_medium_threshold_around_150(self, infra_abc):
+        assert infra_abc.thresholds["B"] == 150.0
+
+
+class TestCombinations:
+    def test_greedy_and_ideal_methods(self, infra):
+        g = infra.combination_for(1400.0)
+        i = infra.combination_for(1400.0, method="ideal")
+        assert g.capacity >= 1400 and i.capacity >= 1400
+        assert i.power(1400.0) <= g.power(1400.0) + 1e-9
+
+    def test_unknown_method_rejected(self, infra):
+        with pytest.raises(ValueError):
+            infra.combination_for(10.0, method="nope")
+
+    def test_table_cached(self, infra):
+        t1 = infra.table(500.0)
+        t2 = infra.table(500.0)
+        assert t1 is t2
+        assert infra.table(500.0, method="ideal") is not t1
+
+
+class TestCurves:
+    def test_power_curve_matches_combination_power(self, infra):
+        rates = np.array([0.0, 5.0, 100.0, 529.0, 1331.0])
+        curve = infra.power_curve(rates)
+        for r, pw in zip(rates, curve):
+            combo = infra.combination_for(float(np.ceil(r)))
+            assert pw == pytest.approx(combo.power(float(np.ceil(r))))
+
+    def test_ideal_curve_never_above_greedy(self, infra):
+        rates = np.arange(0.0, 1332.0, 17.0)
+        assert np.all(
+            infra.ideal_power_curve(rates) <= infra.power_curve(rates) + 1e-9
+        )
+
+    def test_bml_linear_endpoints(self, infra):
+        assert infra.bml_linear_power(0.0) == pytest.approx(3.1)
+        assert infra.bml_linear_power(1331.0) == pytest.approx(200.5)
+
+    def test_bml_linear_vectorised(self, infra):
+        out = infra.bml_linear_power(np.array([0.0, 1331.0]))
+        assert np.allclose(out, [3.1, 200.5])
+
+    def test_combination_curve_tracks_linear_goal(self, infra):
+        """Fig. 4's qualitative claim: the BML combination never exceeds the
+        Big-only profile and tracks the BML-linear goal far closer than the
+        Big-only curve does."""
+        rates = np.arange(1.0, 1332.0)
+        bml = infra.power_curve(rates)
+        linear = infra.bml_linear_power(rates)
+        big = np.asarray(infra.big.stack_power(rates))
+        assert np.all(bml <= big + 1e-9)
+        bml_gap = float(np.mean(np.abs(bml - linear)))
+        big_gap = float(np.mean(np.abs(big - linear)))
+        # the jump at the 529 req/s threshold keeps the average gap
+        # substantial (visible in Fig. 4), but BML clearly improves on Big
+        assert bml_gap < 0.7 * big_gap
+        # and the curve meets the goal at both ends of the range
+        assert bml[0] == pytest.approx(linear[0], abs=0.1)
+        assert bml[-1] == pytest.approx(linear[-1], abs=0.1)
+
+
+class TestValidation:
+    def test_resolution_must_be_positive(self):
+        with pytest.raises(ProfileError):
+            design(table_i_profiles(), resolution=0.0)
+
+    def test_single_architecture_designs(self):
+        only = [table_i_profiles()[0]]
+        infra = design(only)
+        assert infra.names == ("paravance",)
+        assert infra.thresholds == {"paravance": 1.0}
+        assert infra.roles == {"paravance": "Big"}
+
+    def test_two_identical_performance_profiles(self):
+        a = ArchitectureProfile(name="a", max_perf=100, idle_power=5, max_power=20)
+        b = ArchitectureProfile(name="b", max_perf=100, idle_power=8, max_power=30)
+        infra = design([a, b])
+        # b is dominated (same perf, more power)
+        assert infra.names == ("a",)

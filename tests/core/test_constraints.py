@@ -1,0 +1,159 @@
+"""Unit tests for application-constrained combinations (Sec. III)."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.combination import Combination, CombinationError, ideal_table
+from repro.core.constraints import (
+    bounded_nodes_combination,
+    bounded_nodes_table,
+    constrained_table,
+    enforce_min_nodes,
+)
+from repro.core.profiles import TABLE_I, table_i_profiles
+from repro.sim.application import ApplicationSpec
+
+P = TABLE_I["paravance"]
+C = TABLE_I["chromebook"]
+R = TABLE_I["raspberry"]
+TRIO = (P, C, R)
+
+
+class TestBoundedNodesCombination:
+    def test_zero_rate_empty(self):
+        assert bounded_nodes_combination(0.0, TRIO, 3) == Combination.empty()
+
+    def test_tight_budget_forces_big_machine(self):
+        # 100 req/s on <=3 nodes: 3 chromebooks reach only 99 -> paravance
+        combo = bounded_nodes_combination(100.0, TRIO, 3)
+        assert combo.counts == {"paravance": 1}
+
+    def test_relaxed_budget_recovers_optimum(self):
+        combo = bounded_nodes_combination(100.0, TRIO, 4)
+        assert combo.counts == {"chromebook": 3, "raspberry": 1}
+
+    def test_budget_respected_everywhere(self):
+        for rate in (1, 9, 50, 333, 1000, 2000):
+            for budget in (1, 2, 5):
+                try:
+                    combo = bounded_nodes_combination(float(rate), TRIO, budget)
+                except CombinationError:
+                    continue
+                assert combo.total_nodes <= budget
+                assert combo.capacity >= rate
+
+    def test_infeasible_rate_raises(self):
+        with pytest.raises(CombinationError):
+            bounded_nodes_combination(1332.0, TRIO, 1)
+
+    def test_invalid_budget(self):
+        with pytest.raises(CombinationError):
+            bounded_nodes_combination(5.0, TRIO, 0)
+
+    def test_matches_brute_force(self):
+        budget = 3
+        for rate in range(1, 120, 7):
+            best = np.inf
+            for counts in itertools.product(range(budget + 1), repeat=3):
+                if sum(counts) == 0 or sum(counts) > budget:
+                    continue
+                combo = Combination.of(dict(zip(TRIO, counts)))
+                if combo.capacity >= rate:
+                    best = min(best, combo.power(float(rate)))
+            got = bounded_nodes_combination(float(rate), TRIO, budget)
+            assert got.power(float(rate)) == pytest.approx(best)
+
+
+class TestBoundedNodesTable:
+    def test_generous_budget_equals_unconstrained(self):
+        free = ideal_table(TRIO, 600.0)
+        bounded = bounded_nodes_table(TRIO, 600.0, 50)
+        assert np.allclose(free, bounded)
+
+    def test_tighter_budgets_cost_monotonically_more(self):
+        loose = bounded_nodes_table(TRIO, 500.0, 10)
+        tight = bounded_nodes_table(TRIO, 500.0, 2)
+        assert np.all(tight + 1e-9 >= loose)
+
+    def test_unreachable_rates_are_inf(self):
+        tbl = bounded_nodes_table(TRIO, 3000.0, 2)
+        assert np.isinf(tbl[2700])  # 2 paravances top out at 2662
+
+
+class TestEnforceMinNodes:
+    def test_pads_with_lowest_idle_machine(self):
+        combo = Combination.of({P: 1})
+        padded = enforce_min_nodes(combo, 3, TRIO)
+        assert padded.total_nodes == 3
+        assert padded.count_of("raspberry") == 2  # lowest idle power
+
+    def test_noop_when_satisfied(self):
+        combo = Combination.of({C: 2})
+        assert enforce_min_nodes(combo, 2, TRIO) is combo
+
+    def test_validation(self):
+        with pytest.raises(CombinationError):
+            enforce_min_nodes(Combination.empty(), -1, TRIO)
+
+
+class TestConstrainedTable:
+    def test_max_instances_bound(self):
+        spec = ApplicationSpec(max_instances=2)
+        table = constrained_table(TRIO, spec, 400.0)
+        for rate in (0.0, 9.0, 100.0, 400.0):
+            assert table.combination_for(rate).total_nodes <= 2
+
+    def test_min_instances_padding(self):
+        spec = ApplicationSpec(min_instances=2, max_instances=4)
+        table = constrained_table(TRIO, spec, 100.0)
+        assert table.combination_for(5.0).total_nodes == 2
+        # rate 0: service scaled to zero, no padding
+        assert table.combination_for(0.0).total_nodes == 0
+
+    def test_unbounded_spec_matches_ideal(self):
+        spec = ApplicationSpec()
+        table = constrained_table(TRIO, spec, 200.0)
+        free = ideal_table(TRIO, 200.0)
+        for rate in range(0, 201, 11):
+            assert table.power_for(float(rate)) == pytest.approx(free[rate])
+
+    def test_infeasible_spec_raises(self):
+        spec = ApplicationSpec(max_instances=1)
+        with pytest.raises(CombinationError):
+            constrained_table(TRIO, spec, 2000.0)
+
+
+class TestSchedulerIntegration:
+    def test_scheduler_honours_spec(self, infra, short_trace):
+        from repro.core.scheduler import BMLScheduler
+
+        spec = ApplicationSpec(min_instances=2, max_instances=5)
+        plan = BMLScheduler(infra, app_spec=spec).plan(short_trace)
+        for seg in plan.segments:
+            if seg.serving:
+                assert 2 <= seg.serving.total_nodes <= 5
+
+    def test_spec_and_inventory_mutually_exclusive(self, infra):
+        from repro.core.scheduler import BMLScheduler
+
+        with pytest.raises(ValueError):
+            BMLScheduler(
+                infra,
+                inventory={"paravance": 1},
+                app_spec=ApplicationSpec(max_instances=2),
+            )
+
+    def test_redundancy_floor_costs_energy(self, infra, short_trace):
+        from repro.core.scheduler import BMLScheduler
+        from repro.sim.datacenter import execute_plan
+
+        free = execute_plan(BMLScheduler(infra).plan(short_trace), short_trace)
+        redundant = execute_plan(
+            BMLScheduler(
+                infra, app_spec=ApplicationSpec(min_instances=3)
+            ).plan(short_trace),
+            short_trace,
+        )
+        assert redundant.total_energy > free.total_energy

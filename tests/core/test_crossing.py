@@ -1,0 +1,116 @@
+"""Unit tests for Steps 3-4: crossing points and utilization thresholds."""
+
+import pytest
+
+from repro.core.crossing import (
+    compute_thresholds,
+    crossing_vs_ideal,
+    crossing_vs_stack,
+    step3_thresholds,
+    step4_thresholds,
+)
+from repro.core.filtering import bml_candidates
+from repro.core.profiles import (
+    ArchitectureProfile,
+    TABLE_I,
+    illustrative_profiles,
+    table_i_profiles,
+)
+
+
+class TestCrossingVsStack:
+    def test_toy_crossing_exact(self, toy_profiles):
+        big, little = toy_profiles
+        # big(r) = 50 + 0.5 r meets 10 full littles exactly at r = 100
+        assert crossing_vs_stack(big, little) == 100.0
+
+    def test_chromebook_vs_raspberry_is_10(self):
+        cross = crossing_vs_stack(TABLE_I["chromebook"], TABLE_I["raspberry"])
+        assert cross == 10.0
+
+    def test_paravance_vs_chromebook_is_529(self):
+        cross = crossing_vs_stack(TABLE_I["paravance"], TABLE_I["chromebook"])
+        assert cross == 529.0
+
+    def test_graphene_never_crosses_chromebook(self):
+        assert crossing_vs_stack(TABLE_I["graphene"], TABLE_I["chromebook"]) is None
+
+    def test_tie_prefers_big(self):
+        # big exactly equal to little stacks everywhere -> crossing at 1st grid
+        big = ArchitectureProfile(name="b", max_perf=100, idle_power=0, max_power=100)
+        little = ArchitectureProfile(name="l", max_perf=10, idle_power=0, max_power=10)
+        assert crossing_vs_stack(big, little) == 1.0
+
+
+class TestCrossingVsIdeal:
+    def test_paravance_vs_mixed_still_529(self):
+        cross = crossing_vs_ideal(
+            TABLE_I["paravance"], [TABLE_I["chromebook"], TABLE_I["raspberry"]]
+        )
+        assert cross == 529.0
+
+    def test_empty_smaller_set_gives_first_grid_rate(self):
+        assert crossing_vs_ideal(TABLE_I["raspberry"], []) == 1.0
+
+    def test_mixed_adversary_is_at_least_as_strong_as_stack(self, toy_profiles):
+        big, little = toy_profiles
+        vs_stack = crossing_vs_stack(big, little)
+        vs_ideal = crossing_vs_ideal(big, [little])
+        assert vs_ideal >= vs_stack  # mixing can only postpone the threshold
+
+
+class TestStep3:
+    def test_table_i_removes_graphene(self):
+        kept, _ = bml_candidates(table_i_profiles()).kept, None
+        kept3, thr, removed = step3_thresholds(list(bml_candidates(table_i_profiles()).kept))
+        assert removed == {"graphene": "step3"}
+        assert [p.name for p in kept3] == ["paravance", "chromebook", "raspberry"]
+        assert thr == {"paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0}
+
+    def test_illustrative_step3_threshold_at_medium_max_perf(self):
+        kept = list(bml_candidates(illustrative_profiles()).kept)
+        _, thr, removed = step3_thresholds(kept)
+        assert removed == {}
+        # the narrated "jump": Big's step-3 threshold right past Medium's
+        # maximum performance rate (150)
+        assert thr["A"] == 151.0
+        assert thr["B"] == 150.0
+        assert thr["C"] == 1.0
+
+    def test_single_architecture(self):
+        only = [TABLE_I["raspberry"]]
+        kept, thr, removed = step3_thresholds(only)
+        assert kept == only and removed == {}
+        assert thr == {"raspberry": 1.0}
+
+
+class TestStep4:
+    def test_illustrative_step4_raises_big_threshold(self):
+        kept = list(bml_candidates(illustrative_profiles()).kept)
+        kept3, thr3, _ = step3_thresholds(kept)
+        _, thr4, _ = step4_thresholds(kept3)
+        assert thr4["A"] > thr3["A"]
+        assert thr4["B"] == thr3["B"] == 150.0
+
+    def test_table_i_thresholds_match_paper(self):
+        kept = list(bml_candidates(table_i_profiles()).kept)
+        kept3, _, _ = step3_thresholds(kept)
+        _, thr, removed = step4_thresholds(kept3)
+        assert removed == {}
+        assert thr == {"paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0}
+
+
+class TestReport:
+    def test_full_report_table_i(self):
+        report = compute_thresholds(list(bml_candidates(table_i_profiles()).kept))
+        assert [p.name for p in report.kept] == [
+            "paravance", "chromebook", "raspberry",
+        ]
+        assert report.thresholds["paravance"] == 529.0
+        assert report.removed == {"graphene": "step3"}
+        assert report.step3["paravance"] == 529.0
+
+    def test_resolution_scales_little_threshold(self, toy_profiles):
+        big, little = toy_profiles
+        report = compute_thresholds([big, little], resolution=0.5)
+        assert report.thresholds["little"] == 0.5

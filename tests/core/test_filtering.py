@@ -1,0 +1,114 @@
+"""Unit tests for Step 2: sorting, dominance filtering, role labels."""
+
+import pytest
+
+from repro.core.filtering import (
+    assign_roles,
+    bml_candidates,
+    filter_dominated,
+    sort_by_performance,
+)
+from repro.core.profiles import (
+    ArchitectureProfile,
+    ProfileError,
+    illustrative_profiles,
+    table_i_profiles,
+)
+
+
+def prof(name, perf, mx, idle=1.0):
+    return ArchitectureProfile(
+        name=name, max_perf=perf, idle_power=idle, max_power=mx
+    )
+
+
+class TestSorting:
+    def test_sorts_by_decreasing_performance(self):
+        out = sort_by_performance([prof("a", 10, 5), prof("b", 100, 50), prof("c", 50, 20)])
+        assert [p.name for p in out] == ["b", "c", "a"]
+
+    def test_tie_breaks_on_lower_power(self):
+        out = sort_by_performance([prof("hungry", 100, 60), prof("frugal", 100, 40)])
+        assert [p.name for p in out] == ["frugal", "hungry"]
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ProfileError):
+            sort_by_performance([prof("a", 10, 5), prof("a", 20, 8)])
+
+    def test_empty_ok(self):
+        assert sort_by_performance([]) == []
+
+
+class TestDominanceFilter:
+    def test_keeps_strictly_improving_chain(self):
+        kept, removed = filter_dominated(
+            [prof("big", 100, 50), prof("mid", 50, 30), prof("small", 10, 5)]
+        )
+        assert [p.name for p in kept] == ["big", "mid", "small"]
+        assert removed == {}
+
+    def test_removes_dominated(self):
+        kept, removed = filter_dominated(
+            [prof("big", 100, 50), prof("bad", 80, 60), prof("small", 10, 5)]
+        )
+        assert [p.name for p in kept] == ["big", "small"]
+        assert removed == {"bad": "big"}
+
+    def test_equal_power_is_dominated(self):
+        kept, removed = filter_dominated([prof("big", 100, 50), prof("meh", 80, 50)])
+        assert [p.name for p in kept] == ["big"]
+        assert removed["meh"] == "big"
+
+    def test_dominator_is_nearest_better_machine(self):
+        kept, removed = filter_dominated(
+            [prof("big", 100, 50), prof("mid", 50, 30), prof("bad", 40, 45)]
+        )
+        # "bad" draws more than "mid", the cheapest faster machine so far
+        assert removed["bad"] == "mid"
+
+    def test_taurus_removed_from_table_i(self):
+        kept, removed = filter_dominated(table_i_profiles())
+        assert "taurus" in removed
+        assert removed["taurus"] == "paravance"
+        assert [p.name for p in kept] == [
+            "paravance", "graphene", "chromebook", "raspberry",
+        ]
+
+    def test_d_removed_from_illustrative(self):
+        kept, removed = filter_dominated(illustrative_profiles())
+        assert removed == {"D": "A"}
+        assert [p.name for p in kept] == ["A", "B", "C"]
+
+
+class TestRoles:
+    def test_three_way_labels(self):
+        kept, _ = filter_dominated(
+            [prof("big", 100, 50), prof("mid", 50, 30), prof("small", 10, 5)]
+        )
+        roles = assign_roles(kept)
+        assert roles == {"big": "Big", "mid": "Medium", "small": "Little"}
+
+    def test_single_architecture(self):
+        assert assign_roles([prof("only", 10, 5)]) == {"only": "Big"}
+
+    def test_two_architectures(self):
+        roles = assign_roles([prof("b", 100, 50), prof("l", 10, 5)])
+        assert roles == {"b": "Big", "l": "Little"}
+
+    def test_more_than_three_numbers_mediums(self):
+        kept = [prof("a", 100, 50), prof("b", 60, 30), prof("c", 30, 15), prof("d", 10, 5)]
+        roles = assign_roles(kept)
+        assert roles == {"a": "Big", "b": "Medium-1", "c": "Medium-2", "d": "Little"}
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            assign_roles([])
+
+
+class TestEndToEnd:
+    def test_bml_candidates_combines_everything(self):
+        res = bml_candidates(table_i_profiles())
+        assert res.big.name == "paravance"
+        assert res.little.name == "raspberry"
+        assert res.role_of("paravance") == "Big"
+        assert "taurus" in res.removed

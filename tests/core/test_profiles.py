@@ -1,0 +1,217 @@
+"""Unit tests for architecture profiles and power models (Step 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import (
+    ILLUSTRATIVE,
+    TABLE_I,
+    ArchitectureProfile,
+    ProfileError,
+    illustrative_profiles,
+    table_i_profiles,
+)
+
+
+def make(name="x", max_perf=100.0, idle=10.0, mx=30.0, **kw):
+    return ArchitectureProfile(
+        name=name, max_perf=max_perf, idle_power=idle, max_power=mx, **kw
+    )
+
+
+class TestValidation:
+    def test_rejects_empty_name(self):
+        with pytest.raises(ProfileError):
+            make(name="")
+
+    def test_rejects_nonpositive_max_perf(self):
+        with pytest.raises(ProfileError):
+            make(max_perf=0.0)
+        with pytest.raises(ProfileError):
+            make(max_perf=-5.0)
+
+    def test_rejects_negative_idle(self):
+        with pytest.raises(ProfileError):
+            make(idle=-1.0)
+
+    def test_rejects_max_below_idle(self):
+        with pytest.raises(ProfileError):
+            make(idle=50.0, mx=40.0)
+
+    def test_rejects_negative_switch_costs(self):
+        for attr in ("on_time", "on_energy", "off_time", "off_energy"):
+            with pytest.raises(ProfileError):
+                make(**{attr: -1.0})
+
+    def test_allows_zero_dynamic_range(self):
+        prof = make(idle=20.0, mx=20.0)
+        assert prof.slope == 0.0
+        assert prof.power(50.0) == 20.0
+
+
+class TestDerived:
+    def test_dynamic_range_and_slope(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.dynamic_range == 20.0
+        assert p.slope == pytest.approx(0.2)
+
+    def test_full_load_efficiency(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.full_load_efficiency == pytest.approx(0.3)
+
+    def test_boot_and_shutdown_power(self):
+        p = make(on_time=10.0, on_energy=500.0, off_time=4.0, off_energy=100.0)
+        assert p.boot_power == pytest.approx(50.0)
+        assert p.shutdown_power == pytest.approx(25.0)
+
+    def test_zero_transition_times_give_zero_power(self):
+        p = make()
+        assert p.boot_power == 0.0
+        assert p.shutdown_power == 0.0
+
+    def test_switching_totals(self):
+        p = make(on_time=10.0, on_energy=500.0, off_time=4.0, off_energy=100.0)
+        assert p.switching_energy == 600.0
+        assert p.switching_time == 14.0
+
+
+class TestSingleNodePower:
+    def test_endpoints(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.power(0.0) == pytest.approx(10.0)
+        assert p.power(100.0) == pytest.approx(30.0)
+
+    def test_linear_midpoint(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.power(50.0) == pytest.approx(20.0)
+
+    def test_vectorised(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        out = p.power(np.array([0.0, 50.0, 100.0]))
+        assert np.allclose(out, [10.0, 20.0, 30.0])
+
+    def test_rejects_out_of_range(self):
+        p = make(max_perf=100.0)
+        with pytest.raises(ProfileError):
+            p.power(101.0)
+        with pytest.raises(ProfileError):
+            p.power(-1.0)
+
+
+class TestNodesRequired:
+    def test_zero_rate_needs_no_node(self):
+        assert make(max_perf=100.0).nodes_required(0.0) == 0
+
+    def test_exact_multiples(self):
+        p = make(max_perf=100.0)
+        assert p.nodes_required(100.0) == 1
+        assert p.nodes_required(200.0) == 2
+
+    def test_just_above_multiple(self):
+        p = make(max_perf=100.0)
+        assert p.nodes_required(100.0001) == 2
+
+    def test_vectorised(self):
+        p = make(max_perf=100.0)
+        out = p.nodes_required(np.array([0.0, 1.0, 100.0, 150.0]))
+        assert list(out) == [0, 1, 1, 2]
+
+    def test_rejects_negative(self):
+        with pytest.raises(ProfileError):
+            make().nodes_required(-1.0)
+
+
+class TestStackPower:
+    def test_zero_rate_zero_nodes(self):
+        assert make().stack_power(0.0) == 0.0
+
+    def test_single_partial_node(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.stack_power(50.0) == pytest.approx(20.0)
+
+    def test_full_plus_partial(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        # one full node (30 W) + one half-loaded node (20 W)
+        assert p.stack_power(150.0) == pytest.approx(50.0)
+
+    def test_exact_full_nodes(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.stack_power(200.0) == pytest.approx(60.0)
+
+    def test_explicit_spare_nodes_idle(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        # 150 needs 2 nodes; a third node idles at 10 W
+        assert p.stack_power(150.0, nodes=3) == pytest.approx(60.0)
+
+    def test_explicit_nodes_zero_rate(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.stack_power(0.0, nodes=2) == pytest.approx(20.0)
+
+    def test_rejects_insufficient_nodes(self):
+        p = make(max_perf=100.0)
+        with pytest.raises(ProfileError):
+            p.stack_power(250.0, nodes=2)
+
+    def test_vectorised_matches_scalar(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        rates = np.array([0.0, 10.0, 100.0, 110.0, 333.0])
+        vec = p.stack_power(rates)
+        assert np.allclose(vec, [p.stack_power(float(r)) for r in rates])
+
+
+class TestComparisons:
+    def test_dominates(self):
+        fast = make(name="fast", max_perf=200.0, idle=10.0, mx=30.0)
+        slow_hungry = make(name="s", max_perf=100.0, idle=10.0, mx=35.0)
+        slow_frugal = make(name="f", max_perf=100.0, idle=1.0, mx=20.0)
+        assert fast.dominates(slow_hungry)
+        assert not fast.dominates(slow_frugal)
+        assert not slow_hungry.dominates(fast)
+
+    def test_dominates_requires_strictly_more_perf(self):
+        a = make(name="a", max_perf=100.0, mx=30.0)
+        b = make(name="b", max_perf=100.0, mx=40.0)
+        assert not a.dominates(b)
+
+    def test_scaled(self):
+        p = make(max_perf=100.0)
+        q = p.scaled(2.0, name="x2")
+        assert q.max_perf == 200.0
+        assert q.idle_power == p.idle_power
+        with pytest.raises(ProfileError):
+            p.scaled(0.0)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip(self):
+        p = TABLE_I["paravance"]
+        assert ArchitectureProfile.from_dict(p.as_dict()) == p
+
+    def test_energy_full_day(self):
+        p = make(max_perf=100.0, idle=10.0, mx=30.0)
+        assert p.energy_full_day(100.0) == pytest.approx(30.0 * 86400)
+
+
+class TestPublishedConstants:
+    def test_table_i_values(self):
+        p = TABLE_I["paravance"]
+        assert (p.max_perf, p.idle_power, p.max_power) == (1331.0, 69.9, 200.5)
+        assert (p.on_time, p.on_energy) == (189.0, 21341.0)
+        assert (p.off_time, p.off_energy) == (10.0, 657.0)
+        r = TABLE_I["raspberry"]
+        assert (r.max_perf, r.idle_power, r.max_power) == (9.0, 3.1, 3.7)
+
+    def test_presentation_order(self):
+        names = [p.name for p in table_i_profiles()]
+        assert names == ["paravance", "taurus", "graphene", "chromebook", "raspberry"]
+
+    def test_illustrative_set(self):
+        names = [p.name for p in illustrative_profiles()]
+        assert names == ["A", "B", "C", "D"]
+        # D is built to be dominated by A (Fig. 1's removal).
+        assert ILLUSTRATIVE["A"].dominates(ILLUSTRATIVE["D"])
+
+    def test_all_published_profiles_are_consistent(self):
+        for prof in list(TABLE_I.values()) + list(ILLUSTRATIVE.values()):
+            assert prof.max_power >= prof.idle_power
+            assert prof.max_perf > 0

@@ -1,0 +1,176 @@
+"""Unit tests for reconfiguration planning and plan assembly."""
+
+import pytest
+
+from repro.core.combination import Combination
+from repro.core.profiles import TABLE_I
+from repro.core.reconfiguration import (
+    Reconfiguration,
+    SchedulePlan,
+    Segment,
+    build_plan,
+    plan_reconfiguration,
+    reconfiguration_window,
+)
+
+P = TABLE_I["paravance"]
+C = TABLE_I["chromebook"]
+R = TABLE_I["raspberry"]
+
+
+def combo(**counts):
+    profs = {"p": P, "c": C, "r": R}
+    return Combination.of({profs[k]: v for k, v in counts.items()})
+
+
+class TestSegment:
+    def test_rejects_empty_span(self):
+        with pytest.raises(ValueError):
+            Segment(5, 5, combo(r=1))
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ValueError):
+            Segment(0, 5, combo(r=1), overhead_power=-1.0)
+
+    def test_duration(self):
+        assert Segment(3, 10, combo(r=1)).duration == 7
+
+
+class TestReconfigurationWindow:
+    def test_scale_up_uses_boot_time(self):
+        boot, off = reconfiguration_window(combo(r=1), combo(r=1, p=1))
+        assert boot == 189 and off == 0
+
+    def test_scale_down_uses_off_time(self):
+        boot, off = reconfiguration_window(combo(r=1, p=1), combo(r=1))
+        assert boot == 0 and off == 10
+
+    def test_swap_uses_both(self):
+        boot, off = reconfiguration_window(combo(c=5), combo(p=1))
+        assert boot == 189 and off == 21
+
+    def test_max_over_started_architectures(self):
+        boot, _ = reconfiguration_window(combo(), combo(c=1, r=1))
+        assert boot == 16  # raspberry (16 s) boots slower than chromebook (12 s)
+
+
+class TestPlanReconfiguration:
+    def test_boot_energy_is_exact(self):
+        segs, event = plan_reconfiguration(0, combo(r=1), combo(r=1, p=1), 10_000)
+        assert event.on_energy == pytest.approx(P.on_energy)
+        assert event.off_energy == 0.0
+        # integral of overhead over the boot window equals OnE
+        boot_overhead = sum(
+            s.overhead_power * s.duration for s in segs if s.t_start < 189
+        )
+        assert boot_overhead == pytest.approx(P.on_energy)
+
+    def test_shutdown_energy_is_exact(self):
+        segs, event = plan_reconfiguration(0, combo(p=1, r=1), combo(p=1), 10_000)
+        assert event.off_energy == pytest.approx(R.off_energy)
+        total_overhead = sum(s.overhead_power * s.duration for s in segs)
+        assert total_overhead == pytest.approx(R.off_energy)
+
+    def test_serving_switches_at_handover(self):
+        segs, event = plan_reconfiguration(0, combo(c=5), combo(p=1), 10_000)
+        assert event.boot_duration == 189
+        for s in segs:
+            if s.t_end <= 189:
+                assert s.serving == combo(c=5)
+            else:
+                assert s.serving == combo(p=1)
+
+    def test_early_booted_machines_idle_until_handover(self):
+        # chromebook (12 s) and paravance (189 s) boot together: from t=12
+        # to t=189 the chromebook idles, which must appear as overhead.
+        segs, _ = plan_reconfiguration(0, combo(), combo(p=1, c=1), 10_000)
+        mid = [s for s in segs if s.t_start >= 12 and s.t_end <= 189]
+        assert mid, "expected a waiting segment"
+        for s in mid:
+            assert s.overhead_power == pytest.approx(
+                P.on_energy / 189 + C.idle_power
+            )
+
+    def test_clipped_at_horizon(self):
+        segs, event = plan_reconfiguration(0, combo(r=1), combo(r=1, p=1), 100)
+        assert segs[-1].t_end == 100
+        assert event.completes_at == 189  # event records physical completion
+
+    def test_rejects_no_change(self):
+        with pytest.raises(ValueError):
+            plan_reconfiguration(0, combo(r=1), combo(r=1), 100)
+
+    def test_switch_energy_property(self):
+        _, event = plan_reconfiguration(0, combo(c=5), combo(p=1), 10_000)
+        assert event.switch_energy == pytest.approx(P.on_energy + 5 * C.off_energy)
+
+
+class TestBuildPlan:
+    def test_no_decisions_single_segment(self):
+        plan = build_plan(100, combo(r=1), [])
+        assert len(plan.segments) == 1
+        assert plan.segments[0].serving == combo(r=1)
+        assert plan.final == combo(r=1)
+
+    def test_segments_contiguous_and_cover_horizon(self):
+        plan = build_plan(
+            5000,
+            combo(r=1),
+            [(100, combo(c=1)), (1000, combo(p=1)), (3000, combo(r=2))],
+        )
+        t = 0
+        for seg in plan.segments:
+            assert seg.t_start == t
+            t = seg.t_end
+        assert t == 5000
+        assert plan.n_reconfigurations == 3
+
+    def test_identical_target_skipped(self):
+        plan = build_plan(100, combo(r=1), [(10, combo(r=1))])
+        assert plan.n_reconfigurations == 0
+
+    def test_overlapping_decision_rejected(self):
+        with pytest.raises(ValueError):
+            build_plan(
+                10_000,
+                combo(r=1),
+                [(0, combo(p=1)), (50, combo(r=1))],  # inside the 189 s boot
+            )
+
+    def test_overlapping_decision_trimmed_when_allowed(self):
+        plan = build_plan(
+            10_000,
+            combo(r=1),
+            [(0, combo(p=1)), (50, combo(r=1))],
+            allow_overlap_trim=True,
+        )
+        assert plan.n_reconfigurations == 1
+        assert plan.final == combo(p=1)
+
+    def test_decision_beyond_horizon_ignored(self):
+        plan = build_plan(100, combo(r=1), [(150, combo(p=1))])
+        assert plan.n_reconfigurations == 0
+
+    def test_total_switch_energy(self):
+        plan = build_plan(
+            10_000, combo(r=1), [(0, combo(r=1, p=1)), (1000, combo(r=1))]
+        )
+        assert plan.total_switch_energy == pytest.approx(
+            P.on_energy + P.off_energy
+        )
+
+    def test_plan_validation_rejects_gaps(self):
+        with pytest.raises(ValueError):
+            SchedulePlan(
+                horizon=10,
+                initial=combo(r=1),
+                segments=[Segment(0, 4, combo(r=1)), Segment(5, 10, combo(r=1))],
+            )
+
+    def test_plan_validation_rejects_short_coverage(self):
+        with pytest.raises(ValueError):
+            SchedulePlan(
+                horizon=10,
+                initial=combo(r=1),
+                segments=[Segment(0, 9, combo(r=1))],
+            )

@@ -1,0 +1,86 @@
+"""Unit tests for the hardware models."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import TABLE_I
+from repro.profiling.hardware import (
+    MEAN_REQUEST_WORK,
+    PAPER_HARDWARE,
+    HardwareModel,
+    paper_hardware,
+)
+
+
+class TestValidation:
+    def test_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            HardwareModel("x", 0, 1000.0, 1.0, 2.0, 1, 1, 1, 1)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            HardwareModel("x", 1, 0.0, 1.0, 2.0, 1, 1, 1, 1)
+
+    def test_rejects_idle_above_max(self):
+        with pytest.raises(ValueError):
+            HardwareModel("x", 1, 100.0, 5.0, 2.0, 1, 1, 1, 1)
+
+
+class TestCalibration:
+    @pytest.mark.parametrize("name", list(PAPER_HARDWARE))
+    def test_true_profile_matches_table_i(self, name):
+        hw = PAPER_HARDWARE[name]
+        prof = hw.true_profile()
+        ref = TABLE_I[name]
+        assert prof.max_perf == pytest.approx(ref.max_perf)
+        assert prof.idle_power == ref.idle_power
+        assert prof.max_power == ref.max_power
+        assert prof.on_time == ref.on_time
+        assert prof.on_energy == ref.on_energy
+
+    def test_request_capacity_uses_mean_work(self):
+        hw = PAPER_HARDWARE["paravance"]
+        assert hw.request_capacity() == pytest.approx(
+            hw.work_capacity / MEAN_REQUEST_WORK
+        )
+
+    def test_paper_order(self):
+        names = [h.name for h in paper_hardware()]
+        assert names == ["paravance", "taurus", "graphene", "chromebook", "raspberry"]
+
+
+class TestPowerModel:
+    def test_linear_in_utilisation(self):
+        hw = PAPER_HARDWARE["paravance"]
+        assert hw.power_at_utilisation(0.0) == 69.9
+        assert hw.power_at_utilisation(1.0) == 200.5
+        mid = hw.power_at_utilisation(0.5)
+        assert mid == pytest.approx((69.9 + 200.5) / 2)
+
+    def test_rejects_out_of_range_utilisation(self):
+        with pytest.raises(ValueError):
+            PAPER_HARDWARE["raspberry"].power_at_utilisation(1.5)
+
+    def test_boot_curve_integrates_to_on_energy(self):
+        for hw in paper_hardware():
+            # integrate at fine resolution
+            ts = np.linspace(0, hw.on_time, 200_000, endpoint=False)
+            integral = np.sum([hw.boot_power_curve(float(t)) for t in ts]) * (
+                hw.on_time / len(ts)
+            )
+            assert integral == pytest.approx(hw.on_energy, rel=1e-3)
+
+    def test_boot_curve_zero_outside_window(self):
+        hw = PAPER_HARDWARE["chromebook"]
+        assert hw.boot_power_curve(-1.0) == 0.0
+        assert hw.boot_power_curve(hw.on_time + 1.0) == 0.0
+
+    def test_shutdown_power(self):
+        hw = PAPER_HARDWARE["paravance"]
+        assert hw.shutdown_power() == pytest.approx(657.0 / 10.0)
+
+    def test_service_time(self):
+        hw = PAPER_HARDWARE["raspberry"]
+        assert hw.service_time(1500.0) == pytest.approx(
+            1500.0 / hw.core_work_rate
+        )

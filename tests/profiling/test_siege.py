@@ -1,0 +1,52 @@
+"""Unit tests for the Siege-style benchmark emulator."""
+
+import pytest
+
+from repro.profiling.hardware import PAPER_HARDWARE
+from repro.profiling.siege import SiegeEmulator
+from repro.profiling.webserver import SimulatedWebServer
+
+
+class TestValidation:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            SiegeEmulator(duration_s=0.0)
+        with pytest.raises(ValueError):
+            SiegeEmulator(repeats=0)
+        with pytest.raises(ValueError):
+            SiegeEmulator(start_concurrency=0)
+
+
+class TestRamp:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [("paravance", 1331.0), ("chromebook", 33.0), ("raspberry", 9.0)],
+    )
+    def test_finds_capacity_within_one_percent(self, name, expected):
+        server = SimulatedWebServer(PAPER_HARDWARE[name])
+        result = SiegeEmulator(seed=0).ramp(server)
+        assert result.max_rate == pytest.approx(expected, rel=0.01)
+
+    def test_paper_protocol_five_repeats(self):
+        server = SimulatedWebServer(PAPER_HARDWARE["raspberry"])
+        result = SiegeEmulator(seed=0).ramp(server)
+        assert len(result.repeat_rates) == 5
+
+    def test_ramp_curve_increases_then_plateaus(self):
+        server = SimulatedWebServer(PAPER_HARDWARE["chromebook"])
+        result = SiegeEmulator(seed=1).ramp(server)
+        curve = result.ramp_curve
+        concs = [c for c, _ in curve]
+        assert concs == sorted(concs)
+        assert curve[-1][1] <= result.max_rate * 1.05
+
+    def test_deterministic(self):
+        server = SimulatedWebServer(PAPER_HARDWARE["chromebook"])
+        a = SiegeEmulator(seed=9).ramp(server).max_rate
+        b = SiegeEmulator(seed=9).ramp(server).max_rate
+        assert a == b
+
+    def test_best_concurrency_at_least_core_count(self):
+        hw = PAPER_HARDWARE["paravance"]
+        result = SiegeEmulator(seed=0).ramp(SimulatedWebServer(hw))
+        assert result.best_concurrency >= hw.cores

@@ -1,0 +1,91 @@
+"""Unit tests for the wattmeter emulation."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.wattmeter import Wattmeter
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(ValueError):
+            Wattmeter(sample_interval=0.0)
+
+    def test_bad_noise(self):
+        with pytest.raises(ValueError):
+            Wattmeter(noise_sigma=-1.0)
+
+    def test_bad_record_duration(self):
+        with pytest.raises(ValueError):
+            Wattmeter().record(lambda t: 1.0, 0.0)
+
+
+class TestRecord:
+    def test_noise_free_sampling(self):
+        meter = Wattmeter(noise_sigma=0.0)
+        trace = meter.record(lambda t: 5.0, 10.0)
+        assert trace.samples.shape == (10,)
+        assert trace.mean_power == 5.0
+        assert trace.energy == 50.0
+        assert trace.duration == 10.0
+
+    def test_time_varying_signal(self):
+        meter = Wattmeter(noise_sigma=0.0)
+        trace = meter.record(lambda t: t, 5.0)
+        assert list(trace.samples) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_noise_deterministic_per_meter_seed(self):
+        a = Wattmeter(noise_sigma=0.5, seed=3).record(lambda t: 10.0, 100.0)
+        b = Wattmeter(noise_sigma=0.5, seed=3).record(lambda t: 10.0, 100.0)
+        assert np.array_equal(a.samples, b.samples)
+
+    def test_noise_never_negative(self):
+        trace = Wattmeter(noise_sigma=5.0, seed=0).record(lambda t: 0.1, 1000.0)
+        assert np.all(trace.samples >= 0.0)
+
+    def test_quantisation(self):
+        meter = Wattmeter(noise_sigma=0.0, resolution=0.5)
+        trace = meter.record(lambda t: 1.26, 4.0)
+        assert np.all(trace.samples == 1.5)
+
+    def test_measure_average(self):
+        assert Wattmeter(noise_sigma=0.0).measure_average(lambda t: 7.0, 30.0) == 7.0
+
+
+class TestTransient:
+    def test_boot_like_transient_exact(self):
+        # 20 s at 50 W, then settles at 10 W
+        def power(t):
+            return 50.0 if t < 20 else 10.0
+
+        meter = Wattmeter(noise_sigma=0.0)
+        duration, energy = meter.measure_transient(power, 60.0, settle_level=10.0)
+        assert duration == 20.0
+        assert energy == pytest.approx(1000.0)
+
+    def test_transient_below_baseline_detected(self):
+        # boots *below* idle (the Raspberry Pi case)
+        def power(t):
+            return 2.5 if t < 16 else 3.1
+
+        duration, energy = Wattmeter(noise_sigma=0.0).measure_transient(
+            power, 60.0, settle_level=3.1
+        )
+        assert duration == 16.0
+        assert energy == pytest.approx(16 * 2.5)
+
+    def test_no_transient_gives_zero(self):
+        duration, energy = Wattmeter(noise_sigma=0.0).measure_transient(
+            lambda t: 10.0, 30.0, settle_level=10.0
+        )
+        assert duration == 0.0 and energy == 0.0
+
+    def test_shutdown_to_zero(self):
+        def power(t):
+            return 65.7 if t < 10 else 0.0
+
+        duration, energy = Wattmeter(noise_sigma=0.0).measure_transient(
+            power, 40.0, settle_level=0.0
+        )
+        assert duration == 10.0
+        assert energy == pytest.approx(657.0)

@@ -1,0 +1,98 @@
+"""Unit tests for the simulated web server."""
+
+import numpy as np
+import pytest
+
+from repro.profiling.hardware import PAPER_HARDWARE
+from repro.profiling.webserver import SimulatedWebServer
+
+
+@pytest.fixture()
+def server():
+    return SimulatedWebServer(PAPER_HARDWARE["chromebook"])
+
+
+class TestValidation:
+    def test_work_bounds(self):
+        with pytest.raises(ValueError):
+            SimulatedWebServer(PAPER_HARDWARE["raspberry"], work_low=0.0)
+        with pytest.raises(ValueError):
+            SimulatedWebServer(
+                PAPER_HARDWARE["raspberry"], work_low=200.0, work_high=100.0
+            )
+
+    def test_run_params(self, server):
+        with pytest.raises(ValueError):
+            server.run_closed(0)
+        with pytest.raises(ValueError):
+            server.run_closed(1, duration_s=0.0)
+
+
+class TestCapacity:
+    def test_max_throughput_matches_table(self, server):
+        assert server.max_throughput == pytest.approx(33.0)
+
+    def test_paper_workload_mean(self, server):
+        assert server.mean_request_work == 1500.0
+
+    def test_overhead_lowers_capacity(self):
+        slow = SimulatedWebServer(
+            PAPER_HARDWARE["chromebook"], overhead_work=500.0
+        )
+        assert slow.max_throughput < 33.0
+
+
+class TestClosedLoop:
+    def test_throughput_grows_with_clients_then_saturates(self, server):
+        rng = np.random.default_rng(0)
+        x1 = server.run_closed(1, rng=rng).throughput
+        x2 = server.run_closed(2, rng=rng).throughput
+        x64 = server.run_closed(64, rng=rng).throughput
+        assert x2 > x1
+        assert x64 == pytest.approx(33.0, rel=0.05)
+
+    def test_utilisation_at_saturation(self, server):
+        sample = server.run_closed(128, rng=np.random.default_rng(0))
+        assert sample.utilisation == pytest.approx(1.0, abs=0.05)
+
+    def test_latency_reported(self, server):
+        s = server.run_closed(10, rng=np.random.default_rng(0))
+        assert s.mean_latency_s == pytest.approx(10 / s.throughput)
+
+    def test_deterministic_given_rng(self, server):
+        a = server.run_closed(8, rng=np.random.default_rng(3)).throughput
+        b = server.run_closed(8, rng=np.random.default_rng(3)).throughput
+        assert a == b
+
+    def test_longer_runs_less_noisy(self, server):
+        # relative std of repeated 300 s runs < repeated 3 s runs
+        def spread(duration):
+            rng = np.random.default_rng(5)
+            xs = [server.run_closed(64, duration, rng).throughput for _ in range(20)]
+            return np.std(xs) / np.mean(xs)
+
+        assert spread(300.0) < spread(3.0)
+
+
+class TestOpenLoop:
+    def test_served_capped_at_capacity(self, server):
+        served, util = server.serve_open(100.0)
+        assert served == pytest.approx(33.0)
+        assert util == pytest.approx(1.0)
+
+    def test_partial_utilisation(self, server):
+        served, util = server.serve_open(16.5)
+        assert served == 16.5
+        assert util == pytest.approx(0.5)
+
+    def test_power_at_rate_is_linear(self, server):
+        hw = PAPER_HARDWARE["chromebook"]
+        assert server.power_at_rate(0.0) == pytest.approx(hw.idle_power)
+        assert server.power_at_rate(33.0) == pytest.approx(hw.max_power)
+        assert server.power_at_rate(16.5) == pytest.approx(
+            (hw.idle_power + hw.max_power) / 2
+        )
+
+    def test_rejects_negative(self, server):
+        with pytest.raises(ValueError):
+            server.serve_open(-1.0)

@@ -1,0 +1,140 @@
+"""Property-based tests for combination building (greedy vs exact DP)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combination import (
+    Combination,
+    greedy_combination,
+    ideal_combination,
+    ideal_table,
+)
+from repro.core.crossing import compute_thresholds
+from repro.core.filtering import bml_candidates
+from repro.core.profiles import ArchitectureProfile, table_i_profiles
+
+TRIO = tuple(
+    p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
+)
+THRESHOLDS = {"paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0}
+
+
+@st.composite
+def architecture_family(draw):
+    """2-4 architectures with strictly improving perf and max power."""
+    n = draw(st.integers(2, 4))
+    perfs = sorted(
+        draw(
+            st.lists(
+                st.integers(2, 2000), min_size=n, max_size=n, unique=True
+            )
+        ),
+        reverse=True,
+    )
+    powers = sorted(
+        draw(
+            st.lists(st.integers(2, 1000), min_size=n, max_size=n, unique=True)
+        ),
+        reverse=True,
+    )
+    profs = []
+    for i, (pf, pw) in enumerate(zip(perfs, powers)):
+        idle = draw(st.floats(0.0, float(pw)))
+        profs.append(
+            ArchitectureProfile(
+                name=f"a{i}", max_perf=float(pf), idle_power=idle,
+                max_power=float(pw),
+            )
+        )
+    return profs
+
+
+@given(st.floats(0.0, 6000.0))
+def test_greedy_capacity_covers_rate_table_i(rate):
+    combo = greedy_combination(rate, TRIO, THRESHOLDS)
+    assert combo.capacity >= rate - 1e-9
+
+
+@given(st.integers(0, 4000))
+def test_greedy_never_below_ideal_table_i(rate):
+    combo = greedy_combination(float(rate), TRIO, THRESHOLDS)
+    ideal = ideal_table(TRIO, float(max(rate, 1)))
+    assert combo.power(float(rate)) >= ideal[rate] - 1e-9
+
+
+@given(st.integers(1, 3000), st.integers(1, 3000))
+def test_ideal_table_monotone_table_i(r1, r2):
+    lo, hi = sorted([r1, r2])
+    tbl = ideal_table(TRIO, float(hi))
+    assert tbl[lo] <= tbl[hi] + 1e-9
+
+
+@settings(max_examples=25, deadline=None)
+@given(architecture_family(), st.integers(0, 500))
+def test_dp_optimal_on_random_families(profs, rate):
+    """The DP optimum is a true lower bound for the paper's greedy run on
+    the same (filtered + thresholded) family."""
+    kept = bml_candidates(profs).kept
+    report = compute_thresholds(list(kept))
+    if not report.kept:
+        return
+    ordered = list(report.kept)
+    combo = greedy_combination(float(rate), ordered, report.thresholds)
+    tbl = ideal_table(ordered, float(max(rate, 1)))
+    assert combo.power(float(rate)) >= tbl[rate] - 1e-6
+
+
+@settings(max_examples=25, deadline=None)
+@given(architecture_family(), st.integers(1, 400))
+def test_ideal_combination_achieves_table_power(profs, rate):
+    tbl = ideal_table(profs, float(rate))
+    combo = ideal_combination(float(rate), profs)
+    assert combo.capacity >= rate - 1e-9
+    assert combo.power(float(rate)) == pytest.approx(tbl[rate])
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=3, max_size=3),
+    st.lists(st.integers(0, 5), min_size=3, max_size=3),
+)
+def test_union_max_contains_both(ca, cb):
+    a = Combination.of(dict(zip(TRIO, ca)))
+    b = Combination.of(dict(zip(TRIO, cb)))
+    u = a.union_max(b)
+    for prof in TRIO:
+        assert u.count_of(prof.name) == max(
+            a.count_of(prof.name), b.count_of(prof.name)
+        )
+
+
+@given(
+    st.lists(st.integers(0, 5), min_size=3, max_size=3),
+    st.lists(st.integers(0, 5), min_size=3, max_size=3),
+)
+def test_diff_is_antisymmetric(ca, cb):
+    a = Combination.of(dict(zip(TRIO, ca)))
+    b = Combination.of(dict(zip(TRIO, cb)))
+    dab = a.diff(b)
+    dba = b.diff(a)
+    assert {k: -v for k, v in dab.items()} == dba
+
+
+@given(st.lists(st.integers(0, 4), min_size=3, max_size=3), st.floats(0, 1))
+def test_combination_power_monotone_in_rate(counts, frac):
+    combo = Combination.of(dict(zip(TRIO, counts)))
+    if not combo:
+        return
+    r = frac * combo.capacity
+    assert combo.power(r) <= combo.power(combo.capacity) + 1e-9
+    assert combo.power(0.0) <= combo.power(r) + 1e-9
+
+
+@given(st.lists(st.integers(0, 4), min_size=3, max_size=3), st.floats(0, 1))
+def test_canonical_never_cheaper_than_optimal(counts, frac):
+    combo = Combination.of(dict(zip(TRIO, counts)))
+    if not combo:
+        return
+    r = frac * combo.capacity
+    assert combo.power_canonical(r) >= combo.power(r) - 1e-9

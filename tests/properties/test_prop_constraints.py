@@ -1,0 +1,71 @@
+"""Property-based tests for node-bounded combinations."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combination import Combination, CombinationError, ideal_table
+from repro.core.constraints import bounded_nodes_combination, bounded_nodes_table
+from repro.core.profiles import ArchitectureProfile, table_i_profiles
+
+TRIO = tuple(
+    p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
+)
+
+
+@st.composite
+def small_family(draw):
+    """2-3 architectures with small integer capacities for brute forcing."""
+    n = draw(st.integers(2, 3))
+    perfs = sorted(
+        draw(st.lists(st.integers(2, 15), min_size=n, max_size=n, unique=True)),
+        reverse=True,
+    )
+    profs = []
+    for i, pf in enumerate(perfs):
+        idle = draw(st.floats(0.0, 10.0))
+        mx = idle + draw(st.floats(0.1, 20.0))
+        profs.append(
+            ArchitectureProfile(
+                name=f"m{i}", max_perf=float(pf), idle_power=idle, max_power=mx
+            )
+        )
+    return profs
+
+
+@settings(max_examples=30, deadline=None)
+@given(small_family(), st.integers(1, 4), st.integers(1, 40))
+def test_bounded_matches_brute_force(profs, budget, rate):
+    best = np.inf
+    for counts in itertools.product(range(budget + 1), repeat=len(profs)):
+        if not 0 < sum(counts) <= budget:
+            continue
+        combo = Combination.of(dict(zip(profs, counts)))
+        if combo.capacity >= rate:
+            best = min(best, combo.power(float(rate)))
+    try:
+        got = bounded_nodes_combination(float(rate), profs, budget)
+    except CombinationError:
+        assert best == np.inf
+        return
+    assert got.total_nodes <= budget
+    assert got.capacity >= rate
+    assert got.power(float(rate)) == pytest.approx(best)
+
+
+@given(st.integers(1, 10), st.integers(1, 10))
+def test_table_monotone_in_budget(b1, b2):
+    tight, loose = sorted([b1, b2])
+    t_tight = bounded_nodes_table(TRIO, 300.0, tight)
+    t_loose = bounded_nodes_table(TRIO, 300.0, loose)
+    assert np.all(t_loose <= t_tight + 1e-9)
+
+
+@given(st.integers(5, 60))
+def test_generous_budget_matches_unconstrained(budget):
+    free = ideal_table(TRIO, 200.0)
+    bounded = bounded_nodes_table(TRIO, 200.0, max(budget, 30))
+    assert np.allclose(free, bounded)

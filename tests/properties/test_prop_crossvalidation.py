@@ -1,0 +1,71 @@
+"""Property-based cross-validation: fast path vs event-driven simulator.
+
+The vectorised plan executor and the machine-level event simulator share
+only the combination table and the predictor.  For *any* load trace their
+per-second power and unserved series must match exactly — this is the
+library's strongest end-to-end invariant, here hammered with randomly
+generated traces instead of the fixed ones the unit tests use.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.bml import design
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.profiles import table_i_profiles
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan
+from repro.sim.loop import EventDrivenReplay
+from repro.workload.trace import LoadTrace
+
+
+@pytest.fixture(scope="module")
+def infra_cv():
+    return design(table_i_profiles())
+
+
+# Short traces keep the O(T x machines) event loop fast; rates span the
+# whole range from idle to multiple Bigs so every machine type cycles.
+trace_st = arrays(
+    dtype=np.float64,
+    shape=st.integers(120, 900),
+    elements=st.floats(0.0, 4000.0, allow_nan=False, allow_infinity=False),
+)
+window_st = st.sampled_from([5, 30, 189, 378])
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(values=trace_st, window=window_st)
+def test_power_series_identical(infra_cv, values, window):
+    trace = LoadTrace(values)
+    predictor = LookAheadMaxPredictor(window)
+    outcome = BMLScheduler(infra_cv, predictor=predictor).plan_detailed(trace)
+    fast = execute_plan(outcome.plan, trace)
+    slow = EventDrivenReplay(outcome.table, trace, predictor=predictor).run()
+    assert np.allclose(fast.power, slow.power, atol=1e-9)
+    assert np.allclose(fast.unserved, slow.unserved, atol=1e-9)
+    assert fast.n_reconfigurations == slow.n_reconfigurations
+
+
+@settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(values=trace_st)
+def test_meter_ledger_matches_integral(infra_cv, values):
+    trace = LoadTrace(values)
+    predictor = LookAheadMaxPredictor(60)
+    outcome = BMLScheduler(infra_cv, predictor=predictor).plan_detailed(trace)
+    replay = EventDrivenReplay(outcome.table, trace, predictor=predictor)
+    result = replay.run()
+    assert result.meta["meter_energy_j"] == pytest.approx(
+        result.total_energy, rel=1e-9, abs=1e-6
+    )

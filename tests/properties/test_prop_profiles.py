@@ -1,0 +1,68 @@
+"""Property-based tests for power models (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.profiles import ArchitectureProfile
+
+profile_st = st.builds(
+    ArchitectureProfile,
+    name=st.just("x"),
+    max_perf=st.floats(1.0, 10_000.0),
+    idle_power=st.floats(0.0, 500.0),
+    max_power=st.floats(500.0, 2_000.0),
+    on_time=st.floats(0.0, 600.0),
+    on_energy=st.floats(0.0, 1e5),
+    off_time=st.floats(0.0, 600.0),
+    off_energy=st.floats(0.0, 1e5),
+)
+
+
+@given(profile_st, st.floats(0.0, 1.0), st.floats(0.0, 1.0))
+def test_single_node_power_monotone_in_rate(prof, f1, f2):
+    r1, r2 = sorted([f1 * prof.max_perf, f2 * prof.max_perf])
+    assert prof.power(r1) <= prof.power(r2) + 1e-9
+
+
+@given(profile_st, st.floats(0.0, 1.0))
+def test_power_between_idle_and_max(prof, frac):
+    p = prof.power(frac * prof.max_perf)
+    assert prof.idle_power - 1e-9 <= p <= prof.max_power + 1e-9
+
+
+@given(profile_st, st.floats(0.0, 5.0))
+def test_stack_power_at_least_proportional_floor(prof, mult):
+    """A stack can never draw less than full-load efficiency x rate."""
+    rate = mult * prof.max_perf
+    power = prof.stack_power(rate)
+    assert power >= prof.full_load_efficiency * rate - 1e-6
+
+
+@given(profile_st, st.floats(0.0, 5.0))
+def test_stack_power_matches_node_count(prof, mult):
+    rate = mult * prof.max_perf
+    nodes = prof.nodes_required(rate)
+    assert nodes * prof.max_perf >= rate - 1e-6
+    if nodes > 0:
+        assert (nodes - 1) * prof.max_perf < rate + 1e-6
+
+
+@given(profile_st, st.floats(0.0, 3.0), st.floats(0.0, 3.0))
+def test_stack_power_monotone(prof, m1, m2):
+    r1, r2 = sorted([m1 * prof.max_perf, m2 * prof.max_perf])
+    assert prof.stack_power(r1) <= prof.stack_power(r2) + 1e-9
+
+
+@given(profile_st, st.integers(0, 400))
+def test_stack_vectorised_equals_scalar(prof, k):
+    rates = np.linspace(0, 3 * prof.max_perf, 7) + k * 0.01
+    rates = np.clip(rates, 0, None)
+    vec = np.asarray(prof.stack_power(rates))
+    scal = [prof.stack_power(float(r)) for r in rates]
+    assert np.allclose(vec, scal)
+
+
+@given(profile_st)
+def test_dict_round_trip(prof):
+    assert ArchitectureProfile.from_dict(prof.as_dict()) == prof

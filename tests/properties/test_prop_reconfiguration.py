@@ -1,0 +1,89 @@
+"""Property-based tests for reconfiguration planning invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.combination import Combination
+from repro.core.profiles import table_i_profiles
+from repro.core.reconfiguration import (
+    build_plan,
+    plan_reconfiguration,
+    reconfiguration_window,
+)
+
+TRIO = tuple(
+    p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
+)
+
+combo_st = st.builds(
+    lambda counts: Combination.of(dict(zip(TRIO, counts))),
+    st.lists(st.integers(0, 6), min_size=3, max_size=3),
+)
+
+
+@given(combo_st, combo_st)
+def test_window_durations_bound_profiles(a, b):
+    boot, off = reconfiguration_window(a, b)
+    max_on = max(int(np.ceil(p.on_time)) for p in TRIO)
+    max_off = max(int(np.ceil(p.off_time)) for p in TRIO)
+    assert 0 <= boot <= max_on
+    assert 0 <= off <= max_off
+
+
+@given(combo_st, combo_st)
+def test_switch_energy_matches_deltas(a, b):
+    if a == b:
+        return
+    _, event = plan_reconfiguration(0, a, b, 10_000)
+    expected_on = sum(
+        d * p.on_energy
+        for p in TRIO
+        for n, d in a.diff(b).items()
+        if n == p.name and d > 0
+    )
+    expected_off = sum(
+        -d * p.off_energy
+        for p in TRIO
+        for n, d in a.diff(b).items()
+        if n == p.name and d < 0
+    )
+    assert event.on_energy == pytest.approx(expected_on)
+    assert event.off_energy == pytest.approx(expected_off)
+
+
+@given(combo_st, combo_st)
+def test_segment_overheads_integrate_to_switch_energy_plus_waiting(a, b):
+    """Integrated overhead = On energy + Off energy + waiting-idle energy
+    of machines that booted before the slowest one."""
+    if a == b:
+        return
+    segs, event = plan_reconfiguration(0, a, b, 10_000)
+    integrated = sum(s.overhead_power * s.duration for s in segs)
+    delta = a.diff(b)
+    waiting = 0.0
+    boot = event.boot_duration
+    for p in TRIO:
+        d = delta.get(p.name, 0)
+        if d > 0:
+            waiting += d * p.idle_power * (boot - int(np.ceil(p.on_time)))
+    assert integrated == pytest.approx(event.switch_energy + waiting, rel=1e-9)
+
+
+@given(
+    combo_st,
+    st.lists(st.tuples(st.integers(0, 5000), combo_st), min_size=0, max_size=6),
+    st.integers(1000, 6000),
+)
+def test_build_plan_always_covers_horizon(initial, raw_decisions, horizon):
+    decisions = sorted(raw_decisions, key=lambda d: d[0])
+    plan = build_plan(horizon, initial, decisions, allow_overlap_trim=True)
+    t = 0
+    for seg in plan.segments:
+        assert seg.t_start == t
+        t = seg.t_end
+    assert t == horizon
+    # reconfiguration windows never overlap
+    for x, y in zip(plan.reconfigurations[:-1], plan.reconfigurations[1:]):
+        assert y.decided_at >= x.completes_at

@@ -1,0 +1,86 @@
+"""Property-based tests for the scheduler and plan executor.
+
+These are end-to-end invariants: for *any* load trace, the planned
+schedule must be well-formed, block during reconfigurations, provision
+enough capacity for every prediction, and the integrated energy must lie
+between the theoretical lower bound and the always-peak upper bound.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.scheduler import BMLScheduler
+from repro.sim.datacenter import execute_plan, lower_bound_result
+from repro.workload.trace import LoadTrace
+
+load_st = arrays(
+    dtype=np.float64,
+    shape=st.integers(50, 1200),
+    elements=st.floats(0.0, 3000.0, allow_nan=False, allow_infinity=False),
+)
+window_st = st.integers(1, 600)
+
+
+@settings(max_examples=30, deadline=None)
+@given(load_st, window_st)
+def test_plan_is_wellformed(infra_session, load, window):
+    trace = LoadTrace(load)
+    plan = BMLScheduler(
+        infra_session, predictor=LookAheadMaxPredictor(window)
+    ).plan(trace)
+    t = 0
+    for seg in plan.segments:
+        assert seg.t_start == t
+        t = seg.t_end
+    assert t == len(trace)
+    for a, b in zip(plan.reconfigurations[:-1], plan.reconfigurations[1:]):
+        assert b.decided_at >= a.completes_at
+
+
+@settings(max_examples=30, deadline=None)
+@given(load_st, window_st)
+def test_targets_cover_predictions(infra_session, load, window):
+    trace = LoadTrace(load)
+    out = BMLScheduler(
+        infra_session, predictor=LookAheadMaxPredictor(window)
+    ).plan_detailed(trace)
+    for r in out.plan.reconfigurations:
+        assert r.after.capacity >= out.predictions[r.decided_at] - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(load_st)
+def test_energy_bounded_below_by_lower_bound(infra_session, load):
+    trace = LoadTrace(load)
+    plan = BMLScheduler(infra_session).plan(trace)
+    res = execute_plan(plan, trace)
+    lb = lower_bound_result(
+        trace, infra_session.table(max(trace.peak, 1.0))
+    )
+    assert res.total_energy >= lb.total_energy - 1e-6
+
+
+@settings(max_examples=20, deadline=None)
+@given(load_st)
+def test_unserved_only_during_reconfigurations(infra_session, load):
+    """With look-ahead-max prediction, capacity shortfalls can only occur
+    while a reconfiguration is in flight (old serving set)."""
+    trace = LoadTrace(load)
+    plan = BMLScheduler(infra_session).plan(trace)
+    res = execute_plan(plan, trace)
+    violating = np.flatnonzero(res.unserved > 1e-9)
+    windows = [(r.decided_at, r.completes_at) for r in plan.reconfigurations]
+    for t in violating:
+        assert any(a <= t < b for a, b in windows)
+
+
+@pytest.fixture(scope="module")
+def infra_session():
+    from repro.core.bml import design
+    from repro.core.profiles import table_i_profiles
+
+    return design(table_i_profiles())

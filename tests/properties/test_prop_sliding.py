@@ -1,0 +1,52 @@
+"""Property-based tests for sliding maxima (the prediction hot path)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.workload.sliding import lookahead_max, lookahead_max_reference, trailing_max
+
+series_st = arrays(
+    dtype=np.float64,
+    shape=st.integers(1, 400),
+    elements=st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(series_st, st.integers(1, 500))
+def test_fast_equals_reference(arr, window):
+    assert np.array_equal(
+        lookahead_max(arr, window), lookahead_max_reference(arr, window)
+    )
+
+
+@given(series_st, st.integers(1, 500))
+def test_lookahead_dominates_input(arr, window):
+    assert np.all(lookahead_max(arr, window) >= arr)
+
+
+@given(series_st, st.integers(1, 50), st.integers(1, 50))
+def test_larger_window_dominates(arr, w1, w2):
+    small, large = sorted([w1, w2])
+    assert np.all(lookahead_max(arr, large) >= lookahead_max(arr, small))
+
+
+@given(series_st, st.integers(1, 100))
+def test_lookahead_values_come_from_input(arr, window):
+    out = lookahead_max(arr, window)
+    values = set(arr.tolist())
+    assert all(v in values for v in out.tolist())
+
+
+@given(series_st, st.integers(1, 100))
+def test_trailing_is_time_reversed_lookahead(arr, window):
+    assert np.array_equal(
+        trailing_max(arr, window), lookahead_max(arr[::-1], window)[::-1]
+    )
+
+
+@given(series_st)
+def test_window_full_length_is_suffix_max(arr):
+    out = lookahead_max(arr, len(arr))
+    assert np.array_equal(out, np.maximum.accumulate(arr[::-1])[::-1])

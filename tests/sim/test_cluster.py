@@ -1,0 +1,112 @@
+"""Unit tests for cluster machine pools and inventory limits."""
+
+import pytest
+
+from repro.core.combination import Combination
+from repro.core.profiles import TABLE_I, table_i_profiles
+from repro.sim.cluster import Cluster, InventoryError
+from repro.sim.machine import MachineError, MachineState
+
+P = TABLE_I["paravance"]
+R = TABLE_I["raspberry"]
+
+
+class TestConstruction:
+    def test_requires_architectures(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            Cluster([P, P])
+
+    def test_rejects_unknown_inventory_keys(self):
+        with pytest.raises(ValueError):
+            Cluster([P], inventory={"nope": 3})
+
+
+class TestUnboundedPool:
+    def test_lazily_instantiates_machines(self):
+        cluster = Cluster([P, R])
+        assert cluster.machines() == []
+        m = cluster.acquire_off_machine("paravance", 0.0)
+        assert m.state is MachineState.OFF
+        assert len(cluster.machines("paravance")) == 1
+
+    def test_reuses_off_machines(self):
+        cluster = Cluster([R])
+        a = cluster.acquire_off_machine("raspberry", 0.0)
+        b = cluster.acquire_off_machine("raspberry", 0.0)
+        assert a is b  # still OFF, so reused
+
+    def test_boot_many(self):
+        cluster = Cluster([R])
+        started = cluster.boot("raspberry", 3, 0.0)
+        assert len(started) == 3
+        assert cluster.count("raspberry", MachineState.BOOTING) == 3
+
+    def test_unknown_architecture_rejected(self):
+        with pytest.raises(InventoryError):
+            Cluster([R]).acquire_off_machine("xeon", 0.0)
+
+
+class TestBoundedInventory:
+    def test_limit_enforced(self):
+        cluster = Cluster([R], inventory={"raspberry": 2})
+        cluster.boot("raspberry", 2, 0.0)
+        with pytest.raises(InventoryError):
+            cluster.boot("raspberry", 1, 0.0)
+
+    def test_can_provide(self):
+        cluster = Cluster([P, R], inventory={"paravance": 1, "raspberry": 5})
+        assert cluster.can_provide(Combination.of({P: 1, R: 5}))
+        assert not cluster.can_provide(Combination.of({P: 2}))
+
+    def test_unbounded_can_provide_any_known(self):
+        cluster = Cluster([P, R])
+        assert cluster.can_provide(Combination.of({P: 99}))
+        other = TABLE_I["taurus"]
+        assert not cluster.can_provide(Combination.of({other: 1}))
+
+
+class TestQueries:
+    def test_online_capacity_counts_only_on(self):
+        cluster = Cluster([R])
+        machines = cluster.boot("raspberry", 2, 0.0)
+        assert cluster.online_capacity() == 0.0
+        for m in machines:
+            m.complete_boot(16.0)
+        assert cluster.online_capacity() == 18.0
+
+    def test_total_power_sums_states(self):
+        cluster = Cluster([R])
+        m1, m2 = cluster.boot("raspberry", 2, 0.0)
+        m1.complete_boot(16.0)
+        expected = 3.1 + 40.5 / 16  # one idle + one still booting
+        assert cluster.total_power() == pytest.approx(expected)
+
+    def test_state_counts_snapshot(self):
+        cluster = Cluster([R, P])
+        cluster.boot("raspberry", 2, 0.0)
+        snap = cluster.state_counts()
+        assert snap["raspberry"] == {"booting": 2}
+        assert snap["paravance"] == {}
+
+
+class TestVictimSelection:
+    def test_prefers_least_loaded(self):
+        cluster = Cluster([R])
+        machines = cluster.boot("raspberry", 3, 0.0)
+        for m in machines:
+            m.complete_boot(16.0)
+        machines[0].assign_load(9.0, 16.0)
+        machines[1].assign_load(2.0, 16.0)
+        victims = cluster.pick_shutdown_victims("raspberry", 2)
+        assert machines[2] in victims and machines[1] in victims
+        assert machines[0] not in victims
+
+    def test_rejects_more_than_available(self):
+        cluster = Cluster([R])
+        cluster.boot("raspberry", 1, 0.0)[0].complete_boot(16.0)
+        with pytest.raises(MachineError):
+            cluster.pick_shutdown_victims("raspberry", 2)

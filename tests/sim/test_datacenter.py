@@ -1,0 +1,86 @@
+"""Unit tests for the vectorised plan executor and the lower bound."""
+
+import numpy as np
+import pytest
+
+from repro.core.combination import Combination, build_table
+from repro.core.profiles import TABLE_I
+from repro.core.reconfiguration import build_plan
+from repro.sim.datacenter import execute_plan, lower_bound_result
+from repro.workload.trace import LoadTrace
+
+P = TABLE_I["paravance"]
+R = TABLE_I["raspberry"]
+
+
+class TestExecutePlan:
+    def test_constant_plan_energy_by_hand(self):
+        trace = LoadTrace(np.full(100, 5.0))
+        plan = build_plan(100, Combination.of({R: 1}), [])
+        res = execute_plan(plan, trace)
+        expected = 100 * (3.1 + R.slope * 5.0)
+        assert res.total_energy == pytest.approx(expected)
+
+    def test_horizon_mismatch_rejected(self):
+        trace = LoadTrace(np.full(50, 5.0))
+        plan = build_plan(100, Combination.of({R: 1}), [])
+        with pytest.raises(ValueError):
+            execute_plan(plan, trace)
+
+    def test_unserved_demand_when_under_provisioned(self):
+        trace = LoadTrace(np.full(10, 20.0))
+        plan = build_plan(10, Combination.of({R: 1}), [])  # capacity 9
+        res = execute_plan(plan, trace)
+        assert res.qos().violation_seconds == 10
+        assert res.qos().unserved_demand == pytest.approx(10 * 11.0)
+        # the machine saturates at peak power, no more
+        assert np.allclose(res.power, 3.7)
+
+    def test_reconfiguration_energy_included(self):
+        trace = LoadTrace(np.full(1000, 5.0))
+        plan = build_plan(
+            1000,
+            Combination.of({R: 1}),
+            [(100, Combination.of({R: 2}))],
+        )
+        res = execute_plan(plan, trace)
+        base = 1000 * (3.1 + R.slope * 5.0)
+        # second raspberry: boot energy + idle draw after boot completes
+        extra = R.on_energy + (1000 - 100 - 16) * 3.1
+        assert res.total_energy == pytest.approx(base + extra)
+        assert res.n_reconfigurations == 1
+
+    def test_scenario_label_and_meta(self):
+        trace = LoadTrace(np.full(10, 1.0))
+        plan = build_plan(10, Combination.of({R: 1}), [])
+        res = execute_plan(plan, trace, scenario="X")
+        assert res.scenario == "X"
+        assert res.meta["segments"] == 1
+
+
+class TestLowerBound:
+    def test_power_matches_table_at_actual_load(self):
+        trace = LoadTrace(np.array([0.0, 5.0, 50.0, 100.0]))
+        table = build_table(
+            (P, R), {"paravance": 529.0, "raspberry": 1.0}, 100.0
+        )
+        res = lower_bound_result(trace, table)
+        assert np.allclose(res.power, table.power_at_load(trace.values))
+        # on-grid loads agree with the plain grid lookup
+        assert res.power[2] == pytest.approx(float(table.power_for(50.0)))
+        assert res.n_reconfigurations == 0
+        assert res.qos().violation_seconds == 0
+
+    def test_off_grid_load_interpolates_within_cell(self):
+        table = build_table((R,), {"raspberry": 1.0}, 9.0)
+        # load 0.5 -> one raspberry at 0.5 req/s, not at the grid rate 1
+        assert table.power_at_load(0.5) == pytest.approx(3.1 + R.slope * 0.5)
+        assert table.power_at_load(0.0) == 0.0
+
+    def test_lower_bound_below_any_plan(self, infra, short_trace):
+        from repro.core.scheduler import BMLScheduler
+
+        plan = BMLScheduler(infra).plan(short_trace)
+        bml = execute_plan(plan, short_trace)
+        lb = lower_bound_result(short_trace, infra.table(short_trace.peak))
+        assert lb.total_energy <= bml.total_energy

@@ -1,0 +1,109 @@
+"""Unit tests for the machine finite-state machine."""
+
+import pytest
+
+from repro.core.profiles import TABLE_I
+from repro.sim.energy import EnergyMeter
+from repro.sim.machine import Machine, MachineError, MachineState
+
+
+@pytest.fixture()
+def machine():
+    return Machine("p-0", TABLE_I["paravance"], EnergyMeter())
+
+
+class TestTransitions:
+    def test_initial_state_off_drawing_nothing(self, machine):
+        assert machine.state is MachineState.OFF
+        assert machine.power_draw == 0.0
+
+    def test_full_cycle(self, machine):
+        ready = machine.power_on(0.0)
+        assert machine.state is MachineState.BOOTING
+        assert ready == 189.0
+        machine.complete_boot(ready)
+        assert machine.state is MachineState.ON
+        done = machine.power_off(200.0)
+        assert machine.state is MachineState.STOPPING
+        assert done == 210.0
+        machine.complete_shutdown(done)
+        assert machine.state is MachineState.OFF
+        assert machine.boots == 1 and machine.shutdowns == 1
+
+    def test_power_on_only_from_off(self, machine):
+        machine.power_on(0.0)
+        with pytest.raises(MachineError):
+            machine.power_on(1.0)
+
+    def test_power_off_only_from_on(self, machine):
+        with pytest.raises(MachineError):
+            machine.power_off(0.0)
+
+    def test_complete_boot_only_from_booting(self, machine):
+        with pytest.raises(MachineError):
+            machine.complete_boot(0.0)
+
+    def test_complete_shutdown_only_from_stopping(self, machine):
+        with pytest.raises(MachineError):
+            machine.complete_shutdown(0.0)
+
+    def test_power_off_requires_drained_load(self, machine):
+        machine.power_on(0.0)
+        machine.complete_boot(189.0)
+        machine.assign_load(500.0, 189.0)
+        with pytest.raises(MachineError):
+            machine.power_off(200.0)
+        machine.assign_load(0.0, 200.0)
+        machine.power_off(200.0)
+
+
+class TestPowerDraw:
+    def test_booting_draw_integrates_to_on_energy(self, machine):
+        machine.power_on(0.0)
+        assert machine.power_draw * 189 == pytest.approx(21341.0)
+
+    def test_stopping_draw_integrates_to_off_energy(self, machine):
+        machine.power_on(0.0)
+        machine.complete_boot(189.0)
+        machine.power_off(189.0)
+        assert machine.power_draw * 10 == pytest.approx(657.0)
+
+    def test_on_draw_linear_in_load(self, machine):
+        machine.power_on(0.0)
+        machine.complete_boot(189.0)
+        assert machine.power_draw == pytest.approx(69.9)
+        machine.assign_load(1331.0, 189.0)
+        assert machine.power_draw == pytest.approx(200.5)
+
+
+class TestLoadAssignment:
+    def test_only_when_on(self, machine):
+        with pytest.raises(MachineError):
+            machine.assign_load(10.0, 0.0)
+
+    def test_rejects_overload(self, machine):
+        machine.power_on(0.0)
+        machine.complete_boot(189.0)
+        with pytest.raises(MachineError):
+            machine.assign_load(1332.0, 189.0)
+
+    def test_rejects_negative(self, machine):
+        machine.power_on(0.0)
+        machine.complete_boot(189.0)
+        with pytest.raises(MachineError):
+            machine.assign_load(-5.0, 189.0)
+
+
+class TestMetering:
+    def test_energy_ledger_tracks_cycle(self):
+        meter = EnergyMeter()
+        m = Machine("r-0", TABLE_I["raspberry"], meter)
+        m.power_on(0.0)           # 16 s boot at 40.5/16 W
+        m.complete_boot(16.0)     # idle 3.1 W for 84 s
+        m.assign_load(9.0, 100.0) # full 3.7 W for 100 s
+        m.assign_load(0.0, 200.0)
+        m.power_off(200.0)        # 14 s at 36.2/14 W
+        m.complete_shutdown(214.0)
+        meter.finalize(214.0)
+        expected = 40.5 + 84 * 3.1 + 100 * 3.7 + 36.2
+        assert meter.energy_of("r-0") == pytest.approx(expected)

@@ -1,0 +1,82 @@
+"""Unit tests for the RAPL-style power-capping model."""
+
+import numpy as np
+import pytest
+
+from repro.core.profiles import TABLE_I, ProfileError
+from repro.sim.powercap import CappedMachine, capped_profile, capped_stack_power
+
+P = TABLE_I["paravance"]
+
+
+class TestCappedMachine:
+    def test_cap_bounds_enforced(self):
+        with pytest.raises(ProfileError):
+            CappedMachine(P, 50.0)  # below idle (69.9)
+        with pytest.raises(ProfileError):
+            CappedMachine(P, 250.0)  # above max (200.5)
+
+    def test_performance_ceiling(self):
+        m = CappedMachine(P, 135.2)  # half the dynamic range
+        assert m.max_perf == pytest.approx(1331.0 / 2, rel=1e-9)
+
+    def test_full_cap_is_identity(self):
+        m = CappedMachine(P, 200.5)
+        assert m.max_perf == pytest.approx(1331.0)
+        assert m.power(1331.0) == pytest.approx(200.5)
+
+    def test_power_never_exceeds_cap(self):
+        m = CappedMachine(P, 120.0)
+        rates = np.linspace(0, 1331, 50)
+        assert np.all(m.power(rates) <= 120.0 + 1e-9)
+
+    def test_idle_unchanged(self):
+        m = CappedMachine(P, 100.0)
+        assert m.power(0.0) == pytest.approx(69.9)
+
+    def test_ipr_worsens_as_cap_tightens(self):
+        """The Sec. II argument, quantified: capping *raises* the
+        idle-to-peak ratio (worse proportionality at the floor)."""
+        loose = CappedMachine(P, 200.5)
+        tight = CappedMachine(P, 100.0)
+        assert tight.ipr > loose.ipr
+        assert tight.ipr == pytest.approx(0.699)
+
+
+class TestCappedProfile:
+    def test_round_trips_through_bml_pipeline(self):
+        from repro.core.bml import design
+        from repro.core.profiles import table_i_profiles
+
+        capped = capped_profile(P, 150.0)
+        assert capped.max_power == 150.0
+        assert capped.idle_power == 69.9
+        profiles = [capped] + [
+            p for p in table_i_profiles() if p.name != "paravance"
+        ]
+        infra = design(profiles)
+        assert capped.name in infra.names  # still the Big of the family
+
+    def test_name_defaults_to_cap_suffix(self):
+        assert capped_profile(P, 150.0).name == "paravance@150W"
+
+
+class TestCappedStack:
+    def test_even_spreading(self):
+        out = capped_stack_power(P, 200.5, rate=1331.0, nodes=2)
+        # two machines at half load each
+        assert out == pytest.approx(2 * (69.9 + P.slope * 665.5))
+
+    def test_saturates_at_fleet_cap(self):
+        out = capped_stack_power(P, 100.0, rate=10_000.0, nodes=2)
+        assert out == pytest.approx(200.0)
+
+    def test_idle_fleet_cost_is_cap_independent(self):
+        """The static cost the paper attacks: caps do nothing at idle."""
+        tight = capped_stack_power(P, 100.0, rate=0.0, nodes=4)
+        loose = capped_stack_power(P, 200.5, rate=0.0, nodes=4)
+        assert tight == loose == pytest.approx(4 * 69.9)
+
+    def test_needs_machines(self):
+        with pytest.raises(ProfileError):
+            capped_stack_power(P, 100.0, 10.0, 0)

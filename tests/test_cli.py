@@ -1,0 +1,124 @@
+"""Integration tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bogus"])
+
+
+class TestDesign:
+    def test_table1_source(self, capsys):
+        assert main(["design"]) == 0
+        out = capsys.readouterr().out
+        assert "paravance" in out and "threshold=529" in out
+
+    def test_illustrative_source(self, capsys):
+        assert main(["design", "--source", "illustrative"]) == 0
+        out = capsys.readouterr().out
+        assert "removed: D" in out
+
+
+class TestCombination:
+    def test_prints_combinations(self, capsys):
+        assert main(["combination", "5", "1400"]) == 0
+        out = capsys.readouterr().out
+        assert "1xraspberry" in out
+        assert "1xparavance + 2xchromebook + 1xraspberry" in out
+
+    def test_ideal_method(self, capsys):
+        assert main(["combination", "100", "--method", "ideal"]) == 0
+        assert "ideal" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_profile_command(self, capsys):
+        assert main(["profile", "--noise", "0.0"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "raspberry" in out
+
+
+class TestSimulate:
+    def test_two_day_simulation(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "simulate", "--days", "2", "--seed", "5",
+                    "--csv", str(tmp_path / "out"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "UpperBound Global" in out
+        assert "lower bound" in out
+        assert (tmp_path / "out" / "fig5_daily_energy.csv").exists()
+        assert (tmp_path / "out" / "fig5_summary.csv").exists()
+
+
+class TestExperiment:
+    @pytest.mark.parametrize("name", ["fig1", "fig2", "fig3", "fig4"])
+    def test_figure_experiments(self, capsys, name):
+        assert main(["experiment", name]) == 0
+        assert name in capsys.readouterr().out
+
+    def test_fig_csv_dump(self, capsys, tmp_path):
+        assert main(["experiment", "fig4", "--csv", str(tmp_path)]) == 0
+        assert (tmp_path / "fig4.csv").exists()
+
+    def test_table1_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_fig5_experiment_short(self, capsys):
+        assert main(["experiment", "fig5", "--days", "2"]) == 0
+        assert "Big-Medium-Little" in capsys.readouterr().out
+
+
+class TestSimulatePolicy:
+    def test_transition_aware_flag(self, capsys):
+        assert main(["simulate", "--days", "1", "--policy", "transition-aware"]) == 0
+        assert "Big-Medium-Little" in capsys.readouterr().out
+
+
+class TestTrace:
+    def test_npz_output(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        assert main(["trace", str(out), "--days", "1", "--seed", "2"]) == 0
+        assert out.exists()
+        from repro.workload import LoadTrace
+
+        trace = LoadTrace.from_npz(out)
+        assert trace.n_days == 1
+
+    def test_csv_output(self, capsys, tmp_path):
+        out = tmp_path / "t.csv"
+        assert main(["trace", str(out), "--days", "1", "--peak", "800"]) == 0
+        from repro.workload import LoadTrace
+
+        trace = LoadTrace.from_csv(out)
+        assert trace.peak == pytest.approx(800.0, rel=1e-6)
+
+    def test_wc98_binary_output(self, capsys, tmp_path):
+        out = tmp_path / "t.npz"
+        assert main(
+            ["trace", str(out), "--days", "1", "--wc98-binary"]
+        ) == 0
+        logs = list(tmp_path.glob("t_day*.log.gz"))
+        assert len(logs) == 1
+        from repro.workload import read_trace
+
+        replayed = read_trace(logs)
+        assert replayed.total_demand > 0
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["trace", str(tmp_path / "t.parquet"), "--days", "1"])

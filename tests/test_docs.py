@@ -1,0 +1,79 @@
+"""Documentation consistency: the docs must not drift from the code."""
+
+import re
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+class TestDesignDoc:
+    def test_design_exists_and_confirms_paper(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        assert "CLUSTER 2016" in text
+        assert "Villebonnet" in text
+
+    def test_every_referenced_bench_exists(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"benchmarks/(test_\w+\.py)", text):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+    def test_every_referenced_module_exists(self):
+        text = (ROOT / "DESIGN.md").read_text()
+        for match in re.finditer(r"`(core|sim|workload|profiling|analysis)/(\w+)\.py`", text):
+            rel = Path("src/repro") / match.group(1) / f"{match.group(2)}.py"
+            assert (ROOT / rel).exists(), match.group(0)
+
+
+class TestExperimentsDoc:
+    def test_headline_numbers_present(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        # the paper's published statistics must be stated for comparison
+        for published in ("32", "6.8", "161.4", "529", "1331"):
+            assert published in text
+
+    def test_every_referenced_bench_exists(self):
+        text = (ROOT / "EXPERIMENTS.md").read_text()
+        for match in re.finditer(r"benchmarks/(test_\w+\.py)", text):
+            assert (ROOT / "benchmarks" / match.group(1)).exists(), match.group(0)
+
+
+class TestReadme:
+    def test_quickstart_snippet_runs(self):
+        """The README's core claims, executed."""
+        import repro
+
+        infra = repro.design(repro.table_i_profiles())
+        assert infra.thresholds == {
+            "paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0,
+        }
+        combo = infra.combination_for(1400)
+        assert combo.describe() == "1xparavance + 2xchromebook + 1xraspberry"
+        assert combo.power(1400) == pytest.approx(218.75, abs=0.01)
+
+    def test_examples_table_matches_directory(self):
+        text = (ROOT / "README.md").read_text()
+        for script in (ROOT / "examples").glob("*.py"):
+            assert script.name in text, f"{script.name} missing from README"
+
+
+class TestPublicApi:
+    def test_top_level_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_subpackage_exports_resolve(self):
+        import repro.analysis
+        import repro.core
+        import repro.profiling
+        import repro.sim
+        import repro.workload
+
+        for pkg in (
+            repro.core, repro.sim, repro.workload, repro.profiling, repro.analysis
+        ):
+            for name in pkg.__all__:
+                assert getattr(pkg, name, None) is not None, (pkg.__name__, name)

@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs end to end on a tiny input."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        mod = load_example("quickstart")
+        assert mod.main(["--days", "1", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "threshold=529" in out
+        assert "BML vs lower bound" in out
+
+    def test_design_datacenter(self, capsys):
+        mod = load_example("design_datacenter")
+        assert mod.main([]) == 0
+        out = capsys.readouterr().out
+        assert "measured profiles" in out
+        assert "crossing points" in out
+
+    def test_worldcup_replay(self, capsys, tmp_path):
+        mod = load_example("worldcup_replay")
+        assert mod.main(["--days", "2", "--csv", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "UpperBound Global" in out
+        assert (tmp_path / "fig5_daily_energy.csv").exists()
+
+    def test_prediction_errors(self, capsys):
+        mod = load_example("prediction_errors")
+        assert mod.main(["--days", "1", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "prediction error impact" in out
+        assert "lookahead-max" in out
+
+    def test_machine_level_replay(self, capsys):
+        mod = load_example("machine_level_replay")
+        assert mod.main(["--hours", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "per-second power series identical: True" in out
+        assert "energy ledger" in out
+
+    def test_constrained_service(self, capsys):
+        mod = load_example("constrained_service")
+        assert mod.main(["--days", "1", "--seed", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "constrained operation" in out
+        assert "transition-aware policy" in out

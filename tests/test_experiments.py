@@ -1,0 +1,115 @@
+"""Integration tests for the packaged experiments (E1..E6)."""
+
+import numpy as np
+import pytest
+
+from repro import experiments
+from repro.profiling.harness import ProfilingCampaign
+
+
+class TestTable1:
+    def test_returns_five_reports(self):
+        reports = experiments.run_table1(ProfilingCampaign(wattmeter_noise=0.0))
+        assert [r.profile.name for r in reports] == [
+            "paravance", "taurus", "graphene", "chromebook", "raspberry",
+        ]
+
+
+class TestFigures:
+    def test_fig1(self):
+        fig = experiments.run_fig1()
+        assert fig.figure == "fig1"
+        assert fig.annotations["kept"] == ["A", "B", "C"]
+
+    def test_fig2(self):
+        fig = experiments.run_fig2()
+        assert fig.annotations["step4_thresholds"]["A"] > 151.0
+
+    def test_fig3(self):
+        fig = experiments.run_fig3()
+        assert len(fig.series) == 5
+
+    def test_fig4(self):
+        fig = experiments.run_fig4()
+        assert fig.annotations["thresholds"]["paravance"] == 529.0
+
+    def test_fig4_ideal_method(self):
+        fig = experiments.run_fig4(method="ideal")
+        assert fig.annotations["method"] == "ideal"
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return experiments.run_fig5(n_days=2, seed=3)
+
+    def test_scenario_ordering(self, outcome):
+        assert (
+            outcome.upper_global.total_energy
+            > outcome.upper_per_day.total_energy
+            >= outcome.bml.total_energy
+            > outcome.lower_bound.total_energy
+        )
+
+    def test_scenario_names_match_paper(self, outcome):
+        names = [r.scenario for r in outcome.results]
+        assert names == [
+            "UpperBound Global",
+            "UpperBound PerDay",
+            "Big-Medium-Little",
+            "LowerBound Theoretical",
+        ]
+
+    def test_overhead_positive_every_day(self, outcome):
+        assert np.all(outcome.overhead.per_day > 0)
+
+    def test_qos_served(self, outcome):
+        assert outcome.bml.qos(outcome.trace).served_fraction > 0.999
+
+    def test_summary_rows(self, outcome):
+        rows = outcome.summary_rows()
+        assert len(rows) == 4
+        assert {"scenario", "energy_kwh", "reconfigs"} <= set(rows[0])
+
+    def test_figure_series(self, outcome):
+        fig = outcome.figure()
+        assert set(fig.series) == {
+            "UpperBound Global",
+            "UpperBound PerDay",
+            "Big-Medium-Little",
+            "LowerBound Theoretical",
+        }
+        days, _ = fig.series["Big-Medium-Little"]
+        assert len(days) == 2
+
+    def test_accepts_custom_trace(self, infra, short_trace):
+        out = experiments.run_fig5(trace=short_trace, infra=infra)
+        assert out.trace is short_trace
+
+
+class TestSeedRobustness:
+    """The Fig. 5 shape must not depend on one lucky trace realisation."""
+
+    @pytest.mark.parametrize("seed", [3, 17])
+    def test_ordering_holds_across_seeds(self, seed):
+        out = experiments.run_fig5(n_days=3, seed=seed)
+        assert (
+            out.upper_global.total_energy
+            > out.upper_per_day.total_energy
+            > out.bml.total_energy
+            > out.lower_bound.total_energy
+        )
+        assert out.overhead.mean > 0
+        assert out.bml.qos(out.trace).served_fraction > 0.999
+
+
+class TestPolicies:
+    def test_transition_aware_policy(self):
+        out = experiments.run_fig5(n_days=1, seed=5, policy="transition-aware")
+        base = experiments.run_fig5(n_days=1, seed=5, policy="bml")
+        assert out.bml.switch_energy <= base.bml.switch_energy + 1e-6
+        assert out.bml.total_energy > 0
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError):
+            experiments.run_fig5(n_days=1, policy="magic")

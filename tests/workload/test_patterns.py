@@ -1,0 +1,187 @@
+"""Unit tests for synthetic load pattern generators."""
+
+import numpy as np
+import pytest
+
+from repro.workload import patterns
+from repro.workload.trace import SECONDS_PER_DAY
+
+DAY = SECONDS_PER_DAY
+
+
+class TestConstant:
+    def test_level(self):
+        out = patterns.constant(100, 5.0)
+        assert out.shape == (100,) and np.all(out == 5.0)
+
+    def test_rejects_negative_level_and_duration(self):
+        with pytest.raises(ValueError):
+            patterns.constant(10, -1.0)
+        with pytest.raises(ValueError):
+            patterns.constant(0, 1.0)
+
+
+class TestDiurnal:
+    def test_peak_at_peak_hour(self):
+        out = patterns.diurnal(DAY, low=10.0, high=100.0, peak_hour=15.0)
+        assert np.argmax(out) == 15 * 3600
+        assert out.max() == pytest.approx(100.0)
+
+    def test_trough_half_day_later(self):
+        out = patterns.diurnal(DAY, low=10.0, high=100.0, peak_hour=15.0)
+        assert out[3 * 3600] == pytest.approx(10.0)  # 3 am
+
+    def test_sharpness_narrows_peak(self):
+        soft = patterns.diurnal(DAY, 0.0, 1.0, sharpness=1.0)
+        sharp = patterns.diurnal(DAY, 0.0, 1.0, sharpness=3.0)
+        assert sharp.mean() < soft.mean()
+        assert sharp.max() == pytest.approx(soft.max())
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns.diurnal(DAY, 10.0, 5.0)
+        with pytest.raises(ValueError):
+            patterns.diurnal(DAY, 1.0, 2.0, sharpness=0.0)
+
+
+class TestWeekly:
+    def test_weekend_levels(self):
+        out = patterns.weekly(7 * DAY, 1.0, 0.5, start_weekday=0)
+        assert out[0] == 1.0                  # Monday
+        assert out[5 * DAY] == 0.5            # Saturday
+        assert out[6 * DAY + 100] == 0.5      # Sunday
+
+    def test_start_weekday_shifts(self):
+        out = patterns.weekly(2 * DAY, 1.0, 0.5, start_weekday=5)
+        assert out[0] == 0.5                  # starts on Saturday
+
+
+class TestTrend:
+    def test_linear_endpoints(self):
+        out = patterns.linear_trend(100, 1.0, 3.0)
+        assert out[0] == 1.0 and out[-1] == 3.0
+
+
+class TestFlashCrowd:
+    def test_shape(self):
+        out = patterns.flash_crowd(
+            10_000, at_s=1000, ramp_s=100, hold_s=500, decay_s=200, amplitude=50.0
+        )
+        assert out[999] == 0.0
+        assert out[1050] == pytest.approx(25.0)  # mid-ramp
+        assert out[1100] == pytest.approx(50.0)  # plateau start
+        assert out[1599] == pytest.approx(50.0)  # plateau end
+        assert 0 < out[1700] < 50.0              # decaying
+
+    def test_in_place_matches_full(self):
+        full = patterns.flash_crowd(5000, 100, 50, 200, 100, 10.0)
+        acc = np.zeros(5000)
+        patterns.add_flash_crowd(acc, 100, 50, 200, 100, 10.0)
+        assert np.allclose(acc, full)
+
+    def test_event_beyond_horizon_is_noop(self):
+        acc = np.zeros(100)
+        patterns.add_flash_crowd(acc, 200, 10, 10, 10, 5.0)
+        assert np.all(acc == 0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            patterns.flash_crowd(100, 10, -1, 10, 10, 5.0)
+
+
+class TestBursts:
+    def test_sum_of_events(self):
+        events = [(100.0, 10.0), (100.0, 5.0)]
+        out = patterns.bursts(1000, events, ramp_s=0.0, hold_s=100.0, decay_s=0.0)
+        assert out[150] == pytest.approx(15.0)
+
+    def test_empty_events(self):
+        assert np.all(patterns.bursts(100, []) == 0.0)
+
+
+class TestMicroBursts:
+    def test_multiplier_at_least_one(self, rng):
+        out = patterns.micro_bursts(DAY, rng, rate_per_day=10.0)
+        assert np.all(out >= 1.0)
+
+    def test_zero_rate_is_flat(self, rng):
+        assert np.all(patterns.micro_bursts(DAY, rng, rate_per_day=0.0) == 1.0)
+
+    def test_deterministic_given_rng_seed(self):
+        a = patterns.micro_bursts(DAY, np.random.default_rng(4), 5.0)
+        b = patterns.micro_bursts(DAY, np.random.default_rng(4), 5.0)
+        assert np.array_equal(a, b)
+
+    def test_dispersion_varies_days(self):
+        rng = np.random.default_rng(0)
+        out = patterns.micro_bursts(
+            10 * DAY, rng, rate_per_day=6.0, day_dispersion=2.0
+        )
+        per_day = out.reshape(10, DAY)
+        activity = (per_day > 1.0).sum(axis=1)
+        assert activity.std() > 0  # some days calm, some stormy
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            patterns.micro_bursts(DAY, rng, rate_per_day=-1.0)
+        with pytest.raises(ValueError):
+            patterns.micro_bursts(DAY, rng, day_dispersion=-0.5)
+
+
+class TestNoise:
+    def test_multiplicative_noise_mean_near_one(self, rng):
+        out = patterns.multiplicative_noise(100_000, rng, sigma=0.2)
+        assert out.mean() == pytest.approx(1.0, abs=0.01)
+        assert np.all(out > 0)
+
+    def test_multiplicative_zero_sigma(self, rng):
+        assert np.all(patterns.multiplicative_noise(100, rng, 0.0) == 1.0)
+
+    def test_heteroskedastic_day_cap(self):
+        rng = np.random.default_rng(1)
+        out = patterns.heteroskedastic_noise(
+            5 * DAY, rng, sigma=0.3, day_dispersion=1.0, day_sigma_cap=0.3
+        )
+        per_day_std = out.reshape(5, DAY).std(axis=1)
+        # lognormal with sigma <= 0.3 has std <= ~0.31
+        assert np.all(per_day_std < 0.35)
+
+    def test_heteroskedastic_mean_near_one(self):
+        rng = np.random.default_rng(2)
+        out = patterns.heteroskedastic_noise(2 * DAY, rng, sigma=0.1)
+        assert out.mean() == pytest.approx(1.0, abs=0.01)
+
+    def test_ar1_is_smooth(self, rng):
+        out = patterns.ar1_noise(10_000, rng, sigma=0.1, corr=0.999)
+        step_var = np.diff(out).std()
+        total_var = out.std()
+        assert step_var < 0.2 * total_var
+
+    def test_ar1_never_negative(self, rng):
+        out = patterns.ar1_noise(10_000, rng, sigma=1.0, corr=0.9)
+        assert np.all(out >= 0.0)
+
+    def test_ar1_validation(self, rng):
+        with pytest.raises(ValueError):
+            patterns.ar1_noise(100, rng, corr=1.0)
+
+
+class TestCompose:
+    def test_base_times_multipliers_plus_addends(self):
+        base = np.full(4, 10.0)
+        out = patterns.compose(base, [np.full(4, 2.0)], [np.full(4, 1.0)])
+        assert np.all(out == 21.0)
+
+    def test_clips_at_zero(self):
+        out = patterns.compose(np.full(3, 1.0), [], [np.full(3, -5.0)])
+        assert np.all(out == 0.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            patterns.compose(np.ones(3), [np.ones(4)])
+        with pytest.raises(ValueError):
+            patterns.compose(np.ones(3), [], [np.ones(4)])
+
+    def test_make_trace_wraps(self):
+        t = patterns.make_trace(np.ones(10), "x", t0=5.0)
+        assert t.name == "x" and t.t0 == 5.0

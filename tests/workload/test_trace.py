@@ -1,0 +1,188 @@
+"""Unit tests for the LoadTrace container."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import SECONDS_PER_DAY, LoadTrace, TraceError
+
+
+def trace_of(values, **kw):
+    return LoadTrace(np.asarray(values, dtype=float), **kw)
+
+
+class TestValidation:
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            trace_of([])
+
+    def test_rejects_negative(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0, -0.1])
+
+    def test_rejects_nan_and_inf(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0, float("nan")])
+        with pytest.raises(TraceError):
+            trace_of([1.0, float("inf")])
+
+    def test_rejects_2d(self):
+        with pytest.raises(TraceError):
+            LoadTrace(np.ones((2, 2)))
+
+    def test_rejects_bad_timestep(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0], timestep=0.0)
+
+    def test_values_are_immutable(self):
+        t = trace_of([1.0, 2.0])
+        with pytest.raises(ValueError):
+            t.values[0] = 9.0
+
+    def test_input_array_not_aliased(self):
+        arr = np.array([1.0, 2.0])
+        t = LoadTrace(arr)
+        arr[0] = 9.0
+        assert t[0] == 1.0
+
+
+class TestBasics:
+    def test_len_duration_peak_mean(self):
+        t = trace_of([1.0, 3.0], timestep=2.0)
+        assert len(t) == 2
+        assert t.duration == 4.0
+        assert t.peak == 3.0
+        assert t.mean == 2.0
+        assert t.total_demand == pytest.approx(8.0)
+
+    def test_indexing(self):
+        t = trace_of([1.0, 2.0, 3.0])
+        assert t[1] == 2.0
+
+    def test_slicing_preserves_offset(self):
+        t = trace_of([1.0, 2.0, 3.0, 4.0], t0=100.0)
+        s = t[1:3]
+        assert isinstance(s, LoadTrace)
+        assert list(s.values) == [2.0, 3.0]
+        assert s.t0 == 101.0
+
+    def test_strided_slicing_rejected(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0, 2.0, 3.0])[::2]
+
+    def test_stats_keys(self):
+        s = trace_of([1.0, 2.0]).stats()
+        assert {"peak", "mean", "p95", "p99", "samples"} <= set(s)
+
+
+class TestDays:
+    def test_day_views(self):
+        values = np.concatenate(
+            [np.full(SECONDS_PER_DAY, 1.0), np.full(SECONDS_PER_DAY, 2.0)]
+        )
+        t = LoadTrace(values)
+        assert t.n_days == 2
+        assert t.day(1).mean == 2.0
+        assert t.day(1).t0 == SECONDS_PER_DAY
+
+    def test_day_out_of_range(self):
+        t = LoadTrace(np.ones(SECONDS_PER_DAY))
+        with pytest.raises(TraceError):
+            t.day(1)
+
+    def test_per_day_max_with_partial_tail(self):
+        values = np.concatenate(
+            [np.full(SECONDS_PER_DAY, 5.0), np.full(100, 7.0)]
+        )
+        pm = LoadTrace(values).per_day_max()
+        assert list(pm) == [5.0, 7.0]
+
+    def test_per_day_mean(self):
+        values = np.concatenate(
+            [np.full(SECONDS_PER_DAY, 4.0), np.full(SECONDS_PER_DAY, 6.0)]
+        )
+        assert list(LoadTrace(values).per_day_mean()) == [4.0, 6.0]
+
+    def test_days_iterator(self):
+        t = LoadTrace(np.ones(2 * SECONDS_PER_DAY))
+        assert len(list(t.days())) == 2
+
+    def test_samples_per_day_requires_divisor(self):
+        t = trace_of(np.ones(10), timestep=7.0)
+        with pytest.raises(TraceError):
+            t.samples_per_day
+
+
+class TestTransforms:
+    def test_scaled(self):
+        t = trace_of([1.0, 2.0]).scaled(3.0)
+        assert list(t.values) == [3.0, 6.0]
+
+    def test_scaled_to_peak(self):
+        t = trace_of([1.0, 5.0]).scaled_to_peak(10.0)
+        assert t.peak == 10.0
+
+    def test_scaled_to_peak_rejects_zero_trace(self):
+        with pytest.raises(TraceError):
+            trace_of([0.0, 0.0]).scaled_to_peak(5.0)
+
+    def test_clipped(self):
+        t = trace_of([1.0, 9.0]).clipped(5.0)
+        assert t.peak == 5.0
+
+    def test_resampled_max_preserves_peak(self):
+        t = trace_of([1.0, 9.0, 2.0, 3.0])
+        r = t.resampled(2.0, how="max")
+        assert list(r.values) == [9.0, 3.0]
+        assert r.timestep == 2.0
+
+    def test_resampled_mean_preserves_demand(self):
+        t = trace_of([1.0, 3.0, 5.0, 7.0])
+        r = t.resampled(2.0, how="mean")
+        assert r.total_demand == pytest.approx(t.total_demand)
+
+    def test_resample_partial_tail(self):
+        t = trace_of([1.0, 2.0, 9.0])
+        r = t.resampled(2.0, how="max")
+        assert list(r.values) == [2.0, 9.0]
+
+    def test_resample_rejects_non_multiple(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0, 2.0]).resampled(1.5)
+
+    def test_resample_rejects_unknown_how(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0, 2.0]).resampled(2.0, how="median")
+
+    def test_concatenated(self):
+        a = trace_of([1.0, 2.0])
+        b = trace_of([3.0])
+        assert list(a.concatenated(b).values) == [1.0, 2.0, 3.0]
+
+    def test_concatenated_requires_same_step(self):
+        with pytest.raises(TraceError):
+            trace_of([1.0]).concatenated(trace_of([1.0], timestep=2.0))
+
+
+class TestIO:
+    def test_csv_round_trip(self, tmp_path):
+        t = trace_of([1.5, 2.5, 3.5], t0=10.0)
+        path = tmp_path / "t.csv"
+        t.to_csv(path)
+        back = LoadTrace.from_csv(path)
+        assert np.allclose(back.values, t.values)
+        assert back.t0 == 10.0
+        assert back.timestep == 1.0
+
+    def test_csv_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("time,load\n")
+        with pytest.raises(TraceError):
+            LoadTrace.from_csv(path)
+
+    def test_npz_round_trip(self, tmp_path):
+        t = trace_of([1.0, 2.0], timestep=5.0, name="x", t0=3.0)
+        path = tmp_path / "t.npz"
+        t.to_npz(path)
+        back = LoadTrace.from_npz(path)
+        assert np.array_equal(back.values, t.values)
+        assert (back.timestep, back.t0, back.name) == (5.0, 3.0, "x")

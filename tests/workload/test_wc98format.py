@@ -1,0 +1,132 @@
+"""Unit tests for the WC98 binary log format reader/writer."""
+
+import gzip
+
+import numpy as np
+import pytest
+
+from repro.workload.wc98format import (
+    WC98_RECORD_DTYPE,
+    read_records,
+    read_trace,
+    records_to_trace,
+    write_records,
+)
+
+
+@pytest.fixture()
+def log_timestamps(rng):
+    """Request timestamps with a known per-second histogram."""
+    base = 894_000_000  # May 1998
+    seconds = rng.integers(0, 120, size=5000)
+    return np.sort(base + seconds)
+
+
+class TestFormat:
+    def test_record_is_twenty_bytes(self):
+        assert WC98_RECORD_DTYPE.itemsize == 20
+
+    def test_round_trip_plain(self, tmp_path, log_timestamps):
+        path = tmp_path / "day06.log"
+        n = write_records(path, log_timestamps)
+        records = read_records(path)
+        assert len(records) == n == len(log_timestamps)
+        assert np.array_equal(
+            records["timestamp"].astype(np.int64), log_timestamps
+        )
+
+    def test_round_trip_gzip(self, tmp_path, log_timestamps):
+        path = tmp_path / "day06.log.gz"
+        write_records(path, log_timestamps)
+        # really gzip on disk
+        with path.open("rb") as fh:
+            assert fh.read(2) == b"\x1f\x8b"
+        records = read_records(path)
+        assert len(records) == len(log_timestamps)
+
+    def test_big_endian_layout(self, tmp_path):
+        path = tmp_path / "one.log"
+        write_records(path, np.array([0x01020304]))
+        raw = path.read_bytes()
+        assert raw[:4] == bytes([1, 2, 3, 4])  # big-endian timestamp
+
+    def test_truncated_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.log"
+        path.write_bytes(b"\x00" * 30)  # not a multiple of 20
+        with pytest.raises(ValueError):
+            read_records(path)
+
+
+class TestAggregation:
+    def test_counts_per_second(self, tmp_path):
+        base = 894_000_000
+        ts = np.array([base, base, base, base + 2])  # 3 reqs, 0, 1 req
+        trace = records_to_trace(
+            np.rec.fromarrays(
+                [ts, ts * 0, ts * 0, ts * 0, ts * 0, ts * 0, ts * 0, ts * 0],
+                dtype=WC98_RECORD_DTYPE,
+            )
+        )
+        assert list(trace.values) == [3.0, 0.0, 1.0]
+        assert trace.t0 == base
+
+    def test_histogram_matches_bincount(self, tmp_path, log_timestamps, rng):
+        path = tmp_path / "day.log"
+        write_records(path, log_timestamps, rng)
+        trace = read_trace(path)
+        lo = log_timestamps.min()
+        expected = np.bincount(log_timestamps - lo)
+        assert np.array_equal(trace.values[: len(expected)], expected)
+        assert trace.total_demand == len(log_timestamps)
+
+    def test_window_cropping(self, log_timestamps):
+        records = np.zeros(len(log_timestamps), dtype=WC98_RECORD_DTYPE)
+        records["timestamp"] = log_timestamps
+        lo = int(log_timestamps.min())
+        trace = records_to_trace(records, t_start=lo + 10, t_end=lo + 20)
+        assert len(trace) == 10
+        assert trace.t0 == lo + 10
+
+    def test_empty_window_rejected(self, log_timestamps):
+        records = np.zeros(1, dtype=WC98_RECORD_DTYPE)
+        with pytest.raises(ValueError):
+            records_to_trace(records, t_start=10, t_end=10)
+
+    def test_no_records_rejected(self):
+        with pytest.raises(ValueError):
+            records_to_trace(np.zeros(0, dtype=WC98_RECORD_DTYPE))
+
+
+class TestMultiFile:
+    def test_concatenates_daily_files(self, tmp_path, rng):
+        base = 894_000_000
+        day1 = base + rng.integers(0, 60, 200)
+        day2 = base + 86_400 + rng.integers(0, 60, 300)
+        p1, p2 = tmp_path / "d1.log", tmp_path / "d2.log.gz"
+        write_records(p1, np.sort(day1), rng)
+        write_records(p2, np.sort(day2), rng)
+        trace = read_trace([p1, p2])
+        assert trace.total_demand == 500
+        # the gap between the days is zero-filled
+        assert trace.values[3600] == 0.0
+
+    def test_rejects_empty_list(self):
+        with pytest.raises(ValueError):
+            read_trace([])
+
+    def test_end_to_end_with_scheduler(self, tmp_path, infra, rng):
+        """An archive-format file drives the whole pipeline."""
+        from repro.core.scheduler import BMLScheduler
+        from repro.sim.datacenter import execute_plan
+
+        base = 894_000_000
+        # one hour of Poisson-ish traffic around 60 req/s
+        ts = np.repeat(
+            base + np.arange(3600), rng.poisson(60.0, 3600)
+        )
+        path = tmp_path / "hour.log.gz"
+        write_records(path, ts, rng)
+        trace = read_trace(path)
+        res = execute_plan(BMLScheduler(infra).plan(trace), trace)
+        assert res.total_energy > 0
+        assert res.qos(trace).served_fraction > 0.999

@@ -1,0 +1,107 @@
+"""Unit tests for the synthetic World Cup 98 workload generator."""
+
+import numpy as np
+import pytest
+
+from repro.workload.trace import SECONDS_PER_DAY
+from repro.workload.worldcup import PAPER_DAYS, MatchEvent, WorldCupSynthesizer, synthesize
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        a = synthesize(n_days=3, seed=11)
+        b = synthesize(n_days=3, seed=11)
+        assert np.array_equal(a.values, b.values)
+
+    def test_different_seed_different_trace(self):
+        a = synthesize(n_days=3, seed=11)
+        b = synthesize(n_days=3, seed=12)
+        assert not np.array_equal(a.values, b.values)
+
+
+class TestShape:
+    def test_paper_length_default(self):
+        synth = WorldCupSynthesizer()
+        assert synth.n_days == PAPER_DAYS == 87
+
+    def test_duration_and_rate(self):
+        t = synthesize(n_days=4, seed=0)
+        assert len(t) == 4 * SECONDS_PER_DAY
+        assert t.timestep == 1.0
+
+    def test_peak_calibrated(self):
+        t = synthesize(n_days=10, seed=5, peak_rate=4321.0)
+        assert t.peak == pytest.approx(4321.0)
+
+    def test_t0_is_day_six(self):
+        t = synthesize(n_days=2, seed=0)
+        assert t.t0 == 5 * SECONDS_PER_DAY
+
+    def test_load_nonnegative(self):
+        t = synthesize(n_days=5, seed=9)
+        assert np.all(t.values >= 0.0)
+
+    def test_diurnal_structure(self):
+        t = synthesize(n_days=6, seed=3)
+        day = t.day(1)
+        night = day.values[2 * 3600 : 4 * 3600].mean()
+        afternoon = day.values[14 * 3600 : 16 * 3600].mean()
+        assert afternoon > 2 * night
+
+    def test_growth_toward_final(self):
+        synth = WorldCupSynthesizer(seed=8)
+        t = synth.build()
+        pm = t.per_day_max()
+        early = pm[:10].mean()
+        late = pm[synth.final_day - 5 : synth.final_day + 1].mean()
+        assert late > 2 * early
+
+    def test_decay_after_final(self):
+        synth = WorldCupSynthesizer(seed=8)
+        pm = synth.build().per_day_max()
+        assert pm[-3:].mean() < pm[synth.final_day] * 0.6
+
+
+class TestSchedule:
+    def test_final_is_heaviest_match(self):
+        synth = WorldCupSynthesizer(seed=1)
+        sched = synth.schedule()
+        weights = [e.weight for e in sched]
+        assert max(weights) == sched[-1].weight == 4.0
+
+    def test_matches_within_trace(self):
+        synth = WorldCupSynthesizer(n_days=50, seed=1)
+        assert all(e.day < 50 for e in synth.schedule())
+
+    def test_group_stage_has_multiple_matches_per_day(self):
+        synth = WorldCupSynthesizer(seed=1)
+        sched = synth.schedule()
+        start = synth.tournament_start
+        first_day = [e for e in sched if e.day == start]
+        assert 2 <= len(first_day) <= 3
+
+    def test_match_event_start_seconds(self):
+        e = MatchEvent(day=2, hour=21.0, weight=1.0)
+        assert e.start_s == 2 * SECONDS_PER_DAY + 21 * 3600
+
+
+class TestValidation:
+    def test_rejects_bad_days(self):
+        with pytest.raises(ValueError):
+            WorldCupSynthesizer(n_days=0)
+
+    def test_rejects_bad_night_fraction(self):
+        with pytest.raises(ValueError):
+            WorldCupSynthesizer(night_fraction=0.0)
+
+    def test_rejects_bad_rates(self):
+        with pytest.raises(ValueError):
+            WorldCupSynthesizer(peak_rate=-1.0)
+
+    def test_rejects_late_tournament_start(self):
+        with pytest.raises(ValueError):
+            WorldCupSynthesizer(n_days=10, tournament_start=10)
+
+    def test_short_traces_scale_tournament_start(self):
+        synth = WorldCupSynthesizer(n_days=6)
+        assert 0 <= synth.tournament_start < 6
