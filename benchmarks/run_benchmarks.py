@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Run the benchmark suite and the tier-1 tests, producing BENCH_*.json.
+
+The repo's perf-trajectory convention records one ``BENCH_PR<k>.json``
+(pytest-benchmark format) per PR so regressions are visible across the
+stacked sequence.  This driver runs:
+
+1. ``pytest benchmarks/ --benchmark-json=<out>`` — every paper artifact
+   benchmark plus the hot-path guards in ``test_perf_hotpaths.py``;
+2. the tier-1 suite (``pytest tests/``) — correctness must hold for the
+   numbers to mean anything.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py                 # -> BENCH_PR1.json
+    python benchmarks/run_benchmarks.py --json OUT.json # custom output
+    python benchmarks/run_benchmarks.py --perf-only     # hot paths only
+    REPRO_FIG5_DAYS=7 python benchmarks/run_benchmarks.py  # quicker Fig. 5
+
+Exit status is non-zero when either stage fails.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def _run(args: list, env: dict) -> int:
+    print(f"$ {' '.join(args)}", flush=True)
+    return subprocess.call(args, cwd=ROOT, env=env)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--json",
+        default="BENCH_PR1.json",
+        help="pytest-benchmark JSON output path (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--perf-only",
+        action="store_true",
+        help="run only benchmarks/test_perf_hotpaths.py (quick iteration)",
+    )
+    parser.add_argument(
+        "--skip-tests",
+        action="store_true",
+        help="skip the tier-1 test suite stage",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    bench_target = (
+        "benchmarks/test_perf_hotpaths.py" if args.perf_only else "benchmarks/"
+    )
+    status = _run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            bench_target,
+            "-q",
+            f"--benchmark-json={args.json}",
+        ],
+        env,
+    )
+    if status == 0:
+        print(f"benchmark results written to {args.json}")
+    if not args.skip_tests:
+        status = _run(
+            [sys.executable, "-m", "pytest", "tests/", "-q"], env
+        ) or status
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

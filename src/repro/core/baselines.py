@@ -67,16 +67,27 @@ def per_day_upper_bound_plan(
     day boundary and their On/Off overheads are charged there.  This is
     the paper's "example of coarse grain capacity planning".
     """
-    daily_peaks = trace.per_day_max()
-    counts = [
-        max(big_machines_needed(p, big), min_servers) for p in daily_peaks
-    ]
+    daily_peaks = np.asarray(trace.per_day_max(), dtype=float)
+    if np.any(daily_peaks < 0):
+        raise ValueError("peak must be >= 0")
+    # Vectorised big_machines_needed over all days; one Combination object
+    # per distinct machine count (days sharing a count reuse it).
+    counts = np.maximum(
+        np.ceil(daily_peaks / big.max_perf - 1e-9).astype(np.int64), min_servers
+    )
     spd = trace.samples_per_day
-    initial = _bigs(counts[0], big)
-    decisions: List[Tuple[int, Combination]] = []
-    for day in range(1, len(counts)):
-        if counts[day] != counts[day - 1]:
-            decisions.append((day * spd, _bigs(counts[day], big)))
+    combos: dict = {}
+
+    def bigs(n: int) -> Combination:
+        if n not in combos:
+            combos[n] = _bigs(n, big)
+        return combos[n]
+
+    initial = bigs(int(counts[0]))
+    change_days = np.flatnonzero(counts[1:] != counts[:-1]) + 1
+    decisions: List[Tuple[int, Combination]] = [
+        (int(day) * spd, bigs(int(counts[day]))) for day in change_days
+    ]
     return build_plan(
         len(trace), initial, decisions, allow_overlap_trim=True
     )

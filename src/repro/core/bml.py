@@ -69,9 +69,20 @@ class BMLInfrastructure:
     roles: Dict[str, str]
     removed: Dict[str, str]
     resolution: float = 1.0
-    _tables: Dict[Tuple[int, str], CombinationTable] = field(
-        default_factory=dict, repr=False
+    #: Largest table built so far per (method, inventory, app_spec) key;
+    #: smaller requests are served as array views of these (monotone reuse).
+    _tables: Dict[Tuple, CombinationTable] = field(
+        default_factory=dict, repr=False, compare=False
     )
+    #: Memoised truncated views per key, replaced wholesale when the
+    #: backing table grows (stale views must not pin superseded arrays).
+    _table_views: Dict[Tuple, Dict[int, CombinationTable]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Cache telemetry: a hit means plan()/power_curve() reused a table
+    #: without any construction work (see tests/core/test_bml.py).
+    table_cache_hits: int = field(default=0, repr=False, compare=False)
+    table_cache_misses: int = field(default=0, repr=False, compare=False)
 
     # -- basic views ------------------------------------------------------
     @property
@@ -105,19 +116,102 @@ class BMLInfrastructure:
             return ideal_combination(rate, self.ordered, self.resolution)
         raise ValueError(f"unknown method {method!r}")
 
-    def table(self, max_rate: float, method: str = "greedy") -> CombinationTable:
-        """Precomputed :class:`CombinationTable` up to ``max_rate`` (cached)."""
+    def table(
+        self,
+        max_rate: float,
+        method: str = "greedy",
+        inventory: Optional[Dict[str, int]] = None,
+        app_spec: Optional[object] = None,
+    ) -> CombinationTable:
+        """Precomputed :class:`CombinationTable` up to ``max_rate`` (cached).
+
+        Tables are memoised per ``(method, inventory, app_spec)`` key with
+        *monotone reuse*: a table built for a larger ``max_rate`` serves any
+        smaller request as a zero-copy array view, and fresh builds round
+        the size up to a power-of-two bucket (capped at the inventory's /
+        instance bound's reachable capacity) so repeated nearby requests
+        coalesce.  ``inventory`` bounds machine counts per architecture;
+        ``app_spec`` (instance bounds) switches to the constrained builder
+        and takes precedence over ``method``.  Hits and misses are counted
+        on :attr:`table_cache_hits` / :attr:`table_cache_misses`.
+        """
         units = int(math.ceil(max_rate / self.resolution - 1e-9))
-        key = (units, method)
-        if key not in self._tables:
-            self._tables[key] = build_table(
-                self.ordered,
-                self.thresholds,
-                units * self.resolution,
-                self.resolution,
-                method,
+        key = (
+            "constrained" if app_spec is not None else method,
+            None
+            if inventory is None
+            else tuple(sorted((str(k), int(v)) for k, v in inventory.items())),
+            None
+            if app_spec is None
+            else (int(app_spec.min_instances), app_spec.max_instances),
+        )
+        base = self._tables.get(key)
+        if base is None or len(base) < units + 1:
+            self.table_cache_misses += 1
+            build_units = self._bucket_units(units, inventory, app_spec)
+            base = self._build_table(build_units, method, inventory, app_spec)
+            self._tables[key] = base
+            # Views of a superseded base would pin its arrays; drop them.
+            self._table_views[key] = {}
+        else:
+            self.table_cache_hits += 1
+        views = self._table_views.setdefault(key, {})
+        view = views.get(units)
+        if view is None:
+            view = base.truncated(units)
+            views[units] = view
+        return view
+
+    def _bucket_units(
+        self,
+        units: int,
+        inventory: Optional[Dict[str, int]],
+        app_spec: Optional[object],
+    ) -> int:
+        """Round a requested grid size up to its cache bucket.
+
+        Power-of-two buckets amortise monotone growth; the bucket never
+        exceeds the largest reachable rate (inventory capacity or
+        ``max_instances`` times the biggest machine) and never shrinks
+        below the request (infeasible requests must raise as before).
+        """
+        bucket = 1 << max(units, 256).bit_length()
+        cap_units: Optional[int] = None
+        if inventory is not None:
+            cap = sum(
+                p.max_perf * int(inventory.get(p.name, 0)) for p in self.ordered
             )
-        return self._tables[key]
+            cap_units = int(math.floor(cap / self.resolution + 1e-9))
+        elif app_spec is not None:
+            max_instances = app_spec.max_instances
+            if max_instances is not None:
+                cap = max_instances * max(p.max_perf for p in self.ordered)
+                cap_units = int(math.floor(cap / self.resolution + 1e-9))
+        if cap_units is not None:
+            bucket = min(bucket, cap_units)
+        return max(bucket, units)
+
+    def _build_table(
+        self,
+        units: int,
+        method: str,
+        inventory: Optional[Dict[str, int]],
+        app_spec: Optional[object],
+    ) -> CombinationTable:
+        if app_spec is not None:
+            from .constraints import constrained_table
+
+            return constrained_table(
+                self.ordered, app_spec, units * self.resolution, self.resolution
+            )
+        return build_table(
+            self.ordered,
+            self.thresholds,
+            units * self.resolution,
+            self.resolution,
+            method,
+            inventory=inventory,
+        )
 
     def power_curve(
         self, rates: Union[Sequence[float], np.ndarray], method: str = "greedy"

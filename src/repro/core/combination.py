@@ -15,14 +15,50 @@ builders are provided:
   at most one partial" (loading by increasing marginal cost leaves at most
   one fractional node), so the optimum decomposes into *exact full-node
   cover* + *one partial node*, which the DP solves in
-  ``O(max_rate x n_architectures)`` using a monotonic-deque sliding
-  minimum.  The exact DP is used by Step 4 (crossing points against mixed
-  combinations of smaller architectures), by the theoretical lower bound,
-  and as the reference for the greedy-vs-optimal ablation (A1).
+  ``O(max_rate x n_architectures)`` using a sliding minimum.  The exact DP
+  is used by Step 4 (crossing points against mixed combinations of smaller
+  architectures), by the theoretical lower bound, and as the reference for
+  the greedy-vs-optimal ablation (A1).
 
 Rates are discretised to a configurable ``resolution`` (default: 1 unit of
 the application metric, i.e. 1 req/s in the paper) — the paper's thresholds
 (1, 10, 529 req/s) live on the same integer grid.
+
+Performance architecture
+------------------------
+Table construction is the substrate under the scheduler, the crossing
+analysis, the constrained variant and the lower bound, so everything on
+that path is expressed as numpy array operations; the original pure-Python
+formulations are kept as references for the equivalence property tests
+(``tests/properties/test_prop_vectorized.py``):
+
+* **Greedy tables** (:func:`build_table`, ``method="greedy"``) compute the
+  node-count matrix for *all* grid rates at once with ``O(n_architectures)``
+  vectorised passes (:func:`_greedy_counts_grid`), then materialise one
+  :class:`Combination` object per *run* of identical rows — the greedy
+  multiset only changes at node-capacity and threshold crossings, so this
+  is ``O(#distinct combos)`` object constructions instead of
+  ``O(max_rate)`` (reference: :func:`greedy_combination` once per rate).
+* **The exact DP** (:func:`_solve_dp`) replaces the per-rate Python loops
+  with a chunked numpy kernel for the full-cover recurrence
+  (:func:`_cover_costs`, blocks of ``min(caps)`` rates have no intra-block
+  dependency) and a Gil-Werman block decomposition for the sliding minimum
+  (:func:`_sliding_min_with_arg`, ``O(n)`` with three accumulate passes).
+  Exact-cover multisets for every grid rate are reconstructed with
+  pointer-doubling over the DP's choice chain (``O(n log n)`` gathers)
+  instead of ``O(n x nodes)`` backtracking.  Reference:
+  :func:`_solve_dp_reference` / :func:`_sliding_min_with_arg_reference`.
+* **Grid power evaluation** (:class:`CombinationTable`) mirrors
+  :meth:`Combination.power`'s exact operation order over the whole count
+  matrix at once (:func:`_grid_power_from_counts`), so the vectorised
+  power array is bit-identical to per-rate evaluation.
+
+Both kernels are deterministic replicas of the references (same float
+operation order, same tie-breaking), so the produced tables are
+bit-identical — counts and power arrays — to the per-rate constructions.
+Table *reuse* (memoisation keyed on method/resolution/inventory, with
+monotone reuse of larger tables for smaller requests) lives on
+:meth:`repro.core.bml.BMLInfrastructure.table`.
 """
 
 from __future__ import annotations
@@ -87,6 +123,21 @@ class Combination:
     def empty(cls) -> "Combination":
         """The combination with no machines (serves only rate 0)."""
         return cls(())
+
+    @classmethod
+    def _from_normalized(
+        cls, items: Tuple[Tuple[ArchitectureProfile, int], ...]
+    ) -> "Combination":
+        """Fast construction from items already in normalised form.
+
+        ``items`` must be zero-free and sorted by ``(-max_perf, name)`` —
+        exactly what ``__post_init__`` would produce.  Used by the
+        run-length table builders, which create one object per distinct
+        multiset instead of one per grid rate.
+        """
+        obj = object.__new__(cls)
+        object.__setattr__(obj, "items", items)
+        return obj
 
     # -- basic views ----------------------------------------------------
     @property
@@ -302,16 +353,181 @@ def greedy_combination_bounded(
         # Preferred machines exhausted: absorb the rest with whatever is
         # left, smallest machines first (closest to the ideal shape).
         for prof in reversed(ordered):
-            while remaining > _TOL and avail[prof.name] >= 1:
-                counts[prof] = counts.get(prof, 0) + 1
-                avail[prof.name] -= 1
-                remaining -= prof.max_perf
+            if remaining <= _TOL:
+                break
+            if avail[prof.name] < 1:
+                continue
+            take = min(
+                int(math.ceil((remaining - _TOL) / prof.max_perf)),
+                avail[prof.name],
+            )
+            counts[prof] = counts.get(prof, 0) + take
+            avail[prof.name] -= take
+            remaining -= take * prof.max_perf
         if remaining > _TOL:
             raise CombinationError(
                 f"inventory {dict(inventory)} cannot serve rate {rate} "
                 f"(short by {remaining:g})"
             )
     return Combination.of(counts)
+
+
+# ----------------------------------------------------------------------
+# Vectorised greedy: count matrix for the whole rate grid at once
+# ----------------------------------------------------------------------
+
+def _normalized_order(profiles: Sequence[ArchitectureProfile]) -> List[int]:
+    """Column order matching ``Combination.__post_init__``'s item order."""
+    return sorted(
+        range(len(profiles)),
+        key=lambda i: (-profiles[i].max_perf, profiles[i].name),
+    )
+
+
+def _greedy_counts_grid(
+    ordered: Sequence[ArchitectureProfile],
+    thresholds: Mapping[str, float],
+    max_units: int,
+    resolution: float,
+    inventory: Optional[Mapping[str, int]] = None,
+) -> np.ndarray:
+    """Greedy node counts for every grid rate, shape ``(max_units+1, n_arch)``.
+
+    Replays :func:`greedy_combination` (or the bounded variant) for all
+    rates simultaneously with one vectorised pass per architecture.  The
+    float operations mirror the scalar builders exactly (same floor-divide,
+    same tolerance masks), so the resulting matrix is bit-identical to the
+    per-rate construction.
+    """
+    if not ordered:
+        raise CombinationError("no architectures to combine")
+    n_arch = len(ordered)
+    n = max_units + 1
+    remaining = np.arange(n, dtype=np.float64) * resolution
+    counts = np.zeros((n, n_arch), dtype=np.int64)
+    avail: Optional[np.ndarray] = None
+    if inventory is not None:
+        stock = np.array(
+            [int(inventory.get(p.name, 0)) for p in ordered], dtype=np.int64
+        )
+        avail = np.broadcast_to(stock, (n, n_arch)).copy()
+    last = n_arch - 1
+    for i, prof in enumerate(ordered):
+        active = remaining > _TOL
+        if not active.any():
+            break
+        cap = prof.max_perf
+        # int(remaining // cap + _TOL): floor_divide matches Python's //.
+        full = np.floor(np.floor_divide(remaining, cap) + _TOL).astype(np.int64)
+        full[~active] = 0
+        if avail is not None:
+            np.minimum(full, avail[:, i], out=full)
+            avail[:, i] -= full
+        counts[:, i] += full
+        remaining = remaining - full.astype(np.float64) * cap
+        still = active & (remaining > _TOL)
+        if i == last:
+            place = still
+        else:
+            threshold = float(thresholds.get(prof.name, 1.0))
+            place = still & (remaining >= threshold - _TOL)
+        if avail is not None:
+            place &= avail[:, i] >= 1
+        counts[place, i] += 1
+        if avail is not None:
+            avail[place, i] -= 1
+        remaining[place] = 0.0
+    leftover = remaining > _TOL
+    if leftover.any() and inventory is not None:
+        # Cascade: absorb the rest with whatever machines are left,
+        # smallest first (mirrors greedy_combination_bounded).
+        for i in range(n_arch - 1, -1, -1):
+            rows = remaining > _TOL
+            if not rows.any():
+                break
+            cap = ordered[i].max_perf
+            take = np.ceil((remaining - _TOL) / cap)
+            take = np.minimum(take, avail[:, i].astype(np.float64))
+            take = take.astype(np.int64)
+            take[~rows] = 0
+            counts[:, i] += take
+            avail[:, i] -= take
+            remaining = remaining - take.astype(np.float64) * cap
+        leftover = remaining > _TOL
+    if leftover.any():
+        k = int(np.argmax(leftover))
+        if inventory is not None:
+            raise CombinationError(
+                f"inventory {dict(inventory)} cannot serve rate {k * resolution} "
+                f"(short by {remaining[k]:g})"
+            )
+        raise CombinationError(f"could not place remainder {remaining[k]}")
+    return counts
+
+
+def _combos_from_counts(
+    profiles: Sequence[ArchitectureProfile], counts: np.ndarray
+) -> List[Combination]:
+    """Expand a count matrix into per-rate :class:`Combination` objects.
+
+    One object is materialised per run of identical rows and shared across
+    the run — ``O(#distinct combos)`` constructions for the whole grid.
+    """
+    n = len(counts)
+    norm = _normalized_order(profiles)
+    if n > 1:
+        change = np.any(counts[1:] != counts[:-1], axis=1)
+        starts = np.concatenate(([0], np.flatnonzero(change) + 1))
+    else:
+        starts = np.array([0])
+    ends = np.concatenate((starts[1:], [n]))
+    combos: List[Combination] = []
+    for s, e in zip(starts.tolist(), ends.tolist()):
+        row = counts[s]
+        items = tuple(
+            (profiles[i], int(row[i])) for i in norm if row[i] > 0
+        )
+        combos += [Combination._from_normalized(items)] * (e - s)
+    return combos
+
+
+def _grid_power_from_counts(
+    profiles: Sequence[ArchitectureProfile],
+    counts: np.ndarray,
+    rates: np.ndarray,
+) -> np.ndarray:
+    """Power of row ``k``'s machine multiset at ``rates[k]``, vectorised.
+
+    Replicates :meth:`Combination.power`'s operation order exactly (idle
+    sum in normalised item order, then shares by increasing marginal cost
+    with the same tolerance masks), so the output is bit-identical to
+    per-row scalar evaluation.
+    """
+    n = len(rates)
+    norm = _normalized_order(profiles)
+    fcounts = counts.astype(np.float64)
+    total = np.zeros(n)
+    capacity = np.zeros(n)
+    for i in norm:
+        p = profiles[i]
+        total += p.idle_power * fcounts[:, i]
+        capacity += p.max_perf * fcounts[:, i]
+    bad = rates > capacity * (1 + 1e-9) + _TOL
+    if bad.any():
+        k = int(np.argmax(bad))
+        raise CombinationError(
+            f"rate {rates[k]} exceeds capacity {capacity[k]} of row {k}"
+        )
+    remaining = np.minimum(rates, capacity)
+    for i in sorted(norm, key=lambda j: profiles[j].slope):
+        p = profiles[i]
+        active = remaining > _TOL
+        share = np.where(
+            active, np.minimum(remaining, p.max_perf * fcounts[:, i]), 0.0
+        )
+        total += p.slope * share
+        remaining = remaining - share
+    return total
 
 
 # ----------------------------------------------------------------------
@@ -332,13 +548,16 @@ def _grid_capacities(
     return caps
 
 
-def _sliding_min_with_arg(
+def _sliding_min_with_arg_reference(
     values: np.ndarray, window: int
 ) -> Tuple[np.ndarray, np.ndarray]:
     """For each index i>=1: min of ``values[max(0, i-window) : i]`` and argmin.
 
-    O(n) monotonic deque.  Entry i of the output corresponds to choosing a
-    partial-load amount ``x`` in ``1..window`` with ``values[i - x]``.
+    O(n) monotonic deque, pure Python — the reference implementation the
+    vectorised :func:`_sliding_min_with_arg` is property-tested against.
+    Entry i of the output corresponds to choosing a partial-load amount
+    ``x`` in ``1..window`` with ``values[i - x]``; ties report the latest
+    index attaining the minimum.
     """
     n = len(values)
     best = np.full(n, np.inf)
@@ -357,6 +576,109 @@ def _sliding_min_with_arg(
     return best, arg
 
 
+def _sliding_min_with_arg(
+    values: np.ndarray, window: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorised drop-in for :func:`_sliding_min_with_arg_reference`.
+
+    Gil-Werman block decomposition: prefix/suffix minima over blocks of
+    ``window`` elements give every window minimum from two lookups; the
+    argmin accumulates the *latest* index attaining the minimum, matching
+    the deque's tie-breaking exactly.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    n = len(values)
+    best = np.full(n, np.inf)
+    arg = np.full(n, -1, dtype=np.int64)
+    w = int(window)
+    if n <= 1 or w < 1:
+        return best, arg
+    # Truncated head windows: i < w sees values[0:i].
+    t = min(w, n)
+    head = values[:t]
+    pm = np.minimum.accumulate(head)
+    reset = head <= pm  # == running min -> latest tie wins
+    pa = np.maximum.accumulate(np.where(reset, np.arange(t), -1))
+    best[1:t] = pm[: t - 1]
+    arg[1:t] = pa[: t - 1]
+    if n > w:
+        # Full windows: i in [w, n) sees values[i-w : i]; window start
+        # s = i - w spans at most two width-w blocks.
+        m = -(-n // w)
+        pad = m * w - n
+        v = np.concatenate((values, np.full(pad, np.inf))) if pad else values
+        blocks = v.reshape(m, w)
+        gidx = np.arange(m * w).reshape(m, w)
+        pmin = np.minimum.accumulate(blocks, axis=1)
+        reset = blocks <= pmin
+        parg = np.maximum.accumulate(np.where(reset, gidx, -1), axis=1)
+        rev = blocks[:, ::-1]
+        smin_rev = np.minimum.accumulate(rev, axis=1)
+        prev = np.concatenate(
+            (np.full((m, 1), np.inf), smin_rev[:, :-1]), axis=1
+        )
+        # Strict improvement only: ties keep the later original index.
+        reset_rev = rev < prev
+        pos = np.maximum.accumulate(
+            np.where(reset_rev, np.arange(w), -1), axis=1
+        )
+        base = (np.arange(m) * w)[:, None]
+        sarg_rev = np.where(pos >= 0, base + (w - 1 - pos), -1)
+        smin = smin_rev[:, ::-1]
+        sarg = sarg_rev[:, ::-1]
+        s = np.arange(n - w)
+        b = s + w - 1
+        suf_min = smin[s // w, s % w]
+        suf_arg = sarg[s // w, s % w]
+        pre_min = pmin[b // w, b % w]
+        pre_arg = parg[b // w, b % w]
+        take_pre = pre_min <= suf_min  # tie -> prefix side (later indices)
+        i_idx = s + w
+        best[i_idx] = np.where(take_pre, pre_min, suf_min)
+        arg[i_idx] = np.where(take_pre, pre_arg, suf_arg)
+    unreachable = ~np.isfinite(best)
+    best[unreachable] = np.inf
+    arg[unreachable] = -1
+    return best, arg
+
+
+def _cover_costs(
+    profiles: Sequence[ArchitectureProfile],
+    caps: Sequence[int],
+    n: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exact full-node-cover DP ``g`` and its choice array, chunked numpy.
+
+    ``g[r] = min_a g[r - caps[a]] + max_power[a]``; every dependency spans
+    at least ``min(caps)`` grid rates, so blocks of that many rates update
+    with pure array slicing (no intra-block dependency).  First-wins tie
+    breaking matches the reference loop.
+    """
+    powers = [p.max_power for p in profiles]
+    g = np.full(n, np.inf)
+    g[0] = 0.0
+    choice = np.full(n, -1, dtype=np.int64)
+    block = min(caps)
+    s = 1
+    while s < n:
+        e = min(s + block, n)
+        best = np.full(e - s, np.inf)
+        best_a = np.full(e - s, -1, dtype=np.int64)
+        for a, cap in enumerate(caps):
+            lo = max(s, cap)
+            if lo >= e:
+                continue
+            cand = g[lo - cap : e - cap] + powers[a]
+            seg = slice(lo - s, e - s)
+            better = cand < best[seg]
+            best[seg][better] = cand[better]
+            best_a[seg][better] = a
+        g[s:e] = best
+        choice[s:e] = best_a
+        s = e
+    return g, choice
+
+
 @dataclass(frozen=True)
 class _DPResult:
     resolution: float
@@ -368,11 +690,62 @@ class _DPResult:
     partial_from: np.ndarray   # grid index the partial node extends
 
 
+def _partial_phase(
+    profs: Tuple[ArchitectureProfile, ...],
+    caps: Sequence[int],
+    g: np.ndarray,
+    resolution: float,
+    sliding_min,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Overlay one partial node on the exact cover (shared f-phase)."""
+    n = len(g)
+    f = np.full(n, np.inf)
+    f[0] = 0.0
+    part_arch = np.full(n, -1, dtype=np.int64)
+    part_from = np.full(n, -1, dtype=np.int64)
+    for a, p in enumerate(profs):
+        # g[r - x] + idle + slope * (x * res)
+        #   = (g[r - x] - slope * res * (r - x)) + idle + slope * res * r
+        h = g - p.slope * resolution * np.arange(n)
+        best_h, arg_h = sliding_min(h, caps[a])
+        cand = best_h + p.idle_power + p.slope * resolution * np.arange(n)
+        better = cand < f
+        f = np.where(better, cand, f)
+        part_arch = np.where(better, a, part_arch)
+        part_from = np.where(better, arg_h, part_from)
+    return f, part_arch, part_from
+
+
 def _solve_dp(
     profiles: Sequence[ArchitectureProfile],
     max_units: int,
     resolution: float,
 ) -> _DPResult:
+    """Exact DP over the rate grid — fully vectorised kernels."""
+    profs = tuple(profiles)
+    caps = _grid_capacities(profs, resolution)
+    n = max_units + 1
+    g, choice = _cover_costs(profs, caps, n)
+    f, part_arch, part_from = _partial_phase(
+        profs, caps, g, resolution, _sliding_min_with_arg
+    )
+    return _DPResult(
+        resolution=resolution,
+        profiles=profs,
+        power=f,
+        cover_cost=g,
+        cover_choice=choice,
+        partial_arch=part_arch,
+        partial_from=part_from,
+    )
+
+
+def _solve_dp_reference(
+    profiles: Sequence[ArchitectureProfile],
+    max_units: int,
+    resolution: float,
+) -> _DPResult:
+    """The original per-rate Python DP, kept as the property-test reference."""
     profs = tuple(profiles)
     caps = _grid_capacities(profs, resolution)
     n = max_units + 1
@@ -389,21 +762,9 @@ def _solve_dp(
                 best_a = a
         g[r] = best
         choice[r] = best_a
-
-    f = np.full(n, np.inf)
-    f[0] = 0.0
-    part_arch = np.full(n, -1, dtype=np.int64)
-    part_from = np.full(n, -1, dtype=np.int64)
-    for a, p in enumerate(profs):
-        # g[r - x] + idle + slope * (x * res)
-        #   = (g[r - x] - slope * res * (r - x)) + idle + slope * res * r
-        h = g - p.slope * resolution * np.arange(n)
-        best_h, arg_h = _sliding_min_with_arg(h, caps[a])
-        cand = best_h + p.idle_power + p.slope * resolution * np.arange(n)
-        better = cand < f
-        f = np.where(better, cand, f)
-        part_arch = np.where(better, a, part_arch)
-        part_from = np.where(better, arg_h, part_from)
+    f, part_arch, part_from = _partial_phase(
+        profs, caps, g, resolution, _sliding_min_with_arg_reference
+    )
     return _DPResult(
         resolution=resolution,
         profiles=profs,
@@ -413,6 +774,30 @@ def _solve_dp(
         partial_arch=part_arch,
         partial_from=part_from,
     )
+
+
+def _cover_counts_all(
+    choice: np.ndarray, caps: Sequence[int], n_arch: int
+) -> np.ndarray:
+    """Node counts of the exact-cover chain for every grid rate.
+
+    Pointer-doubling over ``choice``'s parent chain (``r -> r - cap``)
+    accumulates each rate's multiset in ``O(log chain)`` vectorised gathers
+    instead of per-rate backtracking.  Rows with an unreachable cover keep
+    whatever partial chain they reach — callers must only read rows whose
+    DP cost is finite.
+    """
+    n = len(choice)
+    counts = np.zeros((n, n_arch), dtype=np.int64)
+    rows = np.arange(n)
+    valid = choice >= 0
+    counts[rows[valid], choice[valid]] = 1
+    caps_arr = np.asarray(caps, dtype=np.int64)
+    jump = np.where(valid, rows - caps_arr[np.where(valid, choice, 0)], 0)
+    while np.any(jump > 0):
+        counts += counts[jump]
+        jump = jump[jump]
+    return counts
 
 
 def ideal_table(
@@ -479,6 +864,8 @@ class CombinationTable:
         combos: Sequence[Combination],
         resolution: float,
         method: str,
+        *,
+        _counts: Optional[np.ndarray] = None,
     ) -> None:
         if not combos:
             raise CombinationError("empty combination table")
@@ -486,21 +873,50 @@ class CombinationTable:
         self._combos = list(combos)
         self.resolution = float(resolution)
         self.method = method
-        self._power = np.array([c.power(i * resolution) for i, c in enumerate(combos)])
+        n = len(self._combos)
+        if _counts is None:
+            index = {p.name: i for i, p in enumerate(self._profiles)}
+            _counts = np.zeros((n, len(self._profiles)), dtype=np.int64)
+            prev: Optional[Combination] = None
+            for i, combo in enumerate(self._combos):
+                if combo is prev:  # run-length lists repeat the same object
+                    _counts[i] = _counts[i - 1]
+                    continue
+                prev = combo
+                for name, cnt in combo.counts.items():
+                    _counts[i, index[name]] = cnt
+        self._counts = _counts
+        rates = np.arange(n) * self.resolution
+        self._power = _grid_power_from_counts(self._profiles, _counts, rates)
         # Power of each grid combination at the *lower* edge of its cell;
         # power is linear within a cell, so (floor, ceil) pairs allow exact
         # evaluation at off-grid loads (see power_at_load).
-        self._power_floor = np.array(
-            [
-                c.power(max((i - 1), 0) * resolution)
-                for i, c in enumerate(combos)
-            ]
+        floor_rates = np.maximum(np.arange(n) - 1, 0) * self.resolution
+        self._power_floor = _grid_power_from_counts(
+            self._profiles, _counts, floor_rates
         )
-        index = {p.name: i for i, p in enumerate(self._profiles)}
-        self._counts = np.zeros((len(combos), len(self._profiles)), dtype=np.int64)
-        for i, combo in enumerate(combos):
-            for name, cnt in combo.counts.items():
-                self._counts[i, index[name]] = cnt
+
+    def truncated(self, max_units: int) -> "CombinationTable":
+        """A view of this table covering grid rates ``0..max_units`` only.
+
+        Shares the underlying arrays (numpy slices), so a table built once
+        for a large ``max_rate`` serves any smaller request for free —
+        the monotone-reuse half of the infrastructure-level table cache.
+        """
+        n = max_units + 1
+        if n >= len(self._combos):
+            return self
+        if n < 1:
+            raise CombinationError("empty combination table")
+        view = object.__new__(CombinationTable)
+        view._profiles = self._profiles
+        view._combos = self._combos[:n]
+        view.resolution = self.resolution
+        view.method = self.method
+        view._counts = self._counts[:n]
+        view._power = self._power[:n]
+        view._power_floor = self._power_floor[:n]
+        return view
 
     # -- sizes -----------------------------------------------------------
     def __len__(self) -> int:
@@ -576,6 +992,27 @@ class CombinationTable:
         return view
 
 
+def _greedy_combos_reference(
+    ordered: Sequence[ArchitectureProfile],
+    thresholds: Mapping[str, float],
+    max_units: int,
+    resolution: float,
+    inventory: Optional[Mapping[str, int]] = None,
+) -> List[Combination]:
+    """Per-rate greedy construction — the property-test/benchmark reference."""
+    combos: List[Combination] = []
+    for k in range(max_units + 1):
+        if inventory is None:
+            combos.append(greedy_combination(k * resolution, ordered, thresholds))
+        else:
+            combos.append(
+                greedy_combination_bounded(
+                    k * resolution, ordered, thresholds, inventory
+                )
+            )
+    return combos
+
+
 def build_table(
     ordered: Sequence[ArchitectureProfile],
     thresholds: Mapping[str, float],
@@ -590,47 +1027,35 @@ def build_table(
     ``thresholds``); ``method="ideal"`` uses the exact DP (thresholds are
     ignored).  ``inventory`` bounds the machine counts per architecture
     (greedy method only); rates the inventory cannot serve raise.
+
+    Both methods run entirely on numpy kernels (see the module docstring's
+    performance notes); the tables are bit-identical to per-rate
+    construction with :func:`greedy_combination` / DP backtracking.
     """
     max_units = int(math.ceil(max_rate / resolution - _TOL))
-    combos: List[Combination] = []
     if method == "greedy":
-        for k in range(max_units + 1):
-            if inventory is None:
-                combos.append(
-                    greedy_combination(k * resolution, ordered, thresholds)
-                )
-            else:
-                combos.append(
-                    greedy_combination_bounded(
-                        k * resolution, ordered, thresholds, inventory
-                    )
-                )
+        counts = _greedy_counts_grid(
+            ordered, thresholds, max_units, resolution, inventory
+        )
     elif method == "ideal":
         if inventory is not None:
             raise CombinationError(
                 "inventory bounds are only supported with the greedy method"
             )
         dp = _solve_dp(ordered, max_units, resolution)
+        bad = ~np.isfinite(dp.power)
+        bad[0] = False
+        if bad.any():
+            k = int(np.argmax(bad))
+            raise CombinationError(f"rate {k * resolution} unreachable")
         caps = _grid_capacities(ordered, resolution)
-        for k in range(max_units + 1):
-            if k == 0:
-                combos.append(Combination.empty())
-                continue
-            counts: Dict[ArchitectureProfile, int] = {}
-            a = int(dp.partial_arch[k])
-            r = k
-            if a >= 0:
-                prof = dp.profiles[a]
-                counts[prof] = counts.get(prof, 0) + 1
-                r = int(dp.partial_from[k])
-            while r > 0:
-                a = int(dp.cover_choice[r])
-                if a < 0:
-                    raise CombinationError(f"rate {k * resolution} unreachable")
-                prof = dp.profiles[a]
-                counts[prof] = counts.get(prof, 0) + 1
-                r -= caps[a]
-            combos.append(Combination.of(counts))
+        cover = _cover_counts_all(dp.cover_choice, caps, len(ordered))
+        rows = np.arange(max_units + 1)
+        has_partial = dp.partial_arch >= 0
+        src = np.where(has_partial, dp.partial_from, rows)
+        counts = cover[src].copy()
+        counts[rows[has_partial], dp.partial_arch[has_partial]] += 1
     else:
         raise CombinationError(f"unknown method {method!r}")
-    return CombinationTable(ordered, combos, resolution, method)
+    combos = _combos_from_counts(ordered, counts)
+    return CombinationTable(ordered, combos, resolution, method, _counts=counts)

@@ -212,25 +212,40 @@ def constrained_table(
         profs, caps, g_choice, f, f_n, f_arch, f_from = _solve_bounded(
             ordered, max_units, resolution, spec.max_instances
         )
+        # The backtrack start (layer count, partial arch, chain origin)
+        # fully determines the reconstructed multiset, so consecutive rates
+        # sharing it reuse one object instead of rebuilding per grid rate.
+        memo: Dict[Tuple[int, int, int], Combination] = {}
         for k in range(max_units + 1):
             if not np.isfinite(f[k]):
                 raise CombinationError(
                     f"max_instances={spec.max_instances} cannot serve "
                     f"rate {k * resolution}"
                 )
-            counts: Dict[ArchitectureProfile, int] = {}
-            r, n, a = k, int(f_n[k]), int(f_arch[k])
-            if a >= 0:
-                counts[profs[a]] = counts.get(profs[a], 0) + 1
-                r = int(f_from[k])
-            while n > 0:
-                choice = int(g_choice[n, r])
-                counts[profs[choice]] = counts.get(profs[choice], 0) + 1
-                r -= caps[choice]
-                n -= 1
-            combos.append(Combination.of(counts))
-    combos = [
-        c if not c else enforce_min_nodes(c, spec.min_instances, ordered)
-        for c in combos
-    ]
+            n, a = int(f_n[k]), int(f_arch[k])
+            r = int(f_from[k]) if a >= 0 else k
+            sig = (n, a, r)
+            combo = memo.get(sig)
+            if combo is None:
+                counts: Dict[ArchitectureProfile, int] = {}
+                if a >= 0:
+                    counts[profs[a]] = counts.get(profs[a], 0) + 1
+                while n > 0:
+                    choice = int(g_choice[n, r])
+                    counts[profs[choice]] = counts.get(profs[choice], 0) + 1
+                    r -= caps[choice]
+                    n -= 1
+                combo = Combination.of(counts)
+                memo[sig] = combo
+            combos.append(combo)
+    padded: Dict[Combination, Combination] = {}
+
+    def _pad(combo: Combination) -> Combination:
+        out = padded.get(combo)
+        if out is None:
+            out = enforce_min_nodes(combo, spec.min_instances, ordered)
+            padded[combo] = out
+        return out
+
+    combos = [c if not c else _pad(c) for c in combos]
     return CombinationTable(ordered, combos, resolution, "constrained")

@@ -129,16 +129,25 @@ def step3_thresholds(
     """
     kept = list(ordered)
     removed: Dict[str, str] = {}
+    # The elimination loop and the threshold pass evaluate the same pure
+    # crossing computations; memoise them per (big, little) pair.
+    cache: Dict[Tuple[str, str], Optional[float]] = {}
+
+    def cross(big: ArchitectureProfile, little: ArchitectureProfile) -> Optional[float]:
+        key = (big.name, little.name)
+        if key not in cache:
+            cache[key] = crossing_vs_stack(big, little, resolution)
+        return cache[key]
+
     changed = True
     while changed:
         changed = False
         for i in range(len(kept) - 2, -1, -1):
-            big, little = kept[i], kept[i + 1]
-            if crossing_vs_stack(big, little, resolution) is None:
+            if cross(kept[i], kept[i + 1]) is None:
                 # ``big`` can never beat stacks of the machine right below
                 # it; with profiles sorted by efficiency this means it never
                 # participates in an ideal combination.
-                removed[big.name] = "step3"
+                removed[kept[i].name] = "step3"
                 del kept[i]
                 changed = True
                 break
@@ -147,9 +156,9 @@ def step3_thresholds(
         if i == len(kept) - 1:
             thresholds[prof.name] = resolution
         else:
-            cross = crossing_vs_stack(prof, kept[i + 1], resolution)
-            assert cross is not None  # guaranteed by the elimination loop
-            thresholds[prof.name] = cross
+            result = cross(prof, kept[i + 1])
+            assert result is not None  # guaranteed by the elimination loop
+            thresholds[prof.name] = result
     return kept, thresholds, removed
 
 
@@ -160,11 +169,24 @@ def step4_thresholds(
     """Step 4: thresholds vs ideal combinations of all smaller survivors."""
     kept = list(ordered)
     removed: Dict[str, str] = {}
+    # The Step 4 adversary (exact-DP table of all smaller survivors) is the
+    # expensive part and is recomputed by both the elimination loop and the
+    # threshold pass; memoise crossings per (big, smaller-set) key.
+    cache: Dict[Tuple[str, Tuple[str, ...]], Optional[float]] = {}
+
+    def cross(
+        big: ArchitectureProfile, smaller: List[ArchitectureProfile]
+    ) -> Optional[float]:
+        key = (big.name, tuple(p.name for p in smaller))
+        if key not in cache:
+            cache[key] = crossing_vs_ideal(big, smaller, resolution)
+        return cache[key]
+
     changed = True
     while changed:
         changed = False
         for i in range(len(kept) - 2, -1, -1):
-            if crossing_vs_ideal(kept[i], kept[i + 1 :], resolution) is None:
+            if cross(kept[i], kept[i + 1 :]) is None:
                 removed[kept[i].name] = "step4"
                 del kept[i]
                 changed = True
@@ -174,9 +196,9 @@ def step4_thresholds(
         if i == len(kept) - 1:
             thresholds[prof.name] = resolution
         else:
-            cross = crossing_vs_ideal(prof, kept[i + 1 :], resolution)
-            assert cross is not None
-            thresholds[prof.name] = cross
+            result = cross(prof, kept[i + 1 :])
+            assert result is not None
+            thresholds[prof.name] = result
     return kept, thresholds, removed
 
 

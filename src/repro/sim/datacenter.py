@@ -41,16 +41,29 @@ def execute_plan(
         raise ValueError(f"plan horizon {plan.horizon} != trace length {n}")
     power = np.empty(n)
     unserved = np.zeros(n)
+    # Group segments by serving combination: each distinct combination's
+    # piecewise-linear power curve is evaluated with a single np.interp
+    # over all its samples (plans with heavy reconfiguration churn revisit
+    # the same few combinations thousands of times).
+    groups: dict = {}
     for seg in plan.segments:
-        loads = trace.values[seg.t_start : seg.t_end]
-        capacity = seg.serving.capacity
+        groups.setdefault(seg.serving, []).append(seg)
+    for combo, segs in groups.items():
+        capacity = combo.capacity
+        pieces = [trace.values[s.t_start : s.t_end] for s in segs]
+        loads = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
         served = np.minimum(loads, capacity)
-        power[seg.t_start : seg.t_end] = (
-            combination_power(seg.serving, served) + seg.overhead_power
-        )
-        deficit = loads - served
-        if np.any(deficit > 0):
-            unserved[seg.t_start : seg.t_end] = deficit
+        powers = combination_power(combo, served)
+        offset = 0
+        for seg, piece in zip(segs, pieces):
+            size = seg.t_end - seg.t_start
+            power[seg.t_start : seg.t_end] = (
+                powers[offset : offset + size] + seg.overhead_power
+            )
+            deficit = piece - served[offset : offset + size]
+            if np.any(deficit > 0):
+                unserved[seg.t_start : seg.t_end] = deficit
+            offset += size
     return SimulationResult(
         scenario=scenario,
         trace_name=trace.name,

@@ -79,10 +79,18 @@ def trailing_max(values: Sequence[float], window: int) -> np.ndarray:
     """``out[t] = max(values[max(0, t - window + 1) : t + 1])``.
 
     The backward-looking counterpart, useful for reactive policies that
-    hold capacity for recently seen peaks.
+    hold capacity for recently seen peaks.  Delegates to scipy's O(n) C
+    filter like :func:`lookahead_max`; the deque is only the fallback.
     """
     arr = _validate(np.asarray(values), window)
     n = len(arr)
     if n == 0:
         return arr.copy()
-    return lookahead_max_reference(arr[::-1], window)[::-1].copy()
+    w = min(window, n)
+    if _maxfilter is not None:
+        # Shift the filter window left so it covers [t - w + 1, t]; the
+        # -inf boundary fill truncates the leading windows exactly.
+        return _maxfilter(
+            arr, size=w, mode="constant", cval=-np.inf, origin=(w - 1) // 2
+        )
+    return lookahead_max_reference(arr[::-1], w)[::-1].copy()

@@ -73,6 +73,43 @@ class TestCombinations:
         assert t1 is t2
         assert infra.table(500.0, method="ideal") is not t1
 
+    def test_table_cache_counts_hits_and_misses(self):
+        from repro.core.bml import design
+        from repro.core.profiles import table_i_profiles
+
+        infra = design(table_i_profiles())
+        assert infra.table_cache_misses == 0 and infra.table_cache_hits == 0
+        infra.table(500.0)
+        assert infra.table_cache_misses == 1
+        infra.table(500.0)
+        assert infra.table_cache_hits == 1
+
+    def test_table_monotone_reuse_serves_smaller_requests(self):
+        from repro.core.bml import design
+        from repro.core.profiles import table_i_profiles
+
+        infra = design(table_i_profiles())
+        big = infra.table(4000.0)
+        misses = infra.table_cache_misses
+        small = infra.table(1200.0)
+        assert infra.table_cache_misses == misses  # no rebuild
+        assert small.max_rate == 1200.0
+        # the view shares the backing table's arrays (zero-copy slice)
+        assert np.shares_memory(small._power, big._power)
+        assert np.array_equal(small.power_array, big.power_array[:1201])
+
+    def test_table_cache_keys_inventory_separately(self):
+        from repro.core.bml import design
+        from repro.core.profiles import table_i_profiles
+
+        infra = design(table_i_profiles())
+        plain = infra.table(100.0)
+        inv = {"paravance": 0, "chromebook": 4, "raspberry": 50}
+        bounded = infra.table(100.0, inventory=inv)
+        assert bounded is not plain
+        assert bounded.combination_for(100.0).count_of("paravance") == 0
+        assert infra.table(100.0, inventory=dict(inv)) is bounded  # key by value
+
 
 class TestCurves:
     def test_power_curve_matches_combination_power(self, infra):

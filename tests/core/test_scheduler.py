@@ -153,3 +153,73 @@ class TestInventory:
         b = BMLScheduler(infra, inventory=generous).plan(short_trace)
         assert a.n_reconfigurations == b.n_reconfigurations
         assert a.final == b.final
+
+
+class TestTableCache:
+    """Repeated plan() calls must reuse the infrastructure's table cache."""
+
+    def _fresh_infra(self):
+        from repro.core.bml import design
+        from repro.core.profiles import table_i_profiles
+
+        return design(table_i_profiles())
+
+    def test_repeated_plan_hits_cache(self, short_trace):
+        infra = self._fresh_infra()
+        sched = BMLScheduler(infra)
+        out1 = sched.plan_detailed(short_trace)
+        assert infra.table_cache_misses == 1
+        out2 = sched.plan_detailed(short_trace)
+        # Second call: zero table-construction work, same table object.
+        assert infra.table_cache_misses == 1
+        assert infra.table_cache_hits >= 1
+        assert out2.table is out1.table
+        assert out1.plan.final == out2.plan.final
+
+    def test_repeated_inventory_plan_hits_cache(self, short_trace):
+        infra = self._fresh_infra()
+        inventory = {"paravance": 4, "chromebook": 50, "raspberry": 50}
+        sched = BMLScheduler(infra, inventory=inventory)
+        sched.plan(short_trace)
+        misses = infra.table_cache_misses
+        sched.plan(short_trace)
+        assert infra.table_cache_misses == misses
+        assert infra.table_cache_hits >= 1
+
+    def test_repeated_app_spec_plan_hits_cache(self, short_trace):
+        from repro.sim.application import ApplicationSpec
+
+        infra = self._fresh_infra()
+        spec = ApplicationSpec(min_instances=2)
+        sched = BMLScheduler(infra, app_spec=spec)
+        plan1 = sched.plan(short_trace)
+        misses = infra.table_cache_misses
+        plan2 = sched.plan(short_trace)
+        assert infra.table_cache_misses == misses
+        assert infra.table_cache_hits >= 1
+        assert plan1.final == plan2.final
+        for seg in plan2.segments:
+            assert not seg.serving or seg.serving.total_nodes >= 2
+
+    def test_smaller_trace_reuses_larger_table(self, short_trace):
+        infra = self._fresh_infra()
+        sched = BMLScheduler(infra)
+        sched.plan(short_trace)
+        misses = infra.table_cache_misses
+        sched.plan(short_trace[: len(short_trace) // 2])
+        assert infra.table_cache_misses == misses  # monotone reuse
+
+
+class TestRowIds:
+    def test_row_ids_change_points_match_unique(self, infra, short_trace):
+        from repro.core.scheduler import _row_ids
+
+        table = infra.table(float(short_trace.peak))
+        counts = table.counts_for(short_trace.values)
+        ids = _row_ids(counts)
+        _, ref = np.unique(counts, axis=0, return_inverse=True)
+        ref = ref.reshape(-1)
+        assert np.array_equal(
+            np.flatnonzero(ids[1:] != ids[:-1]),
+            np.flatnonzero(ref[1:] != ref[:-1]),
+        )

@@ -50,3 +50,17 @@ def test_trailing_is_time_reversed_lookahead(arr, window):
 def test_window_full_length_is_suffix_max(arr):
     out = lookahead_max(arr, len(arr))
     assert np.array_equal(out, np.maximum.accumulate(arr[::-1])[::-1])
+
+
+@given(series_st, st.integers(1, 500))
+def test_trailing_fast_equals_reference(arr, window):
+    """The scipy trailing fast path matches the pure-Python deque reference."""
+    reference = lookahead_max_reference(arr[::-1], min(window, len(arr)))[::-1]
+    assert np.array_equal(trailing_max(arr, window), reference)
+
+
+@given(series_st, st.integers(1, 100))
+def test_trailing_matches_naive_definition(arr, window):
+    out = trailing_max(arr, window)
+    for t in range(len(arr)):
+        assert out[t] == arr[max(0, t - window + 1) : t + 1].max()
