@@ -1,0 +1,149 @@
+#!/usr/bin/env python
+"""Guard the perf trajectory: compare ``BENCH_PR<k>.json`` artifacts.
+
+The repo records one pytest-benchmark JSON artifact per PR
+(``benchmarks/run_benchmarks.py``).  This checker compares the newest
+artifact against its predecessor and **fails (exit 1) when any benchmark
+present in both slowed down by more than the threshold** (default 1.3x).
+New benchmarks (no counterpart in the previous artifact) are reported but
+never fail; removed ones are listed for visibility.
+
+The compared statistic is each benchmark's ``min`` — the fastest observed
+round — which is the standard noise-robust choice for detecting real
+slowdowns (means absorb scheduler jitter; a genuine regression moves the
+floor).
+
+Usage::
+
+    python benchmarks/check_regression.py                  # newest vs previous
+    python benchmarks/check_regression.py --current BENCH_PR2.json
+    python benchmarks/check_regression.py --threshold 1.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+ROOT = Path(__file__).resolve().parent.parent
+ARTIFACT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
+DEFAULT_THRESHOLD = 1.3
+
+
+def find_artifacts(root: Optional[Path] = None) -> List[Tuple[int, Path]]:
+    """``(k, path)`` for every ``BENCH_PR<k>.json`` in ``root``, sorted by k."""
+    root = ROOT if root is None else root
+    out = []
+    for path in root.glob("BENCH_PR*.json"):
+        match = ARTIFACT_RE.match(path.name)
+        if match:
+            out.append((int(match.group(1)), path))
+    return sorted(out)
+
+
+def load_mins(path: Path) -> Dict[str, float]:
+    """``fullname -> min seconds`` for every benchmark in the artifact."""
+    data = json.loads(path.read_text())
+    out: Dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        name = bench.get("fullname") or bench.get("name")
+        stats = bench.get("stats", {})
+        if name and "min" in stats:
+            out[name] = float(stats["min"])
+    return out
+
+
+def compare(
+    current: Dict[str, float],
+    previous: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[str]]:
+    """Returns ``(report_lines, failures)`` for the shared benchmarks."""
+    lines: List[str] = []
+    failures: List[str] = []
+    shared = sorted(set(current) & set(previous))
+    for name in shared:
+        prev, cur = previous[name], current[name]
+        if prev <= 0:
+            continue
+        ratio = cur / prev
+        flag = ""
+        if ratio > threshold:
+            flag = f"  <-- REGRESSION (>{threshold:g}x)"
+            failures.append(name)
+        lines.append(
+            f"{name}: {prev * 1e3:.3f} ms -> {cur * 1e3:.3f} ms "
+            f"({ratio:.2f}x){flag}"
+        )
+    for name in sorted(set(current) - set(previous)):
+        lines.append(f"{name}: new benchmark ({current[name] * 1e3:.3f} ms)")
+    for name in sorted(set(previous) - set(current)):
+        lines.append(f"{name}: removed (was {previous[name] * 1e3:.3f} ms)")
+    return lines, failures
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current",
+        type=Path,
+        default=None,
+        help="current artifact (default: the highest-numbered BENCH_PR<k>.json)",
+    )
+    parser.add_argument(
+        "--previous",
+        type=Path,
+        default=None,
+        help="baseline artifact (default: the next artifact below the current)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"failure ratio for shared benchmarks (default {DEFAULT_THRESHOLD})",
+    )
+    args = parser.parse_args(argv)
+
+    artifacts = find_artifacts()
+    current_path = args.current
+    if current_path is None:
+        if not artifacts:
+            print("no BENCH_PR<k>.json artifacts found; nothing to check")
+            return 0
+        current_path = artifacts[-1][1]
+    previous_path = args.previous
+    if previous_path is None:
+        match = ARTIFACT_RE.match(current_path.name)
+        if match:  # the artifact right below the current PR number
+            cur_k = int(match.group(1))
+            older = [p for k, p in artifacts if k < cur_k]
+        else:  # custom name: baseline on the newest recorded artifact
+            older = [
+                p for _, p in artifacts if p.resolve() != current_path.resolve()
+            ]
+        if not older:
+            print(f"{current_path.name}: no previous artifact; nothing to check")
+            return 0
+        previous_path = older[-1]
+
+    current = load_mins(current_path)
+    previous = load_mins(previous_path)
+    print(f"comparing {current_path.name} against {previous_path.name} "
+          f"(threshold {args.threshold:g}x on per-benchmark min)")
+    lines, failures = compare(current, previous, args.threshold)
+    for line in lines:
+        print("  " + line)
+    if failures:
+        print(f"{len(failures)} benchmark(s) regressed past {args.threshold:g}x")
+        return 1
+    shared = len(set(current) & set(previous))
+    print(f"OK: {shared} shared benchmark(s) within {args.threshold:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,17 +7,20 @@ stacked sequence.  This driver runs:
 
 1. ``pytest benchmarks/ --benchmark-json=<out>`` — every paper artifact
    benchmark plus the hot-path guards in ``test_perf_hotpaths.py``;
-2. the tier-1 suite (``pytest tests/``) — correctness must hold for the
+2. ``benchmarks/check_regression.py`` — the fresh artifact must not show
+   a >1.3x slowdown on any benchmark shared with the previous PR's;
+3. the tier-1 suite (``pytest tests/``) — correctness must hold for the
    numbers to mean anything.
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                 # -> BENCH_PR1.json
+    python benchmarks/run_benchmarks.py                 # -> BENCH_PR2.json
     python benchmarks/run_benchmarks.py --json OUT.json # custom output
     python benchmarks/run_benchmarks.py --perf-only     # hot paths only
+    python benchmarks/run_benchmarks.py --skip-regression
     REPRO_FIG5_DAYS=7 python benchmarks/run_benchmarks.py  # quicker Fig. 5
 
-Exit status is non-zero when either stage fails.
+Exit status is non-zero when any stage fails.
 """
 
 from __future__ import annotations
@@ -40,8 +43,10 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--json",
-        default="BENCH_PR1.json",
-        help="pytest-benchmark JSON output path (default: BENCH_PR1.json)",
+        default=None,
+        help="pytest-benchmark JSON output path (default: BENCH_PR2.json, "
+        "or BENCH_PERF_ONLY.json under --perf-only so quick iterations "
+        "never clobber the recorded PR artifact)",
     )
     parser.add_argument(
         "--perf-only",
@@ -53,7 +58,14 @@ def main(argv=None) -> int:
         action="store_true",
         help="skip the tier-1 test suite stage",
     )
+    parser.add_argument(
+        "--skip-regression",
+        action="store_true",
+        help="skip the BENCH_PR<k>.json cross-PR regression check",
+    )
     args = parser.parse_args(argv)
+    if args.json is None:
+        args.json = "BENCH_PERF_ONLY.json" if args.perf_only else "BENCH_PR2.json"
 
     env = dict(os.environ)
     src = str(ROOT / "src")
@@ -77,6 +89,16 @@ def main(argv=None) -> int:
     )
     if status == 0:
         print(f"benchmark results written to {args.json}")
+    if status == 0 and not args.skip_regression:
+        status = _run(
+            [
+                sys.executable,
+                "benchmarks/check_regression.py",
+                "--current",
+                args.json,
+            ],
+            env,
+        ) or status
     if not args.skip_tests:
         status = _run(
             [sys.executable, "-m", "pytest", "tests/", "-q"], env

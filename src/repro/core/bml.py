@@ -201,8 +201,18 @@ class BMLInfrastructure:
         if app_spec is not None:
             from .constraints import constrained_table
 
+            base = None
+            if app_spec.max_instances is None:
+                # The unconstrained entries are the plain exact-DP optima:
+                # serve them from the memoised "ideal" table instead of
+                # letting constrained_table rebuild that DP per call.
+                base = self.table(units * self.resolution, "ideal")
             return constrained_table(
-                self.ordered, app_spec, units * self.resolution, self.resolution
+                self.ordered,
+                app_spec,
+                units * self.resolution,
+                self.resolution,
+                base_table=base,
             )
         return build_table(
             self.ordered,

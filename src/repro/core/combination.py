@@ -942,6 +942,21 @@ class CombinationTable:
             )
         return idx
 
+    def clipped_index(
+        self, rate: Union[float, np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Non-raising grid indices: ``(clipped index, out-of-range mask)``.
+
+        Same rounding as :meth:`_index`, but rates beyond the table clamp
+        to the last row and are flagged instead of raising — for callers
+        (the segment replay's decision scan) that must defer the error to
+        the moment the out-of-range rate is actually consulted.
+        """
+        idx = np.ceil(np.asarray(rate, dtype=float) / self.resolution - _TOL)
+        idx = np.clip(idx, 0, None).astype(np.int64)
+        oob = idx >= len(self._combos)
+        return np.minimum(idx, len(self._combos) - 1), oob
+
     def combination_for(self, rate: float) -> Combination:
         """The combination serving ``rate`` (grid-rounded up)."""
         return self._combos[int(self._index(rate))]

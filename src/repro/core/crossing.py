@@ -94,20 +94,61 @@ def crossing_vs_stack(
     return float(rates[int(np.argmax(wins))])
 
 
+class _SharedIdealTables:
+    """Exact-DP adversary tables shared across Step-4 candidates.
+
+    The Step-4 adversary of candidate ``kept[i]`` is the ideal-combination
+    power curve of the suffix ``kept[i+1:]``; the elimination loop
+    re-queries the same suffix with ever-bigger candidates as it removes
+    architectures.  The DP is prefix-stable (every entry depends only on
+    smaller rates), so each suffix's table is built once at the largest
+    rate requested so far and smaller requests are served as zero-copy
+    slices — monotone reuse, exactly like the infrastructure table cache.
+    """
+
+    def __init__(self, resolution: float) -> None:
+        self.resolution = resolution
+        self._tables: Dict[Tuple[str, ...], np.ndarray] = {}
+        self.builds = 0
+        self.hits = 0
+
+    def power(
+        self, smaller: Sequence[ArchitectureProfile], max_units: int
+    ) -> np.ndarray:
+        """Ideal power for grid rates ``0..max_units`` of ``smaller``."""
+        key = tuple(p.name for p in smaller)
+        table = self._tables.get(key)
+        if table is None or len(table) < max_units + 1:
+            self.builds += 1
+            table = ideal_table(
+                smaller, max_units * self.resolution, self.resolution
+            )
+            self._tables[key] = table
+        else:
+            self.hits += 1
+        return table[: max_units + 1]
+
+
 def crossing_vs_ideal(
     big: ArchitectureProfile,
     smaller: Sequence[ArchitectureProfile],
     resolution: float = 1.0,
+    tables: Optional[_SharedIdealTables] = None,
 ) -> Optional[float]:
     """Step 4 crossing point of ``big`` against ideal mixed combinations.
 
     ``smaller`` are all surviving architectures below ``big``; their ideal
-    combination power curve (exact DP) is the adversary.
+    combination power curve (exact DP) is the adversary.  ``tables``
+    (optional) supplies shared adversary tables so repeated queries over
+    the same survivor set reuse one DP solve.
     """
     if not smaller:
         return resolution  # nothing below: usable from the first grid rate
     max_units = int(math.floor(big.max_perf / resolution + _TOL))
-    ideal = ideal_table(smaller, max_units * resolution, resolution)
+    if tables is not None:
+        ideal = tables.power(smaller, max_units)
+    else:
+        ideal = ideal_table(smaller, max_units * resolution, resolution)
     rates = np.arange(1, max_units + 1) * resolution
     big_power = big.idle_power + big.slope * rates
     wins = big_power <= ideal[1:] + _TOL
@@ -171,15 +212,19 @@ def step4_thresholds(
     removed: Dict[str, str] = {}
     # The Step 4 adversary (exact-DP table of all smaller survivors) is the
     # expensive part and is recomputed by both the elimination loop and the
-    # threshold pass; memoise crossings per (big, smaller-set) key.
+    # threshold pass; memoise crossings per (big, smaller-set) key and share
+    # the underlying DP tables per survivor set across candidates (after an
+    # elimination, the bigger candidate inherits the removed one's suffix,
+    # whose table is then served as a slice instead of a fresh solve).
     cache: Dict[Tuple[str, Tuple[str, ...]], Optional[float]] = {}
+    tables = _SharedIdealTables(resolution)
 
     def cross(
         big: ArchitectureProfile, smaller: List[ArchitectureProfile]
     ) -> Optional[float]:
         key = (big.name, tuple(p.name for p in smaller))
         if key not in cache:
-            cache[key] = crossing_vs_ideal(big, smaller, resolution)
+            cache[key] = crossing_vs_ideal(big, smaller, resolution, tables)
         return cache[key]
 
     changed = True

@@ -13,7 +13,12 @@ Two execution paths compute energy and QoS for a scenario:
 """
 
 from .datacenter import execute_plan, lower_bound_result
-from .energy import EnergyMeter, combination_power, power_breakpoints
+from .energy import (
+    EnergyMeter,
+    breakpoint_cache_stats,
+    combination_power,
+    power_breakpoints,
+)
 from .powercap import CappedMachine, capped_profile, capped_stack_power
 from .results import QoSReport, SimulationResult
 
@@ -22,6 +27,7 @@ __all__ = [
     "lower_bound_result",
     "combination_power",
     "power_breakpoints",
+    "breakpoint_cache_stats",
     "EnergyMeter",
     "QoSReport",
     "SimulationResult",

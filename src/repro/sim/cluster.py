@@ -65,6 +65,18 @@ class Cluster:
         """Number of machines of ``arch`` currently in ``state``."""
         return sum(1 for m in self._pools[arch] if m.state is state)
 
+    def n_in_state(self, state: MachineState) -> int:
+        """Number of machines in ``state`` across all architectures."""
+        return sum(
+            1 for pool in self._pools.values() for m in pool if m.state is state
+        )
+
+    def machines_in_state(self, state: MachineState) -> List[Machine]:
+        """All machines currently in ``state``, in pool order."""
+        return [
+            m for pool in self._pools.values() for m in pool if m.state is state
+        ]
+
     def on_machines(self, arch: str) -> List[Machine]:
         """ON machines of an architecture (serving-capable)."""
         return [m for m in self._pools[arch] if m.state is MachineState.ON]

@@ -14,6 +14,7 @@ it.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple, Union
 
@@ -21,10 +22,73 @@ import numpy as np
 
 from ..core.combination import Combination
 
-__all__ = ["power_breakpoints", "combination_power", "EnergyMeter"]
+__all__ = [
+    "power_breakpoints",
+    "combination_power",
+    "breakpoint_cache_stats",
+    "EnergyMeter",
+]
 
 _BreakTable = Tuple[np.ndarray, np.ndarray]
-_cache: Dict[Combination, _BreakTable] = {}
+
+
+class _BreakTableCache:
+    """LRU memo for per-combination breakpoint tables.
+
+    Long multi-scenario runs (ablation sweeps, powercap searches) visit an
+    unbounded stream of distinct combinations; the old module-level dict
+    grew without limit.  This cache evicts least-recently-used tables past
+    ``maxsize`` and exposes hit/miss counters following the
+    ``table_cache_hits``/``table_cache_misses`` telemetry convention of
+    :class:`repro.core.bml.BMLInfrastructure`.
+    """
+
+    def __init__(self, maxsize: int = 1024) -> None:
+        if maxsize < 1:
+            raise ValueError("maxsize must be >= 1")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Combination, _BreakTable]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, combo: Combination) -> Union[_BreakTable, None]:
+        table = self._data.get(combo)
+        if table is None:
+            self.misses += 1
+            return None
+        self._data.move_to_end(combo)
+        self.hits += 1
+        return table
+
+    def put(self, combo: Combination, table: _BreakTable) -> None:
+        self._data[combo] = table
+        self._data.move_to_end(combo)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        self._data.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "table_cache_hits": self.hits,
+            "table_cache_misses": self.misses,
+            "table_cache_size": len(self._data),
+            "table_cache_maxsize": self.maxsize,
+        }
+
+
+_cache = _BreakTableCache()
+
+
+def breakpoint_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size telemetry of the breakpoint-table LRU."""
+    return _cache.stats()
 
 
 def power_breakpoints(combo: Combination) -> _BreakTable:
@@ -45,7 +109,7 @@ def power_breakpoints(combo: Combination) -> _BreakTable:
         caps.append(caps[-1] + group_cap)
         powers.append(powers[-1] + prof.slope * group_cap)
     table = (np.asarray(caps), np.asarray(powers))
-    _cache[combo] = table
+    _cache.put(combo, table)
     return table
 
 
@@ -82,6 +146,37 @@ class EnergyMeter:
         self._settle(machine_id, now)
         self._power_now[machine_id] = power
         self._since[machine_id] = now
+
+    def record_series(
+        self, machine_id: str, powers: np.ndarray, t_start: int
+    ) -> None:
+        """Batch ledger write: one power level per second from ``t_start``.
+
+        Equivalent to ``set_power(machine_id, powers[k], t_start + k)`` for
+        every ``k`` — the per-second call pattern of the event-driven
+        simulator's load balancer — but with the million-call Python loop
+        replaced by one vectorised append per (machine, segment).  The
+        closed one-second intervals are accumulated with
+        :func:`numpy.cumsum`, whose left-to-right sequential order matches
+        the scalar ``_settle`` chain exactly, so the resulting totals are
+        bit-identical to the per-call ledger.
+        """
+        powers = np.asarray(powers, dtype=float)
+        n = len(powers)
+        if n == 0:
+            return
+        if np.any(powers < 0):
+            raise ValueError("power must be >= 0")
+        self._settle(machine_id, t_start)
+        if n > 1:
+            # Seconds t_start..t_start+n-2 are closed by the next write;
+            # each contributes powers[k] * 1.0 in time order.
+            base = self._totals.get(machine_id, 0.0)
+            self._totals[machine_id] = float(
+                np.cumsum(np.concatenate(([base], powers[:-1])))[-1]
+            )
+        self._power_now[machine_id] = float(powers[-1])
+        self._since[machine_id] = t_start + n - 1
 
     def _settle(self, machine_id: str, now: float) -> None:
         prev_power = self._power_now.get(machine_id)

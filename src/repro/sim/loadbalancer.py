@@ -17,11 +17,13 @@ instances".  Two strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from .machine import Machine
 
-__all__ = ["LoadBalancer", "Assignment"]
+__all__ = ["LoadBalancer", "Assignment", "WindowAssignment"]
 
 
 @dataclass(frozen=True)
@@ -73,3 +75,91 @@ class LoadBalancer:
         for m in machines:
             m.assign_load(assignment.shares[m.machine_id], now)
         return assignment
+
+    # -- windowed balancing (segment-compressed replay) --------------------
+    def balance_series(
+        self, rates: np.ndarray, machines: Sequence[Machine]
+    ) -> "WindowAssignment":
+        """Vectorised :meth:`balance` over a window of per-second rates.
+
+        The machine set must be constant across the window (the replay's
+        steady segments guarantee this).  Every float operation mirrors the
+        scalar loop — same fill order (stable sort by slope), same running
+        ``remaining`` subtraction chain, same ``1e-12`` early-exit mask —
+        so each window column is bit-identical to one :meth:`balance` call.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if np.any(rates < 0):
+            raise ValueError("rate must be >= 0")
+        capacity = sum(m.profile.max_perf for m in machines)
+        served = np.minimum(rates, capacity)
+        n = len(rates)
+        loads: Dict[str, np.ndarray] = {}
+        if machines:
+            if self.strategy == "efficient":
+                remaining = served.copy()
+                # The scalar loop runs only when served > 0 and breaks once
+                # remaining <= 1e-12; ``active`` tracks both conditions.
+                active = served > 0
+                for m in sorted(machines, key=lambda m: m.profile.slope):
+                    take = np.where(
+                        active,
+                        np.minimum(remaining, m.profile.max_perf),
+                        0.0,
+                    )
+                    loads[m.machine_id] = take
+                    remaining = remaining - take
+                    active = active & (remaining > 1e-12)
+            elif capacity > 0:  # proportional (served > 0 implies capacity > 0)
+                frac = served / capacity
+                for m in machines:
+                    loads[m.machine_id] = frac * m.profile.max_perf
+        # Degenerate sets (no machines / zero capacity) serve nothing.
+        for m in machines:
+            if m.machine_id not in loads:
+                loads[m.machine_id] = np.zeros(n)
+        return WindowAssignment(
+            loads=loads,
+            served=served,
+            unserved=np.maximum(rates - served, 0.0),
+        )
+
+    def apply_series(
+        self, rates: np.ndarray, machines: Sequence[Machine], t_start: int
+    ) -> "WindowAssignment":
+        """Balance a window and push per-second loads onto the machines.
+
+        Batch counterpart of calling :meth:`apply` once per second: each
+        machine receives its whole load series in one
+        :meth:`~repro.sim.machine.Machine.assign_load_series` call (one
+        meter write per machine per window) and is left holding the
+        window's final load.  The returned assignment carries each
+        machine's per-second power draw series.
+        """
+        assignment = self.balance_series(rates, machines)
+        draws = {
+            m.machine_id: m.assign_load_series(
+                assignment.loads[m.machine_id], t_start
+            )
+            for m in machines
+        }
+        return WindowAssignment(
+            loads=assignment.loads,
+            served=assignment.served,
+            unserved=assignment.unserved,
+            draws=draws,
+        )
+
+
+@dataclass(frozen=True)
+class WindowAssignment:
+    """Outcome of balancing a whole window of per-second rates.
+
+    ``draws`` is filled by :meth:`LoadBalancer.apply_series` only (the
+    per-machine power series implied by the assigned loads).
+    """
+
+    loads: Dict[str, np.ndarray]  # machine_id -> per-second rate series
+    served: np.ndarray
+    unserved: np.ndarray
+    draws: Optional[Dict[str, np.ndarray]] = None  # machine_id -> power series

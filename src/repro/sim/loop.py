@@ -1,4 +1,4 @@
-"""Event-driven data-center replay (reference implementation).
+"""Event-driven data-center replay (segment-compressed + reference engines).
 
 This is the from-first-principles counterpart of the vectorised
 :func:`repro.sim.datacenter.execute_plan`: every machine is a real
@@ -9,21 +9,41 @@ deployed/retired/migrated explicitly, and a
 every second.  Energy comes out of the per-machine
 :class:`~repro.sim.energy.EnergyMeter` ledger.
 
-It runs in O(seconds x machines) Python, so it is meant for hours-long
-traces: validation tests cross-check it against the fast path (they agree
-exactly when instance start/stop times are zero), examples use it to show
-machine-level state timelines.
-
 Decision rule (identical to :class:`~repro.core.scheduler.BMLScheduler`):
 at every second outside a reconfiguration window, look up the combination
 for the predicted rate; when it differs from the current one, boot the
 missing machines, hand over the serving set once the slowest boot
 completes (migrating instances off retiring machines), then shut the
 surplus machines down.  No decision is taken before the window completes.
+
+Two engines replay that rule:
+
+* ``engine="reference"`` — the original O(seconds x machines) Python loop:
+  one load-balancer round, one ledger write per machine, and one cluster
+  power scan per second.  Kept as the executable specification.
+* ``engine="segments"`` (default) — the segment-compressed engine.
+  Between events the serving set is piecewise-constant, so the replay
+  advances boundary to boundary (machine-state events, instance-ready
+  times, decision points found by scanning the predictor series against
+  mixed-radix table row ids, exactly like the scheduler) and evaluates
+  each steady segment's load split, power trajectory and unserved mass
+  with the windowed numpy kernels
+  (:meth:`~repro.sim.loadbalancer.LoadBalancer.apply_series`,
+  :meth:`~repro.sim.energy.EnergyMeter.record_series`).  Every kernel
+  mirrors the per-second float-operation order exactly, so the produced
+  series, ledger totals and counters are **bit-identical** to the
+  reference engine (pinned by ``tests/properties/test_prop_replay.py``),
+  while day-scale replays run orders of magnitude faster.
+
+Reconfigurations themselves still run through the real FSM/event-queue
+machinery in both engines: booting, migration round-robin, shutdown victim
+selection and the energy ledger writes they imply are shared code, not
+re-derived.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -32,6 +52,7 @@ import numpy as np
 from ..core.combination import Combination, CombinationTable
 from ..core.prediction import LookAheadMaxPredictor, Predictor
 from ..core.reconfiguration import Reconfiguration
+from ..core.scheduler import _next_decision, _row_ids
 from ..workload.trace import LoadTrace
 from .application import Application, ApplicationSpec
 from .cluster import Cluster
@@ -178,16 +199,77 @@ class EventDrivenReplay:
                 self.queue.schedule(end, m.complete_shutdown, end)
                 self.stats.shutdowns[name] = self.stats.shutdowns.get(name, 0) + 1
         # Ensure every ON machine of the target set hosts an instance.
-        for m in self.cluster.machines():
-            if m.state is MachineState.ON and self.app.instance_on(m) is None:
+        for m in self.cluster.machines_in_state(MachineState.ON):
+            if self.app.instance_on(m) is None:
                 self.app.deploy(m, now)
-        self._serving = [
-            m for m in self.cluster.machines() if m.state is MachineState.ON
+        self._serving = self.cluster.machines_in_state(MachineState.ON)
+
+    # -- shared pieces ------------------------------------------------------
+    def _decision_ids(self, pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Mixed-radix combination id per second, plus its change points.
+
+        Rates beyond the table get the sentinel id ``-1``: the first such
+        second that is checked for a decision triggers a table lookup and
+        raises exactly where the per-second reference would (seconds inside
+        reconfiguration windows are never checked by either engine).
+        """
+        # Ids are encoded on the table's few thousand rows once, then
+        # gathered per second through the table's own (non-raising) grid
+        # rounding — O(T) int64, no (T, n_arch) intermediate.
+        idx, oob = self.table.clipped_index(pred)
+        table_ids = _row_ids(self.table.counts_array)
+        cid = table_ids[idx]
+        cid[oob] = -1
+        changes = np.flatnonzero(cid[1:] != cid[:-1]) + 1
+        return cid, changes
+
+    def _ready_serving(self, t: int) -> List[Machine]:
+        """Serving machines whose instance can take traffic at second ``t``."""
+        return [
+            m
+            for m in self._serving
+            if m.state is MachineState.ON
+            and (inst := self.app.instance_on(m)) is not None
+            and inst.is_ready(t)
         ]
 
+    def _finish(self, horizon: int, power, unserved, extra_meta) -> SimulationResult:
+        # Let in-flight transitions finish for exact energy accounting.
+        self.queue.run_until(horizon)
+        self.meter.finalize(horizon)
+        meta = {
+            "meter_energy_j": self.meter.total_energy,
+            "migrations": self.stats.migrations,
+            "peak_machines_on": self.stats.peak_machines_on,
+        }
+        meta.update(extra_meta)
+        return SimulationResult(
+            scenario="event-driven BML",
+            trace_name=self.trace.name,
+            timestep=self.trace.timestep,
+            power=power,
+            unserved=unserved,
+            reconfigurations=self._events,
+            meta=meta,
+        )
+
     # -- main loop ------------------------------------------------------------
-    def run(self) -> SimulationResult:
-        """Replay the full trace; returns the same result type as the fast path."""
+    def run(self, engine: str = "segments") -> SimulationResult:
+        """Replay the full trace; returns the same result type as the fast path.
+
+        ``engine="segments"`` (default) uses the segment-compressed numpy
+        engine; ``engine="reference"`` runs the original per-second Python
+        loop.  Both produce bit-identical results; a replay object is
+        single-use either way.
+        """
+        if engine == "segments":
+            return self._run_segments()
+        if engine == "reference":
+            return self._run_reference()
+        raise ValueError(f"unknown engine {engine!r}")
+
+    def _run_reference(self) -> SimulationResult:
+        """The per-second FSM loop — the executable specification."""
         trace = self.trace
         horizon = len(trace)
         pred = self.predictor.series(trace)
@@ -203,33 +285,87 @@ class EventDrivenReplay:
                 target = self.table.combination_for(float(pred[t]))
                 if target != self._current:
                     self._start_reconfiguration(t, target)
-            ready = [
-                m
-                for m in self._serving
-                if m.state is MachineState.ON
-                and (inst := self.app.instance_on(m)) is not None
-                and inst.is_ready(t)
-            ]
+            ready = self._ready_serving(t)
             assignment = self.balancer.apply(float(trace.values[t]), ready, t)
             unserved[t] = assignment.unserved
             power[t] = self.cluster.total_power()
-            n_on = sum(
-                1 for m in self.cluster.machines() if m.state is MachineState.ON
-            )
+            n_on = self.cluster.n_in_state(MachineState.ON)
             self.stats.peak_machines_on = max(self.stats.peak_machines_on, n_on)
-        # Let in-flight transitions finish for exact energy accounting.
-        self.queue.run_until(horizon)
-        self.meter.finalize(horizon)
-        return SimulationResult(
-            scenario="event-driven BML",
-            trace_name=trace.name,
-            timestep=trace.timestep,
-            power=power,
-            unserved=unserved,
-            reconfigurations=self._events,
-            meta={
-                "meter_energy_j": self.meter.total_energy,
-                "migrations": self.stats.migrations,
-                "peak_machines_on": self.stats.peak_machines_on,
-            },
+        return self._finish(horizon, power, unserved, {"engine": "reference"})
+
+    def _run_segments(self) -> SimulationResult:
+        """Segment-compressed replay: batch every steady window onto numpy.
+
+        The loop advances from boundary to boundary instead of second to
+        second.  A boundary is the earliest of: the next event's effect
+        time (events fire when the clock *reaches* them, so an event at
+        ``tau`` becomes visible at step ``ceil(tau)``), the next decision
+        point (first second at or after the reconfiguration window's end
+        whose predicted combination id differs from the current one), the
+        next instance-ready threshold on a serving machine, and the
+        horizon.  Within a segment the serving set, machine states and
+        instance readiness are constant, so the whole window collapses
+        onto the vectorised balancer/ledger kernels.
+        """
+        trace = self.trace
+        horizon = len(trace)
+        pred = self.predictor.series(trace)
+        power = np.empty(horizon)
+        unserved = np.zeros(horizon)
+
+        initial = self.table.combination_for(float(pred[0]))
+        self._materialise_initial(initial, 0.0)
+
+        cid, changes = self._decision_ids(pred)
+        cur_id = int(cid[0])
+        values = trace.values
+        n_segments = 0
+        t = 0
+        while t < horizon:
+            self.queue.run_until(t)
+            if t >= self._reconfig_until and cid[t] != cur_id:
+                # Raises for rates beyond the table, like the reference.
+                target = self.table.combination_for(float(pred[t]))
+                if target != self._current:
+                    self._start_reconfiguration(t, target)
+                cur_id = int(cid[t])
+
+            # -- next boundary ------------------------------------------------
+            b = horizon
+            nxt = self.queue.peek_time()
+            if nxt is not None:
+                b = min(b, max(int(math.ceil(nxt - 1e-9)), t + 1))
+            d_from = self._reconfig_until if t < self._reconfig_until else t + 1
+            if d_from < b:
+                td = _next_decision(cid, changes, d_from, cur_id)
+                if td is not None:
+                    b = min(b, td)
+            for m in self._serving:
+                inst = self.app.instance_on(m)
+                if inst is not None and inst.ready_at > t:
+                    b = min(b, max(int(math.ceil(inst.ready_at - 1e-9)), t + 1))
+
+            # -- evaluate the steady segment [t, b) --------------------------
+            ready = self._ready_serving(t)
+            assignment = self.balancer.apply_series(values[t:b], ready, t)
+            unserved[t:b] = assignment.unserved
+            draws = assignment.draws or {}
+            # Power: same machine iteration order (and therefore float
+            # accumulation order) as Cluster.total_power, one vector op
+            # per machine instead of one Python sum per second.
+            acc = np.zeros(b - t)
+            for m in self.cluster.machines():
+                series = draws.get(m.machine_id)
+                if series is not None:
+                    acc += series
+                else:
+                    acc += m.power_draw
+            power[t:b] = acc
+            n_on = self.cluster.n_in_state(MachineState.ON)
+            self.stats.peak_machines_on = max(self.stats.peak_machines_on, n_on)
+            n_segments += 1
+            t = b
+        return self._finish(
+            horizon, power, unserved,
+            {"engine": "segments", "segments": n_segments},
         )

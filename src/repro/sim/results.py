@@ -111,6 +111,23 @@ class SimulationResult:
     def n_reconfigurations(self) -> int:
         return len(self.reconfigurations)
 
+    @property
+    def engine(self) -> Optional[str]:
+        """Which replay engine produced this result, when recorded.
+
+        ``"segments"``/``"reference"`` for the event-driven replay (see
+        :class:`repro.sim.loop.EventDrivenReplay`); ``None`` for results
+        whose producer predates or does not tag an engine.
+        """
+        value = self.meta.get("engine")
+        return str(value) if value is not None else None
+
+    @property
+    def n_segments(self) -> Optional[int]:
+        """Steady segments evaluated by the segment-compressed replay."""
+        value = self.meta.get("segments")
+        return int(value) if value is not None else None
+
     # -- QoS --------------------------------------------------------------
     def qos(self, trace: Optional[LoadTrace] = None) -> QoSReport:
         """QoS summary; pass the trace to compute the served fraction."""

@@ -114,3 +114,61 @@ class TestReport:
         big, little = toy_profiles
         report = compute_thresholds([big, little], resolution=0.5)
         assert report.thresholds["little"] == 0.5
+
+
+class TestSharedAdversaryTables:
+    """Step 4's exact-DP adversary tables are shared across candidates."""
+
+    def test_shared_tables_match_fresh_crossings(self):
+        from repro.core.crossing import _SharedIdealTables, crossing_vs_ideal
+
+        kept = list(bml_candidates(table_i_profiles()).kept)
+        kept3, _, _ = step3_thresholds(kept)
+        tables = _SharedIdealTables(1.0)
+        for i, big in enumerate(kept3[:-1]):
+            smaller = kept3[i + 1 :]
+            assert crossing_vs_ideal(big, smaller, 1.0, tables) == crossing_vs_ideal(
+                big, smaller, 1.0
+            )
+
+    def test_monotone_reuse_serves_slices(self):
+        from repro.core.crossing import _SharedIdealTables
+
+        import numpy as np
+
+        from repro.core.combination import ideal_table
+
+        tables = _SharedIdealTables(1.0)
+        smaller = list(bml_candidates(table_i_profiles()).kept)[1:]
+        big_view = tables.power(smaller, 500)
+        small_view = tables.power(smaller, 100)
+        assert tables.builds == 1 and tables.hits == 1
+        assert len(small_view) == 101
+        assert np.array_equal(small_view, big_view[:101])
+        # prefix stability: the slice equals a fresh smaller build
+        assert np.array_equal(small_view, ideal_table(smaller, 100.0, 1.0))
+        # growth rebuilds once, then serves the old size as a slice again
+        tables.power(smaller, 800)
+        assert tables.builds == 2
+        assert np.array_equal(tables.power(smaller, 500), big_view)
+
+    def test_step4_shares_across_elimination(self, monkeypatch):
+        """After an elimination the bigger candidate inherits the removed
+        candidate's suffix; its DP table must be reused, not rebuilt."""
+        import repro.core.crossing as crossing_mod
+
+        calls = []
+        real = crossing_mod.ideal_table
+
+        def counting(profiles, max_rate, resolution=1.0):
+            calls.append(tuple(p.name for p in profiles))
+            return real(profiles, max_rate, resolution)
+
+        monkeypatch.setattr(crossing_mod, "ideal_table", counting)
+        kept = list(bml_candidates(table_i_profiles()).kept)
+        kept3, _, _ = step3_thresholds(kept)
+        _, thr, _ = step4_thresholds(kept3)
+        assert thr == {"paravance": 529.0, "chromebook": 10.0, "raspberry": 1.0}
+        # one DP build per distinct survivor suffix, regardless of how many
+        # candidates or passes query it
+        assert len(calls) == len(set(calls))

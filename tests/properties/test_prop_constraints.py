@@ -8,8 +8,16 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.combination import Combination, CombinationError, ideal_table
-from repro.core.constraints import bounded_nodes_combination, bounded_nodes_table
+from repro.core.constraints import (
+    _constrained_counts_reference,
+    _solve_bounded,
+    _solve_bounded_reference,
+    bounded_nodes_combination,
+    bounded_nodes_table,
+    constrained_table,
+)
 from repro.core.profiles import ArchitectureProfile, table_i_profiles
+from repro.sim.application import ApplicationSpec
 
 TRIO = tuple(
     p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
@@ -69,3 +77,53 @@ def test_generous_budget_matches_unconstrained(budget):
     free = ideal_table(TRIO, 200.0)
     bounded = bounded_nodes_table(TRIO, 200.0, max(budget, 30))
     assert np.allclose(free, bounded)
+
+
+class TestBoundedVectorizedEquivalence:
+    """PR 2 contract: the argmin-reduced layer DP and the pointer-doubling
+    table reconstruction are bit-identical to the reference formulations."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_family(), st.integers(0, 120), st.integers(1, 6))
+    def test_solve_bounded_matches_reference(self, profs, max_units, budget):
+        fast = _solve_bounded(profs, max_units, 1.0, budget)
+        ref = _solve_bounded_reference(profs, max_units, 1.0, budget)
+        for got, want in zip(fast, ref):
+            if isinstance(got, np.ndarray):
+                assert np.array_equal(got, want)
+            else:
+                assert got == want
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.data())
+    def test_constrained_table_matches_per_rate_reference(self, data):
+        profs = data.draw(small_family())
+        budget = data.draw(st.one_of(st.none(), st.integers(1, 5)))
+        min_inst = data.draw(st.integers(1, 3))
+        if budget is not None and min_inst > budget:
+            min_inst = budget
+        spec = ApplicationSpec(min_instances=min_inst, max_instances=budget)
+        cap = max(p.max_perf for p in profs) * (budget or 8)
+        max_units = data.draw(st.integers(0, int(cap)))
+        try:
+            table = constrained_table(profs, spec, float(max_units), 1.0)
+        except CombinationError:
+            with pytest.raises(CombinationError):
+                _constrained_counts_reference(profs, spec, max_units, 1.0)
+            return
+        combos = _constrained_counts_reference(profs, spec, max_units, 1.0)
+        assert all(a == b for a, b in zip(table._combos, combos))
+        ref_power = np.array(
+            [c.power(float(k)) for k, c in enumerate(combos)]
+        )
+        assert np.array_equal(table.power_array, ref_power)
+
+    def test_trio_constrained_table_bit_identical(self):
+        spec = ApplicationSpec(min_instances=2, max_instances=6)
+        table = constrained_table(TRIO, spec, 2000.0, 1.0)
+        combos = _constrained_counts_reference(TRIO, spec, 2000, 1.0)
+        assert all(a == b for a, b in zip(table._combos, combos))
+        for combo in table._combos:
+            # padding raises totals to min_instances (2), never past the
+            # DP's max_instances budget (6)
+            assert not combo or 2 <= combo.total_nodes <= 6

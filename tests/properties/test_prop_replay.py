@@ -1,0 +1,175 @@
+"""Equivalence properties for the segment-compressed replay engine.
+
+PR 2's contract, mirroring ``test_prop_vectorized.py``'s for the
+combination kernels: the segment-compressed engine of
+:class:`repro.sim.loop.EventDrivenReplay` (windowed load balancing, array
+energy ledger, jump-to-boundary main loop) must be **bit-identical** to
+the per-second FSM reference — power series, unserved series, per-machine
+meter totals, reconfiguration log and machine-level counters — including
+under nonzero instance start/stop times and both balancing strategies.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prediction import LookAheadMaxPredictor
+from repro.sim.application import ApplicationSpec
+from repro.sim.energy import EnergyMeter
+from repro.sim.loadbalancer import LoadBalancer
+from repro.sim.loop import EventDrivenReplay
+from repro.workload.trace import LoadTrace
+
+
+@st.composite
+def stepped_trace(draw):
+    """Piecewise-constant load with jumps that force reconfigurations."""
+    n_steps = draw(st.integers(2, 6))
+    levels = draw(
+        st.lists(
+            st.floats(0.0, 2800.0, allow_nan=False, allow_infinity=False),
+            min_size=n_steps,
+            max_size=n_steps,
+        )
+    )
+    durations = draw(
+        st.lists(st.integers(30, 400), min_size=n_steps, max_size=n_steps)
+    )
+    noise_seed = draw(st.integers(0, 2**16))
+    values = np.concatenate(
+        [np.full(d, lv) for lv, d in zip(levels, durations)]
+    )
+    rng = np.random.default_rng(noise_seed)
+    jitter = rng.uniform(0.0, 20.0, size=len(values))
+    return LoadTrace(np.maximum(values + jitter, 0.0))
+
+
+def _run_pair(infra, trace, window, spec, strategy):
+    table = infra.table(3000.0)
+    results = []
+    replays = []
+    for engine in ("reference", "segments"):
+        replay = EventDrivenReplay(
+            table,
+            trace,
+            predictor=LookAheadMaxPredictor(window),
+            app_spec=spec,
+            balancer=LoadBalancer(strategy),
+        )
+        results.append(replay.run(engine=engine))
+        replays.append(replay)
+    return results, replays
+
+
+class TestEngineEquivalence:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        stepped_trace(),
+        st.integers(10, 400),
+        st.sampled_from([(0.0, 0.0), (0.5, 0.5), (3.0, 2.5), (0.0, 7.0)]),
+        st.sampled_from(["efficient", "proportional"]),
+    )
+    def test_bit_identical_to_reference(self, infra, trace, window, times, strategy):
+        stop, start = times
+        spec = ApplicationSpec(stop_time=stop, start_time=start)
+        (ref, seg), (ref_replay, seg_replay) = _run_pair(
+            infra, trace, window, spec, strategy
+        )
+        assert np.array_equal(ref.power, seg.power)
+        assert np.array_equal(ref.unserved, seg.unserved)
+        assert ref.meta["meter_energy_j"] == seg.meta["meter_energy_j"]
+        # per-machine ledgers, not just the total
+        assert ref_replay.meter._totals == seg_replay.meter._totals
+        assert ref_replay.stats == seg_replay.stats
+        assert len(ref.reconfigurations) == len(seg.reconfigurations)
+        for a, b in zip(ref.reconfigurations, seg.reconfigurations):
+            assert a.decided_at == b.decided_at
+            assert a.completes_at == b.completes_at
+            assert a.before == b.before and a.after == b.after
+            assert a.on_energy == b.on_energy
+            assert a.off_energy == b.off_energy
+
+    def test_segment_engine_is_default(self, infra, short_trace):
+        replay = EventDrivenReplay(
+            infra.table(3000.0),
+            short_trace,
+            predictor=LookAheadMaxPredictor(378),
+        )
+        result = replay.run()
+        assert result.engine == "segments"
+        assert result.n_segments is not None
+        # far fewer segments than seconds is the whole point
+        assert result.n_segments < len(short_trace) / 20
+
+    def test_meter_ledger_matches_power_integral(self, infra, short_trace):
+        replay = EventDrivenReplay(
+            infra.table(3000.0),
+            short_trace,
+            predictor=LookAheadMaxPredictor(378),
+        )
+        result = replay.run(engine="segments")
+        assert result.meta["meter_energy_j"] == pytest.approx(
+            result.total_energy, rel=1e-9
+        )
+
+
+class TestWindowedBalancer:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_balance_series_matches_per_second(self, toy_profiles, data):
+        big, little = toy_profiles
+        meter = EnergyMeter()
+        from repro.sim.machine import Machine, MachineState
+
+        machines = []
+        for i, prof in enumerate([big, little, little]):
+            m = Machine(machine_id=f"m{i}", profile=prof, meter=meter)
+            m.state = MachineState.ON
+            machines.append(m)
+        strategy = data.draw(st.sampled_from(["efficient", "proportional"]))
+        n = data.draw(st.integers(1, 60))
+        rates = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 200.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        lb = LoadBalancer(strategy)
+        window = lb.balance_series(rates, machines)
+        for k, rate in enumerate(rates):
+            scalar = lb.balance(float(rate), machines)
+            assert scalar.unserved == window.unserved[k]
+            for m in machines:
+                assert scalar.shares[m.machine_id] == window.loads[m.machine_id][k]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_record_series_matches_per_second_set_power(self, data):
+        n = data.draw(st.integers(1, 50))
+        powers = np.array(
+            data.draw(
+                st.lists(
+                    st.floats(0.0, 500.0, allow_nan=False),
+                    min_size=n,
+                    max_size=n,
+                )
+            )
+        )
+        t0 = data.draw(st.integers(0, 1000))
+        scalar = EnergyMeter()
+        scalar.set_power("m", 17.5, 0.0)
+        for k, p in enumerate(powers):
+            scalar.set_power("m", float(p), t0 + k)
+        batched = EnergyMeter()
+        batched.set_power("m", 17.5, 0.0)
+        batched.record_series("m", powers, t0)
+        assert scalar._totals == batched._totals
+        assert scalar._power_now == batched._power_now
+        assert float(scalar._since["m"]) == float(batched._since["m"])
+        scalar.finalize(t0 + n + 5)
+        batched.finalize(t0 + n + 5)
+        assert scalar.total_energy == batched.total_energy

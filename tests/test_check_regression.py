@@ -1,0 +1,67 @@
+"""Unit tests for the cross-PR benchmark regression checker."""
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
+
+import check_regression  # noqa: E402
+
+
+def _artifact(path: Path, mins: dict) -> None:
+    payload = {
+        "benchmarks": [
+            {"fullname": name, "stats": {"min": value}}
+            for name, value in mins.items()
+        ]
+    }
+    path.write_text(json.dumps(payload))
+
+
+class TestCompare:
+    def test_flags_only_shared_regressions(self):
+        lines, failures = check_regression.compare(
+            current={"a": 1.0, "b": 0.5, "new": 9.0},
+            previous={"a": 1.0, "b": 0.1, "gone": 1.0},
+            threshold=1.3,
+        )
+        assert failures == ["b"]
+        assert any("new benchmark" in line for line in lines)
+        assert any("removed" in line for line in lines)
+
+    def test_speedups_and_small_slowdowns_pass(self):
+        _, failures = check_regression.compare(
+            current={"a": 0.2, "b": 1.2},
+            previous={"a": 1.0, "b": 1.0},
+            threshold=1.3,
+        )
+        assert failures == []
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        prev, cur = tmp_path / "BENCH_PR1.json", tmp_path / "BENCH_PR2.json"
+        _artifact(prev, {"bench::x": 1.0, "bench::y": 1.0})
+        _artifact(cur, {"bench::x": 1.0, "bench::y": 2.0})
+        assert check_regression.main([]) == 1  # y regressed 2x
+        assert check_regression.main(["--threshold", "2.5"]) == 0
+        _artifact(cur, {"bench::x": 1.0, "bench::y": 1.1})
+        assert check_regression.main([]) == 0
+
+    def test_no_previous_artifact_is_ok(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        _artifact(tmp_path / "BENCH_PR1.json", {"bench::x": 1.0})
+        assert check_regression.main([]) == 0
+
+    def test_finds_numbered_artifacts_in_order(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        for k in (2, 10, 1):
+            _artifact(tmp_path / f"BENCH_PR{k}.json", {"bench::x": float(k)})
+        found = check_regression.find_artifacts(tmp_path)
+        assert [k for k, _ in found] == [1, 2, 10]
+        # newest (PR10) compared against PR2, not PR1
+        assert check_regression.main([]) == 1  # 10/2 = 5x slowdown
