@@ -14,11 +14,17 @@ stacked sequence.  This driver runs:
 
 Usage::
 
-    python benchmarks/run_benchmarks.py                 # -> BENCH_PR2.json
+    python benchmarks/run_benchmarks.py            # -> next BENCH_PR<k>.json
+    python benchmarks/run_benchmarks.py --pr 7     # -> BENCH_PR7.json
     python benchmarks/run_benchmarks.py --json OUT.json # custom output
     python benchmarks/run_benchmarks.py --perf-only     # hot paths only
     python benchmarks/run_benchmarks.py --skip-regression
     REPRO_FIG5_DAYS=7 python benchmarks/run_benchmarks.py  # quicker Fig. 5
+
+The default artifact name is inferred: the highest existing
+``BENCH_PR<k>.json`` plus one (no more hand-bumping per PR);
+``--perf-only`` keeps writing ``BENCH_PERF_ONLY.json`` so quick
+iterations never clobber the recorded PR artifact.
 
 Exit status is non-zero when any stage fails.
 """
@@ -27,11 +33,23 @@ from __future__ import annotations
 
 import argparse
 import os
+import re
 import subprocess
 import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
+
+
+def next_artifact_name(root: Path = ROOT) -> str:
+    """``BENCH_PR<k+1>.json`` for the highest recorded ``BENCH_PR<k>.json``."""
+    ks = [
+        int(m.group(1))
+        for p in root.glob("BENCH_PR*.json")
+        for m in [re.match(r"^BENCH_PR(\d+)\.json$", p.name)]
+        if m
+    ]
+    return f"BENCH_PR{max(ks, default=0) + 1}.json"
 
 
 def _run(args: list, env: dict) -> int:
@@ -44,9 +62,17 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--json",
         default=None,
-        help="pytest-benchmark JSON output path (default: BENCH_PR2.json, "
-        "or BENCH_PERF_ONLY.json under --perf-only so quick iterations "
+        help="pytest-benchmark JSON output path (default: the next "
+        "BENCH_PR<k>.json after the highest recorded one, or "
+        "BENCH_PERF_ONLY.json under --perf-only so quick iterations "
         "never clobber the recorded PR artifact)",
+    )
+    parser.add_argument(
+        "--pr",
+        type=int,
+        default=None,
+        help="write BENCH_PR<N>.json explicitly instead of inferring N "
+        "(--json wins when both are given)",
     )
     parser.add_argument(
         "--perf-only",
@@ -64,8 +90,18 @@ def main(argv=None) -> int:
         help="skip the BENCH_PR<k>.json cross-PR regression check",
     )
     args = parser.parse_args(argv)
+    if args.pr is not None and args.perf_only:
+        parser.error(
+            "--pr records a full PR artifact; it cannot be combined with "
+            "--perf-only (whose partial results would poison BENCH_PR<N>.json)"
+        )
     if args.json is None:
-        args.json = "BENCH_PERF_ONLY.json" if args.perf_only else "BENCH_PR2.json"
+        if args.perf_only:
+            args.json = "BENCH_PERF_ONLY.json"
+        elif args.pr is not None:
+            args.json = f"BENCH_PR{args.pr}.json"
+        else:
+            args.json = next_artifact_name()
 
     env = dict(os.environ)
     src = str(ROOT / "src")

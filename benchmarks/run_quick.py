@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quick iteration loop: the ``quick``-marked tier-1 subset (<60 s).
+
+The full tier-1 suite (``pytest tests/ benchmarks/``) takes 3-7 minutes;
+this wrapper runs only the tests marked ``quick`` — the scenario-subsystem
+smoke tests plus the property suites pinning the bit-identity contracts
+(vectorised kernels, replay engines, constraints) — which is the subset
+most likely to catch a broken refactor while hacking.  Always finish with
+the full suite (or ``benchmarks/run_benchmarks.py``) before recording a
+PR.
+
+Usage::
+
+    python benchmarks/run_quick.py              # quick tests only
+    python benchmarks/run_quick.py --perf       # + hot-path benchmarks
+    python benchmarks/run_quick.py -- -k table  # extra pytest args
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="also run the hot-path benchmarks (writes BENCH_PERF_ONLY.json)",
+    )
+    parser.add_argument(
+        "pytest_args",
+        nargs="*",
+        help="extra arguments forwarded to pytest (after --)",
+    )
+    args = parser.parse_args(argv)
+
+    env = dict(os.environ)
+    src = str(ROOT / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+
+    cmd = [
+        sys.executable, "-m", "pytest", "tests/", "-m", "quick", "-q",
+        *args.pytest_args,
+    ]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    status = subprocess.call(cmd, cwd=ROOT, env=env)
+    if args.perf:
+        from run_benchmarks import main as bench_main
+
+        status = bench_main(["--perf-only", "--skip-tests", "--skip-regression"]) or status
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

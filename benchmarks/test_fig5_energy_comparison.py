@@ -19,12 +19,16 @@ import numpy as np
 import pytest
 
 from conftest import fig5_days, print_comparison
+from repro import scenarios
 from repro.core.scheduler import BMLScheduler
 from repro.experiments import run_fig5
 
 
 @pytest.fixture(scope="module")
 def outcome(infra, worldcup_trace):
+    # run_fig5 is a thin wrapper over the scenario registry: the four
+    # Fig. 5 scenarios are the registry's paper-* specs run through
+    # repro.scenarios.runner with this trace/infra shared.
     return run_fig5(trace=worldcup_trace, infra=infra)
 
 
@@ -36,6 +40,24 @@ def test_fig5_scheduler_planning(benchmark, infra, worldcup_trace):
     )
     assert plan.horizon == len(worldcup_trace)
     assert plan.n_reconfigurations > 0
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_registry_scenario_matches_outcome(benchmark, infra, worldcup_trace, outcome):
+    """The registry's paper-bml scenario is the same computation run_fig5
+    reports — bit-identical power/unserved series through the one
+    execution path."""
+    run = benchmark.pedantic(
+        lambda: scenarios.run_scenario(
+            scenarios.get("paper-bml"), trace=worldcup_trace, infra=infra
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert run.result.scenario == "Big-Medium-Little"
+    assert np.array_equal(run.result.power, outcome.bml.power)
+    assert np.array_equal(run.result.unserved, outcome.bml.unserved)
+    assert run.result.n_reconfigurations == outcome.bml.n_reconfigurations
 
 
 @pytest.mark.benchmark(group="fig5")

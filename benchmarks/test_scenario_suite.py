@@ -1,0 +1,43 @@
+"""Scenario-subsystem benchmark: sweep the declarative catalogue.
+
+The registry's non-paper scenarios — constrained nodes, bounded
+inventories, power caps, degraded predictors, pattern workloads,
+homogeneous baselines and the event-driven engine — all run through the
+one execution path (:func:`repro.scenarios.run_suite`), shrunk to one
+day each so the sweep stays cheap.  This is the benchmark-level guard
+that every registered scenario stays runnable end to end.
+"""
+
+import pytest
+
+from conftest import print_comparison
+from repro import scenarios
+
+
+@pytest.mark.benchmark(group="scenario-suite")
+def test_scenario_catalogue_sweep(benchmark):
+    specs = [
+        spec.with_days(1)
+        for spec in scenarios.specs()
+        if "paper" not in spec.tags
+    ]
+    assert len(specs) >= 10  # the catalogue keeps covering the extension axes
+
+    runs = benchmark.pedantic(
+        lambda: scenarios.run_suite(specs), rounds=1, iterations=1
+    )
+    assert [r.name for r in runs] == [s.name for s in specs]
+    for run in runs:
+        assert run.result.total_energy > 0, run.name
+        assert 0.0 <= run.qos().served_fraction <= 1.0
+
+    # the under-biased predictor must drop demand; the oracle must not
+    by_name = {r.name: r for r in runs}
+    assert (
+        by_name["underestimating-prediction"].qos().unserved_demand
+        > by_name["pattern-steady"].qos().unserved_demand
+    )
+    print_comparison(
+        "scenario catalogue (1-day workloads)",
+        [r.summary_row() for r in runs],
+    )

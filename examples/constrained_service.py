@@ -14,59 +14,66 @@ example drives the extensions that lift both assumptions:
 3. **Transition-aware decisions** (Sec. VI future work): switching
    overheads are weighed against staying on the current machines.
 
+Every variant is a declarative :class:`repro.scenarios.ScenarioSpec`
+(the registry ships the same axes as ``constrained-redundant``,
+``inventory-small-dc`` and ``transition-aware-week``), so the comparison
+is one :func:`repro.scenarios.run_suite` call.
+
 Run: ``python examples/constrained_service.py [--days 2]``
 """
 
 import argparse
 
+from repro import scenarios
 from repro.analysis.charts import sparkline
 from repro.analysis.tables import render_table
-from repro.core import BMLScheduler, TransitionAwareScheduler, design, table_i_profiles
-from repro.sim import execute_plan
-from repro.sim.application import ApplicationSpec
-from repro.workload import synthesize
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--days", type=int, default=2)
     parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args(argv)
 
-    infra = design(table_i_profiles())
-    trace = synthesize(n_days=args.days, seed=args.seed)
+    workload = scenarios.WorkloadSpec(
+        days=args.days, seed=args.seed, pin_days=True
+    )
+    variants = {
+        "baseline (paper assumptions)": scenarios.SchedulerSpec(),
+        "redundant service (2..6 instances)": scenarios.SchedulerSpec(
+            min_instances=2, max_instances=6
+        ),
+        "existing DC (2 Big, 20 Medium, 10 Little)": scenarios.SchedulerSpec(
+            inventory=(("chromebook", 20), ("paravance", 2), ("raspberry", 10)),
+        ),
+        "transition-aware policy": scenarios.SchedulerSpec(
+            policy="transition-aware"
+        ),
+    }
+    specs = [
+        scenarios.ScenarioSpec(name=label, workload=workload, scheduler=sched)
+        for label, sched in variants.items()
+    ]
+    trace = workload.build()  # built once, shared by every scenario
+    runs = scenarios.run_suite(specs, jobs=args.jobs, trace=trace)
+
     print(f"workload: {args.days} days, peak {trace.peak:.0f} req/s")
     print("load    " + sparkline(trace.values, width=64))
     print()
 
-    scenarios = {
-        "baseline (paper assumptions)": BMLScheduler(infra),
-        "redundant service (2..6 instances)": BMLScheduler(
-            infra, app_spec=ApplicationSpec(min_instances=2, max_instances=6)
-        ),
-        "existing DC (2 Big, 20 Medium, 10 Little)": BMLScheduler(
-            infra,
-            inventory={"paravance": 2, "chromebook": 20, "raspberry": 10},
-        ),
-        "transition-aware policy": TransitionAwareScheduler(infra),
-    }
-
     rows = []
-    for label, scheduler in scenarios.items():
-        plan = scheduler.plan(trace)
-        res = execute_plan(plan, trace, label)
-        qos = res.qos(trace)
+    for run in runs:
+        res = run.result
+        qos = run.qos()
         rows.append(
             {
-                "scenario": label,
+                "scenario": run.name,
                 "energy (kWh)": round(res.total_energy_kwh, 3),
                 "reconfigs": res.n_reconfigurations,
                 "switch (kWh)": round(res.switch_energy / 3.6e6, 3),
                 "served %": round(100 * qos.served_fraction, 4),
-                "max nodes": max(
-                    (seg.serving.total_nodes for seg in plan.segments),
-                    default=0,
-                ),
+                "max nodes": res.meta.get("max_nodes", 0),
             }
         )
     print(render_table(rows, title="constrained operation"))

@@ -16,9 +16,9 @@ import argparse
 
 import numpy as np
 
+from repro import scenarios
 from repro.analysis.tables import render_table
-from repro.core import BMLScheduler, LookAheadMaxPredictor, design, table_i_profiles
-from repro.sim import execute_plan
+from repro.core import BMLScheduler, design, table_i_profiles
 from repro.sim.loop import EventDrivenReplay
 from repro.workload import WorldCupSynthesizer
 
@@ -32,13 +32,17 @@ def main(argv=None) -> int:
     infra = design(table_i_profiles())
     day = WorldCupSynthesizer(n_days=1, seed=args.seed, peak_rate=2500).build()
     trace = day[: args.hours * 3600]
-    predictor = LookAheadMaxPredictor(378)
 
-    # fast path --------------------------------------------------------
+    # fast path: a declarative scenario run on the sliced trace ---------
+    spec = scenarios.ScenarioSpec(
+        name="vectorised fast path",
+        scheduler=scenarios.SchedulerSpec(policy="bml"),
+    )
+    fast = scenarios.run_scenario(spec, trace=trace, infra=infra).result
+    predictor = spec.scheduler.build_predictor()
+
+    # event-driven path: same table/predictor, explicit machines --------
     outcome = BMLScheduler(infra, predictor=predictor).plan_detailed(trace)
-    fast = execute_plan(outcome.plan, trace, "vectorised fast path")
-
-    # event-driven path --------------------------------------------------
     replay = EventDrivenReplay(outcome.table, trace, predictor=predictor)
     slow = replay.run()
 

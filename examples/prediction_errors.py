@@ -8,56 +8,58 @@ degraded with log-normal noise and systematic bias, and reactive
 predictors join for reference.  The two failure modes are visible
 immediately: under-prediction drops requests, over-prediction burns Watts.
 
+Each predictor variant is one declarative scenario — the same
+:class:`repro.scenarios.SchedulerSpec` knobs (``noise_sigma``,
+``noise_bias``, ``predictor``) the registry's ``prediction-error``
+scenarios use — swept through :func:`repro.scenarios.run_suite`.
+
 Run: ``python examples/prediction_errors.py [--days 3]``
 """
 
 import argparse
 
+from repro import scenarios
 from repro.analysis.tables import render_table
-from repro.core import (
-    BMLScheduler,
-    EWMAPredictor,
-    LookAheadMaxPredictor,
-    NoisyPredictor,
-    TrailingMaxPredictor,
-    design,
-    table_i_profiles,
-)
-from repro.sim import execute_plan
-from repro.workload import synthesize
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--days", type=int, default=3)
     parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=1)
     args = parser.parse_args(argv)
 
-    infra = design(table_i_profiles())
-    trace = synthesize(n_days=args.days, seed=args.seed)
-    oracle = LookAheadMaxPredictor(378)
-
-    predictors = [
-        oracle,
-        NoisyPredictor(base=oracle, sigma=0.05, seed=1),
-        NoisyPredictor(base=oracle, sigma=0.15, seed=1),
-        NoisyPredictor(base=oracle, sigma=0.15, bias=0.85, seed=1),
-        NoisyPredictor(base=oracle, sigma=0.15, bias=1.25, seed=1),
-        TrailingMaxPredictor(378),
-        EWMAPredictor(alpha=0.005, headroom=1.3),
+    workload = scenarios.WorkloadSpec(
+        days=args.days, seed=args.seed, pin_days=True
+    )
+    sweeps = [
+        scenarios.SchedulerSpec(),  # the paper's oracle
+        scenarios.SchedulerSpec(noise_sigma=0.05, noise_seed=1),
+        scenarios.SchedulerSpec(noise_sigma=0.15, noise_seed=1),
+        scenarios.SchedulerSpec(noise_sigma=0.15, noise_bias=0.85, noise_seed=1),
+        scenarios.SchedulerSpec(noise_sigma=0.15, noise_bias=1.25, noise_seed=1),
+        scenarios.SchedulerSpec(predictor="trailing-max"),
+        scenarios.SchedulerSpec(predictor="ewma", alpha=0.005, headroom=1.3),
     ]
+    specs = [
+        scenarios.ScenarioSpec(
+            name=sched.build_predictor().name,
+            workload=workload,
+            scheduler=sched,
+            tags=("prediction-error",),
+        )
+        for sched in sweeps
+    ]
+    runs = scenarios.run_suite(specs, jobs=args.jobs)
 
     rows = []
-    baseline_energy = None
-    for pred in predictors:
-        plan = BMLScheduler(infra, predictor=pred).plan(trace)
-        res = execute_plan(plan, trace, pred.name)
-        qos = res.qos(trace)
-        if baseline_energy is None:
-            baseline_energy = res.total_energy
+    baseline_energy = runs[0].result.total_energy
+    for run in runs:
+        qos = run.qos()
+        res = run.result
         rows.append(
             {
-                "predictor": pred.name,
+                "predictor": run.name,
                 "energy (kWh)": round(res.total_energy_kwh, 2),
                 "vs oracle": f"{100 * (res.total_energy / baseline_energy - 1):+.1f}%",
                 "reconfigs": res.n_reconfigurations,
@@ -70,7 +72,7 @@ def main(argv=None) -> int:
         render_table(
             rows,
             title=f"prediction error impact — {args.days} days, "
-            f"peak {trace.peak:.0f} req/s",
+            f"peak {runs[0].trace_peak:.0f} req/s",
         )
     )
     print(

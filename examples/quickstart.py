@@ -8,17 +8,18 @@ Walks the paper's whole pipeline in ~30 lines of API calls:
    thresholds (Taurus and Graphene drop out; thresholds 1 / 10 / 529);
 3. Step 5: ideal combinations for a few rates;
 4. replay one synthetic day with the pro-active scheduler and compare
-   against the theoretical lower bound.
+   against the theoretical lower bound — both expressed as declarative
+   :class:`repro.scenarios.ScenarioSpec` objects and run through the one
+   execution path (``repro scenario run`` speaks the same language).
 
 Run: ``python examples/quickstart.py [--days N]``
 """
 
 import argparse
 
+from repro import scenarios
 from repro.analysis.tables import render_table
-from repro.core import BMLScheduler, design, table_i_profiles
-from repro.sim import execute_plan, lower_bound_result
-from repro.workload import synthesize
+from repro.core import design, table_i_profiles
 
 
 def main(argv=None) -> int:
@@ -46,13 +47,24 @@ def main(argv=None) -> int:
     print(render_table(rows, title="Step 5: ideal BML combinations"))
     print()
 
-    # Online scheduling ---------------------------------------------------
-    trace = synthesize(n_days=args.days, seed=args.seed, peak_rate=3000)
-    plan = BMLScheduler(infra).plan(trace)
-    result = execute_plan(plan, trace, "BML scheduler")
-    bound = lower_bound_result(trace, infra.table(trace.peak))
+    # Online scheduling, declaratively ------------------------------------
+    workload = scenarios.WorkloadSpec(
+        days=args.days, seed=args.seed, peak_rate=3000.0, pin_days=True
+    )
+    bml_spec = scenarios.ScenarioSpec(
+        name="BML scheduler",
+        workload=workload,
+        scheduler=scenarios.SchedulerSpec(policy="bml"),
+    )
+    bound_spec = scenarios.ScenarioSpec(
+        name="theoretical lower bound",
+        workload=workload,
+        scheduler=scenarios.SchedulerSpec(policy="lower-bound"),
+    )
+    result_run, bound_run = scenarios.run_suite([bml_spec, bound_spec])
+    result, bound = result_run.result, bound_run.result
 
-    qos = result.qos(trace)
+    qos = result_run.qos()
     print(
         render_table(
             [
@@ -64,7 +76,7 @@ def main(argv=None) -> int:
                 }
                 for r in (result, bound)
             ],
-            title=f"{args.days}-day replay (peak {trace.peak:.0f} req/s)",
+            title=f"{args.days}-day replay (peak {result_run.trace_peak:.0f} req/s)",
         )
     )
     print(

@@ -7,15 +7,24 @@ scheduler and the theoretical lower bound — and prints per-day energies
 plus the headline overhead statistics.  Optionally dumps the series as
 CSV for plotting.
 
-Run: ``python examples/worldcup_replay.py [--days 87] [--csv out/]``
+The four scenarios come straight from the declarative registry
+(``paper-upper-global``, ``paper-upper-perday``, ``paper-bml``,
+``paper-lower-bound``) with the CLI flags layered on as spec overrides,
+and run through :func:`repro.scenarios.run_suite` — optionally fanned out
+over worker processes with ``--jobs``.
+
+Run: ``python examples/worldcup_replay.py [--days 87] [--jobs 4] [--csv out/]``
 (87 days take under a minute; use fewer for a quick look).
 """
 
 import argparse
+from dataclasses import replace
 from pathlib import Path
 
+from repro import scenarios
+from repro.analysis.figures import fig5_series
+from repro.analysis.metrics import overhead_stats
 from repro.analysis.tables import render_table, write_csv
-from repro.experiments import run_fig5
 
 
 def main(argv=None) -> int:
@@ -23,26 +32,36 @@ def main(argv=None) -> int:
     parser.add_argument("--days", type=int, default=87)
     parser.add_argument("--seed", type=int, default=1998)
     parser.add_argument("--window", type=int, default=378)
+    parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--csv", type=Path, default=None)
     args = parser.parse_args(argv)
 
-    from repro.core.prediction import LookAheadMaxPredictor
-
-    outcome = run_fig5(
-        n_days=args.days,
-        seed=args.seed,
-        predictor=LookAheadMaxPredictor(args.window),
-    )
+    specs = []
+    for name in scenarios.PAPER_SCENARIOS:
+        spec = scenarios.get(name)
+        spec = replace(
+            spec,
+            workload=replace(
+                spec.workload, days=args.days, seed=args.seed, pin_days=True
+            ),
+            scheduler=replace(spec.scheduler, window=args.window),
+        )
+        specs.append(spec)
+    runs = scenarios.run_suite(specs, jobs=args.jobs)
+    results = [r.result for r in runs]
+    bml = next(r for r in results if r.scenario == "Big-Medium-Little")
+    lower = next(r for r in results if r.scenario == "LowerBound Theoretical")
+    overhead = overhead_stats(bml.per_day_energy(), lower.per_day_energy())
 
     print(
         render_table(
-            outcome.summary_rows(),
+            [r.summary_row() for r in runs],
             title=f"Fig. 5 scenarios — {args.days} days, window {args.window}s",
         )
     )
     print()
 
-    fig = outcome.figure()
+    fig = fig5_series(results, reference=lower)
     days = fig.series["Big-Medium-Little"][0]
     step = max(1, len(days) // 20)
     rows = [
@@ -64,13 +83,13 @@ def main(argv=None) -> int:
         print(line_chart(fig.series, width=70, height=14,
                          x_label="day", y_label="kWh/day"))
         print()
-    print("BML vs theoretical lower bound:", outcome.overhead.describe())
+    print("BML vs theoretical lower bound:", overhead.describe())
     print("paper reports:                  avg 32% / min 6.8% / max 161.4%")
 
     if args.csv:
         args.csv.mkdir(parents=True, exist_ok=True)
         write_csv(args.csv / "fig5_daily_energy.csv", fig.rows())
-        write_csv(args.csv / "fig5_summary.csv", outcome.summary_rows())
+        write_csv(args.csv / "fig5_summary.csv", [r.summary_row() for r in runs])
         print(f"\nCSV series written to {args.csv}/")
     return 0
 

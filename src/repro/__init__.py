@@ -18,6 +18,7 @@ Quick start::
 
 Sub-packages: :mod:`repro.core` (methodology + scheduler),
 :mod:`repro.sim` (data-center simulator), :mod:`repro.workload` (traces),
+:mod:`repro.scenarios` (declarative scenario specs, registry and runner),
 :mod:`repro.profiling` (Table I substrate), :mod:`repro.analysis`
 (metrics/figures), :mod:`repro.experiments` (one entry point per paper
 table/figure).
@@ -47,6 +48,15 @@ from .core import (
 )
 from .sim import SimulationResult, execute_plan, lower_bound_result
 from .workload import LoadTrace, WorldCupSynthesizer, synthesize
+from . import scenarios
+from .scenarios import (
+    ScenarioRun,
+    ScenarioSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    run_scenario,
+    run_suite,
+)
 
 __version__ = "1.0.0"
 
@@ -78,4 +88,11 @@ __all__ = [
     "LoadTrace",
     "WorldCupSynthesizer",
     "synthesize",
+    "scenarios",
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SchedulerSpec",
+    "ScenarioRun",
+    "run_scenario",
+    "run_suite",
 ]

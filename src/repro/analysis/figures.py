@@ -27,6 +27,7 @@ __all__ = [
     "fig3_series",
     "fig4_series",
     "fig5_series",
+    "scenario_series",
 ]
 
 
@@ -182,6 +183,35 @@ def fig4_series(
             "BML linear": (rates, linear),
         },
         annotations={"thresholds": dict(infra.thresholds), "method": method},
+    )
+
+
+def scenario_series(runs: Sequence) -> FigureSeries:
+    """Per-day energy of a scenario-suite run (Fig. 5 generalised).
+
+    ``runs`` are :class:`repro.scenarios.runner.ScenarioRun` objects
+    (duck-typed on ``.spec``/``.result``/``.qos()`` to keep this module
+    free of a scenarios dependency).  Unlike :func:`fig5_series`, the
+    scenarios may cover different day counts — each series keeps its own
+    x axis.
+    """
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    annotations: Dict[str, object] = {}
+    for run in runs:
+        daily = run.result.per_day_energy_kwh()
+        series[run.spec.name] = (np.arange(len(daily)), daily)
+        annotations[run.spec.name] = {
+            "label": run.result.scenario,
+            "total_kwh": run.result.total_energy_kwh,
+            "reconfigurations": run.result.n_reconfigurations,
+            "served_fraction": run.qos().served_fraction,
+        }
+    return FigureSeries(
+        figure="scenario-suite",
+        x_label="day",
+        y_label="energy (kWh)",
+        series=series,
+        annotations=annotations,
     )
 
 

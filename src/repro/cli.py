@@ -15,6 +15,13 @@ Commands
     overhead statistics.
 ``repro experiment {table1,fig1,fig2,fig3,fig4,fig5}``
     Regenerate one paper artifact and print its series/rows.
+``repro scenario list [--tag TAG]``
+    Show the declarative scenario registry.
+``repro scenario show NAME``
+    Print one scenario spec as JSON (``from_dict``-compatible).
+``repro scenario run [NAME ...|--all] [--jobs N] [--days D] [--csv DIR]``
+    Run scenarios through the one execution path, optionally fanned out
+    over worker processes.
 """
 
 from __future__ import annotations
@@ -96,6 +103,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_exp.add_argument("--days", type=int, default=87, help="fig5 trace length")
     p_exp.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
+
+    p_scen = sub.add_parser("scenario", help="declarative scenario registry")
+    scen_sub = p_scen.add_subparsers(dest="scenario_command", required=True)
+    p_list = scen_sub.add_parser("list", help="show registered scenarios")
+    p_list.add_argument("--tag", default=None, help="only scenarios with TAG")
+    p_show = scen_sub.add_parser("show", help="print one spec as JSON")
+    p_show.add_argument("name")
+    p_run = scen_sub.add_parser("run", help="run scenarios by name")
+    p_run.add_argument("names", nargs="*", help="registry names (see list)")
+    p_run.add_argument(
+        "--all", action="store_true", help="run every registered scenario"
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    p_run.add_argument(
+        "--days", type=int, default=None,
+        help="override every scenario's workload length (days)",
+    )
+    p_run.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
     return parser
 
 
@@ -242,6 +269,63 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    import json
+
+    from . import scenarios
+
+    if args.scenario_command == "list":
+        rows = []
+        for spec in (scenarios.by_tag(args.tag) if args.tag else scenarios.specs()):
+            rows.append(
+                {
+                    "name": spec.name,
+                    "policy": spec.scheduler.policy,
+                    "workload": spec.workload.source,
+                    "days": spec.workload.days,
+                    "engine": spec.engine,
+                    "tags": ",".join(spec.tags),
+                }
+            )
+        print(render_table(rows, title="scenario registry"))
+        return 0
+    if args.scenario_command == "show":
+        try:
+            spec = scenarios.get(args.name)
+        except scenarios.ScenarioError as exc:
+            raise SystemExit(str(exc))
+        print(json.dumps(spec.to_dict(), indent=2))
+        return 0
+    # run
+    if args.all and args.names:
+        raise SystemExit(
+            "scenario run: --all runs the whole catalogue; it cannot be "
+            "combined with explicit scenario names"
+        )
+    if args.all:
+        specs = scenarios.specs()
+    elif args.names:
+        try:
+            specs = [scenarios.get(name) for name in args.names]
+        except scenarios.ScenarioError as exc:
+            raise SystemExit(str(exc))
+    else:
+        raise SystemExit("scenario run: give scenario names or --all")
+    if args.days is not None:
+        specs = [spec.with_days(args.days) for spec in specs]
+    runs = scenarios.run_suite(specs, jobs=args.jobs)
+    print(render_table([r.summary_row() for r in runs], title="scenario suite"))
+    if args.csv:
+        from .analysis.figures import scenario_series
+
+        args.csv.mkdir(parents=True, exist_ok=True)
+        fig = scenario_series(runs)
+        write_csv(args.csv / "scenario_daily_energy.csv", fig.rows())
+        write_csv(args.csv / "scenario_summary.csv", [r.summary_row() for r in runs])
+        print(f"series written to {args.csv}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -252,6 +336,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "simulate": _cmd_simulate,
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
+        "scenario": _cmd_scenario,
     }
     return handlers[args.command](args)
 

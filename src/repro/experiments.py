@@ -7,10 +7,9 @@ index (E1..E6, A1..A4) for the mapping to the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
 
 from .analysis.figures import (
     FigureSeries,
@@ -21,21 +20,19 @@ from .analysis.figures import (
     fig5_series,
 )
 from .analysis.metrics import OverheadStats, overhead_stats
-from .core.baselines import global_upper_bound_plan, per_day_upper_bound_plan
 from .core.bml import BMLInfrastructure, design
-from .core.prediction import LookAheadMaxPredictor, Predictor
+from .core.prediction import Predictor
 from .core.profiles import (
     ArchitectureProfile,
     illustrative_profiles,
     table_i_profiles,
 )
-from .core.scheduler import BMLScheduler
 from .profiling.harness import MachineReport, ProfilingCampaign
 from .profiling.hardware import paper_hardware
-from .sim.datacenter import execute_plan, lower_bound_result
+from .scenarios import registry as scenario_registry
+from .scenarios.runner import run_scenario
 from .sim.results import SimulationResult
 from .workload.trace import LoadTrace
-from .workload.worldcup import synthesize
 
 __all__ = [
     "run_table1",
@@ -51,10 +48,17 @@ __all__ = [
     "SCENARIO_LOWER_BOUND",
 ]
 
-SCENARIO_GLOBAL = "UpperBound Global"
-SCENARIO_PER_DAY = "UpperBound PerDay"
-SCENARIO_BML = "Big-Medium-Little"
-SCENARIO_LOWER_BOUND = "LowerBound Theoretical"
+# The published scenario names; the registry's paper-* specs are the
+# single source of truth, re-exported here for backward compatibility.
+(
+    SCENARIO_GLOBAL,
+    SCENARIO_PER_DAY,
+    SCENARIO_BML,
+    SCENARIO_LOWER_BOUND,
+) = tuple(
+    scenario_registry.get(name).scenario_label
+    for name in scenario_registry.PAPER_SCENARIOS
+)
 
 
 def run_table1(
@@ -145,31 +149,43 @@ def run_fig5(
     synthetic trace (``n_days``) for quick runs.  ``policy`` selects the
     BML scenario's scheduler: ``"bml"`` (the paper) or
     ``"transition-aware"`` (the Sec. VI future-work policy).
+
+    Thin wrapper over the scenario subsystem: the four specs come from
+    :mod:`repro.scenarios.registry` (``paper-upper-global``,
+    ``paper-upper-perday``, ``paper-bml``, ``paper-lower-bound``) with
+    this function's arguments layered on, and every replay goes through
+    :func:`repro.scenarios.runner.run_scenario`.
     """
-    trace = trace if trace is not None else synthesize(n_days=n_days, seed=seed)
-    infra = infra if infra is not None else design(table_i_profiles())
-    predictor = predictor or LookAheadMaxPredictor(378)
-
-    if policy == "bml":
-        scheduler = BMLScheduler(infra, predictor=predictor, method=method)
-    elif policy == "transition-aware":
-        from .core.adaptive import TransitionAwareScheduler
-
-        scheduler = TransitionAwareScheduler(
-            infra, predictor=predictor, method=method
-        )
-    else:
+    if policy not in ("bml", "transition-aware"):
         raise ValueError(f"unknown policy {policy!r}")
-    bml = execute_plan(scheduler.plan(trace), trace, SCENARIO_BML)
-    upper_global = execute_plan(
-        global_upper_bound_plan(trace, infra.big), trace, SCENARIO_GLOBAL
-    )
-    upper_per_day = execute_plan(
-        per_day_upper_bound_plan(trace, infra.big), trace, SCENARIO_PER_DAY
-    )
-    lower = lower_bound_result(
-        trace, infra.table(max(trace.peak, 1.0), method), SCENARIO_LOWER_BOUND
-    )
+    specs = {name: scenario_registry.get(name) for name in
+             scenario_registry.PAPER_SCENARIOS}
+    bml_spec = specs["paper-bml"]
+    # One shared trace/infra for the four scenarios, exactly like the
+    # original hand-wired comparison (n_days/seed only matter when no
+    # explicit trace is given).  n_days is an explicit argument, so it
+    # bypasses the REPRO_FIG5_DAYS override reserved for spec defaults.
+    if trace is None:
+        workload = replace(bml_spec.workload, seed=seed)
+        trace = workload.build(days=n_days)
+    infra = infra if infra is not None else design(table_i_profiles())
+
+    def scenario(name: str, **overrides) -> SimulationResult:
+        spec = specs[name]
+        if overrides:
+            spec = replace(spec, scheduler=replace(spec.scheduler, **overrides))
+        scheduling = spec.scheduler.policy in ("bml", "transition-aware")
+        return run_scenario(
+            spec,
+            trace=trace,
+            infra=infra,
+            predictor=predictor if scheduling else None,
+        ).result
+
+    bml = scenario("paper-bml", policy=policy, method=method)
+    upper_global = scenario("paper-upper-global")
+    upper_per_day = scenario("paper-upper-perday")
+    lower = scenario("paper-lower-bound", method=method)
     overhead = overhead_stats(bml.per_day_energy(), lower.per_day_energy())
     return Fig5Outcome(
         trace=trace,

@@ -1,0 +1,46 @@
+"""Declarative scenario subsystem.
+
+One spec language (:mod:`repro.scenarios.spec`), one named catalogue
+(:mod:`repro.scenarios.registry`), one execution path
+(:mod:`repro.scenarios.runner`) — shared by :mod:`repro.experiments`,
+the CLI (``repro scenario list|show|run``), the example scripts and the
+figure benchmarks.
+
+Quick start::
+
+    from repro import scenarios
+
+    spec = scenarios.get("paper-bml").with_days(2)     # shrink the replay
+    run = scenarios.run_scenario(spec)                 # -> ScenarioRun
+    print(run.result.total_energy_kwh, run.qos().served_fraction)
+
+    runs = scenarios.run_suite(scenarios.specs(), jobs=4)   # whole catalogue
+"""
+
+from .registry import PAPER_SCENARIOS, by_tag, get, names, register, specs
+from .runner import ScenarioRun, clear_caches, run_scenario, run_suite
+from .spec import (
+    FIG5_DAYS_ENV,
+    ScenarioError,
+    ScenarioSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+)
+
+__all__ = [
+    "ScenarioSpec",
+    "WorkloadSpec",
+    "SchedulerSpec",
+    "ScenarioError",
+    "ScenarioRun",
+    "FIG5_DAYS_ENV",
+    "PAPER_SCENARIOS",
+    "register",
+    "get",
+    "names",
+    "specs",
+    "by_tag",
+    "run_scenario",
+    "run_suite",
+    "clear_caches",
+]

@@ -1,0 +1,271 @@
+"""One execution path for every scenario: build, plan, replay, account.
+
+:func:`run_scenario` is the single facade the experiments module, the
+CLI, the examples and the benchmarks all route through.  It materialises
+the spec's profiles/trace/predictor (memoised: suites re-running the same
+workload or infrastructure share the objects *and* the infrastructure's
+combination-table cache), builds the plan its policy describes, replays
+it on the requested engine, and wraps everything in a
+:class:`ScenarioRun`.
+
+:func:`run_suite` fans a list of specs out over a ``multiprocessing``
+pool (``jobs`` worker processes; ``jobs=1`` stays in-process), returning
+the per-scenario results in input order.  Workers rebuild their own
+caches after the fork, so parallel results are bit-identical to
+sequential ones — pinned by ``tests/test_scenarios.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.adaptive import TransitionAwareScheduler
+from ..core.baselines import global_upper_bound_plan, per_day_upper_bound_plan
+from ..core.bml import BMLInfrastructure, design
+from ..core.prediction import Predictor
+from ..core.scheduler import BMLScheduler
+from ..sim.datacenter import execute_plan, lower_bound_result
+from ..sim.results import QoSReport, SimulationResult
+from ..workload.trace import LoadTrace
+from .spec import ScenarioError, ScenarioSpec, WorkloadSpec
+
+__all__ = ["ScenarioRun", "run_scenario", "run_suite", "clear_caches"]
+
+
+# ---------------------------------------------------------------------------
+# Shared-object caches (per process)
+# ---------------------------------------------------------------------------
+
+#: Infrastructures per (profiles, powercap): sharing the instance shares
+#: its combination-table cache across every scenario of a suite.
+_INFRA_CACHE: Dict[Tuple[str, Optional[float]], BMLInfrastructure] = {}
+
+#: Built traces per workload spec + resolved day count.  Bounded: an
+#: 87-day 1 Hz trace is ~60 MB, so only the most recent few stay alive.
+_TRACE_CACHE: "OrderedDict[Tuple[WorkloadSpec, int], LoadTrace]" = OrderedDict()
+_TRACE_CACHE_MAX = 4
+
+
+def clear_caches() -> None:
+    """Drop the memoised infrastructures and traces (tests, memory)."""
+    _INFRA_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def _infra_for(spec: ScenarioSpec) -> BMLInfrastructure:
+    key = (spec.profiles, spec.powercap)
+    infra = _INFRA_CACHE.get(key)
+    if infra is None:
+        infra = design(spec.build_profiles())
+        _INFRA_CACHE[key] = infra
+    return infra
+
+
+def _trace_for(workload: WorkloadSpec) -> LoadTrace:
+    key = (workload, workload.resolved_days())
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = workload.build()
+        _TRACE_CACHE[key] = trace
+        while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
+            _TRACE_CACHE.popitem(last=False)
+    else:
+        _TRACE_CACHE.move_to_end(key)
+    return trace
+
+
+# ---------------------------------------------------------------------------
+# Per-scenario result object
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScenarioRun:
+    """Outcome of one scenario: the replay result plus run metadata.
+
+    The full trace is *not* carried (87 days of 1 Hz samples do not
+    belong in a result that travels across process boundaries); the QoS
+    figures that need it are precomputed.
+    """
+
+    spec: ScenarioSpec
+    result: SimulationResult
+    days: int
+    trace_peak: float
+    trace_total_demand: float
+    elapsed_s: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def scenario(self) -> str:
+        return self.result.scenario
+
+    def qos(self) -> QoSReport:
+        """QoS report against the replayed trace's total demand."""
+        from dataclasses import replace
+
+        return replace(
+            self.result.qos(), total_demand=self.trace_total_demand
+        )
+
+    def summary_row(self) -> Dict[str, object]:
+        """One report-table row (same shape as ``Fig5Outcome`` rows)."""
+        qos = self.qos()
+        return {
+            "scenario": self.name,
+            "label": self.result.scenario,
+            "energy_kwh": round(self.result.total_energy_kwh, 2),
+            "mean_power_w": round(self.result.mean_power, 1),
+            "reconfigs": self.result.n_reconfigurations,
+            "switch_kwh": round(self.result.switch_energy / 3.6e6, 3),
+            "unserved_s": qos.violation_seconds,
+            "served_frac": round(qos.served_fraction, 6),
+            "days": self.days,
+            "elapsed_s": round(self.elapsed_s, 2),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The facade
+# ---------------------------------------------------------------------------
+
+
+def _replay(
+    spec: ScenarioSpec,
+    trace: LoadTrace,
+    infra: BMLInfrastructure,
+    predictor: Optional[Predictor],
+) -> SimulationResult:
+    """Build the policy's plan and replay it on the requested engine."""
+    sched = spec.scheduler
+    label = spec.scenario_label
+    if sched.policy in ("bml", "transition-aware"):
+        predictor = predictor if predictor is not None else sched.build_predictor()
+        if sched.policy == "transition-aware":
+            if sched.inventory is not None or sched.build_app_spec() is not None:
+                raise ScenarioError(
+                    "the transition-aware policy does not support node "
+                    "constraints yet"
+                )
+            scheduler = TransitionAwareScheduler(
+                infra, predictor=predictor, method=sched.method
+            )
+        else:
+            scheduler = BMLScheduler(
+                infra,
+                predictor=predictor,
+                method=sched.method,
+                inventory=sched.inventory_dict(),
+                app_spec=sched.build_app_spec(),
+            )
+        if spec.engine == "fast":
+            return execute_plan(scheduler.plan(trace), trace, label)
+        from ..sim.loop import EventDrivenReplay
+
+        outcome = scheduler.plan_detailed(trace)
+        replay = EventDrivenReplay(
+            outcome.table,
+            trace,
+            predictor=predictor,
+            inventory=sched.inventory_dict(),
+        )
+        engine = "segments" if spec.engine == "event" else "reference"
+        result = replay.run(engine=engine)
+        result.scenario = label
+        return result
+    if sched.policy == "upper-global":
+        return execute_plan(global_upper_bound_plan(trace, infra.big), trace, label)
+    if sched.policy == "upper-per-day":
+        return execute_plan(
+            per_day_upper_bound_plan(trace, infra.big), trace, label
+        )
+    if sched.policy == "lower-bound":
+        table = infra.table(max(trace.peak, 1.0), sched.method)
+        return lower_bound_result(trace, table, label)
+    raise ScenarioError(f"unknown policy {sched.policy!r}")
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    trace: Optional[LoadTrace] = None,
+    infra: Optional[BMLInfrastructure] = None,
+    predictor: Optional[Predictor] = None,
+) -> ScenarioRun:
+    """Run one scenario end to end.
+
+    ``trace``/``infra``/``predictor`` override the spec-built objects —
+    that is how :func:`repro.experiments.run_fig5` keeps accepting
+    explicit objects while routing through the one execution path, and
+    how suites share a trace across scenarios without rebuilding it.
+    """
+    t0 = time.perf_counter()
+    infra = infra if infra is not None else _infra_for(spec)
+    trace = trace if trace is not None else _trace_for(spec.workload)
+    result = _replay(spec, trace, infra, predictor)
+    return ScenarioRun(
+        spec=spec,
+        result=result,
+        days=trace.n_days,
+        trace_peak=trace.peak,
+        trace_total_demand=trace.total_demand,
+        elapsed_s=time.perf_counter() - t0,
+    )
+
+
+#: Per-worker shared overrides, shipped once at pool start (pickling a
+#: 60 MB trace per *task* would dwarf the work being parallelised).
+_WORKER_SHARED: Dict[str, object] = {}
+
+
+def _init_worker(
+    trace: Optional[LoadTrace], infra: Optional[BMLInfrastructure]
+) -> None:
+    _WORKER_SHARED["trace"] = trace
+    _WORKER_SHARED["infra"] = infra
+
+
+def _run_worker(spec: ScenarioSpec) -> ScenarioRun:
+    """Pool worker: specs in, ScenarioRuns out (both picklable)."""
+    return run_scenario(
+        spec,
+        trace=_WORKER_SHARED.get("trace"),
+        infra=_WORKER_SHARED.get("infra"),
+    )
+
+
+def run_suite(
+    specs: Sequence[ScenarioSpec],
+    jobs: int = 1,
+    trace: Optional[LoadTrace] = None,
+    infra: Optional[BMLInfrastructure] = None,
+) -> List[ScenarioRun]:
+    """Run many scenarios, optionally fanned out over worker processes.
+
+    ``jobs=1`` runs in-process (sharing this process's caches);
+    ``jobs>1`` uses a ``multiprocessing`` pool with one scenario per
+    task.  Results come back in input order and are bit-identical either
+    way: scenarios are independent, and every worker rebuilds its tables
+    through the same deterministic code path.  ``trace``/``infra`` are
+    shared overrides applied to *every* scenario (callers that already
+    built the workload pass it here instead of paying a rebuild per
+    scenario or per worker).
+    """
+    specs = list(specs)
+    if jobs < 1:
+        raise ScenarioError("jobs must be >= 1")
+    if jobs == 1 or len(specs) <= 1:
+        return [run_scenario(s, trace=trace, infra=infra) for s in specs]
+    import multiprocessing
+
+    jobs = min(jobs, len(specs))
+    ctx = multiprocessing.get_context()
+    with ctx.Pool(
+        processes=jobs, initializer=_init_worker, initargs=(trace, infra)
+    ) as pool:
+        return pool.map(_run_worker, specs)

@@ -44,26 +44,36 @@ def execute_plan(
     # Group segments by serving combination: each distinct combination's
     # piecewise-linear power curve is evaluated with a single np.interp
     # over all its samples (plans with heavy reconfiguration churn revisit
-    # the same few combinations thousands of times).
+    # the same few combinations thousands of times).  Per group, one
+    # gather/scatter index pass replaces the per-segment Python loop: the
+    # timeline positions of all the group's samples are built with a
+    # single np.repeat over the segment starts, so loads are gathered,
+    # overheads broadcast and results stored with fancy indexing only.
     groups: dict = {}
     for seg in plan.segments:
         groups.setdefault(seg.serving, []).append(seg)
     for combo, segs in groups.items():
-        capacity = combo.capacity
-        pieces = [trace.values[s.t_start : s.t_end] for s in segs]
-        loads = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
-        served = np.minimum(loads, capacity)
+        starts = np.fromiter((s.t_start for s in segs), np.int64, len(segs))
+        sizes = np.fromiter((s.t_end for s in segs), np.int64, len(segs)) - starts
+        total = int(sizes.sum())
+        if total == 0:
+            continue
+        # concatenated-position -> timeline-position map for every sample
+        offsets = np.concatenate(([0], np.cumsum(sizes)[:-1]))
+        idx = np.repeat(starts - offsets, sizes) + np.arange(total)
+        loads = trace.values[idx]
+        served = np.minimum(loads, combo.capacity)
         powers = combination_power(combo, served)
-        offset = 0
-        for seg, piece in zip(segs, pieces):
-            size = seg.t_end - seg.t_start
-            power[seg.t_start : seg.t_end] = (
-                powers[offset : offset + size] + seg.overhead_power
-            )
-            deficit = piece - served[offset : offset + size]
-            if np.any(deficit > 0):
-                unserved[seg.t_start : seg.t_end] = deficit
-            offset += size
+        overheads = np.fromiter(
+            (s.overhead_power for s in segs), np.float64, len(segs)
+        )
+        power[idx] = powers + np.repeat(overheads, sizes)
+        # Only materialise deficits: well-provisioned groups leave the
+        # zeros array untouched (keeping its pages copy-on-write keeps
+        # later QoS scans cheap).
+        deficit = loads - served
+        if np.any(deficit > 0):
+            unserved[idx] = deficit
     return SimulationResult(
         scenario=scenario,
         trace_name=trace.name,
@@ -74,6 +84,9 @@ def execute_plan(
         meta={
             "segments": len(plan.segments),
             "switch_energy_j": plan.total_switch_energy,
+            "max_nodes": max(
+                (seg.serving.total_nodes for seg in plan.segments), default=0
+            ),
         },
     )
 

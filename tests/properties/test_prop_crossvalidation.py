@@ -21,6 +21,10 @@ from repro.sim.datacenter import execute_plan
 from repro.sim.loop import EventDrivenReplay
 from repro.workload.trace import LoadTrace
 
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
+
 
 @pytest.fixture(scope="module")
 def infra_cv():

@@ -1,10 +1,15 @@
 """Property-based tests for power models (hypothesis)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core.profiles import ArchitectureProfile
+
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
 
 profile_st = st.builds(
     ArchitectureProfile,

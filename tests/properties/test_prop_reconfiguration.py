@@ -13,6 +13,10 @@ from repro.core.reconfiguration import (
     reconfiguration_window,
 )
 
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
+
 TRIO = tuple(
     p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
 )

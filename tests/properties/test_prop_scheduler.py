@@ -17,6 +17,10 @@ from repro.core.scheduler import BMLScheduler
 from repro.sim.datacenter import execute_plan, lower_bound_result
 from repro.workload.trace import LoadTrace
 
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
+
 load_st = arrays(
     dtype=np.float64,
     shape=st.integers(50, 1200),

@@ -1,11 +1,16 @@
 """Property-based tests for sliding maxima (the prediction hot path)."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.workload.sliding import lookahead_max, lookahead_max_reference, trailing_max
+
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
 
 series_st = arrays(
     dtype=np.float64,

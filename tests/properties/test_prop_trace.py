@@ -1,11 +1,16 @@
 """Property-based tests for LoadTrace invariants."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 from hypothesis.extra.numpy import arrays
 
 from repro.workload.trace import LoadTrace
+
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
 
 values_st = arrays(
     dtype=np.float64,

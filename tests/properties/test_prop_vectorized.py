@@ -27,6 +27,10 @@ from repro.core.combination import (
 from repro.core.profiles import ArchitectureProfile, table_i_profiles
 from repro.core.scheduler import _row_ids
 
+#: The property suites pin the bit-identity contracts cheaply; they are
+#: part of the `quick` iteration subset (benchmarks/run_quick.py).
+pytestmark = pytest.mark.quick
+
 TRIO = tuple(
     p for p in table_i_profiles() if p.name in ("paravance", "chromebook", "raspberry")
 )

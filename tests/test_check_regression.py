@@ -9,6 +9,7 @@ import pytest
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "benchmarks"))
 
 import check_regression  # noqa: E402
+import run_benchmarks  # noqa: E402
 
 
 def _artifact(path: Path, mins: dict) -> None:
@@ -65,3 +66,14 @@ class TestMain:
         assert [k for k, _ in found] == [1, 2, 10]
         # newest (PR10) compared against PR2, not PR1
         assert check_regression.main([]) == 1  # 10/2 = 5x slowdown
+
+
+class TestNextArtifactName:
+    def test_infers_highest_plus_one(self, tmp_path):
+        for k in (1, 2, 10):
+            _artifact(tmp_path / f"BENCH_PR{k}.json", {"bench::x": 1.0})
+        (tmp_path / "BENCH_PERF_ONLY.json").write_text("{}")  # never counted
+        assert run_benchmarks.next_artifact_name(tmp_path) == "BENCH_PR11.json"
+
+    def test_empty_directory_starts_at_one(self, tmp_path):
+        assert run_benchmarks.next_artifact_name(tmp_path) == "BENCH_PR1.json"

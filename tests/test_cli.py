@@ -89,6 +89,58 @@ class TestSimulatePolicy:
         assert "Big-Medium-Little" in capsys.readouterr().out
 
 
+class TestScenario:
+    def test_list_shows_registry(self, capsys):
+        assert main(["scenario", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-bml" in out
+        assert "power-capped" in out
+
+    def test_list_filters_by_tag(self, capsys):
+        assert main(["scenario", "list", "--tag", "fig5"]) == 0
+        out = capsys.readouterr().out
+        assert "paper-lower-bound" in out
+        assert "power-capped" not in out
+
+    def test_show_emits_round_trippable_json(self, capsys):
+        import json
+
+        from repro import scenarios
+
+        assert main(["scenario", "show", "noisy-prediction"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert scenarios.ScenarioSpec.from_dict(data) == scenarios.get(
+            "noisy-prediction"
+        )
+
+    def test_show_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "show", "nope"])
+
+    def test_run_requires_names_or_all(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run"])
+
+    def test_run_rejects_names_combined_with_all(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "run", "paper-bml", "--all"])
+
+    def test_run_with_days_override_and_csv(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "scenario", "run", "pattern-steady", "paper-lower-bound",
+                    "--days", "1", "--csv", str(tmp_path / "out"),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pattern-steady" in out and "paper-lower-bound" in out
+        assert (tmp_path / "out" / "scenario_daily_energy.csv").exists()
+        assert (tmp_path / "out" / "scenario_summary.csv").exists()
+
+
 class TestTrace:
     def test_npz_output(self, capsys, tmp_path):
         out = tmp_path / "t.npz"
