@@ -24,7 +24,10 @@ Usage::
 The default artifact name is inferred: the highest existing
 ``BENCH_PR<k>.json`` plus one (no more hand-bumping per PR);
 ``--perf-only`` keeps writing ``BENCH_PERF_ONLY.json`` so quick
-iterations never clobber the recorded PR artifact.
+iterations never clobber the recorded PR artifact.  A same-PR rerun —
+HEAD is the very commit the highest artifact already records — refuses
+to mint ``BENCH_PR<k+1>.json``: pass ``--pr <k>`` to re-record this
+PR's artifact (or ``--json``/``--perf-only`` for a scratch file).
 
 Exit status is non-zero when any stage fails.
 """
@@ -32,24 +35,64 @@ Exit status is non-zero when any stage fails.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import re
 import subprocess
 import sys
 from pathlib import Path
+from typing import Optional
 
 ROOT = Path(__file__).resolve().parent.parent
 
 
-def next_artifact_name(root: Path = ROOT) -> str:
-    """``BENCH_PR<k+1>.json`` for the highest recorded ``BENCH_PR<k>.json``."""
+def highest_recorded(root: Path = ROOT) -> Optional[int]:
+    """The largest ``k`` with a recorded ``BENCH_PR<k>.json`` (or None)."""
     ks = [
         int(m.group(1))
         for p in root.glob("BENCH_PR*.json")
         for m in [re.match(r"^BENCH_PR(\d+)\.json$", p.name)]
         if m
     ]
-    return f"BENCH_PR{max(ks, default=0) + 1}.json"
+    return max(ks) if ks else None
+
+
+def next_artifact_name(root: Path = ROOT) -> str:
+    """``BENCH_PR<k+1>.json`` for the highest recorded ``BENCH_PR<k>.json``."""
+    k = highest_recorded(root)
+    return f"BENCH_PR{(k or 0) + 1}.json"
+
+
+def recorded_head_commit(root: Path = ROOT) -> Optional[str]:
+    """Commit id stored in the highest ``BENCH_PR<k>.json``, if readable.
+
+    pytest-benchmark stamps every artifact with ``commit_info.id``; that
+    is what lets a rerun on the same HEAD be recognised as *this* PR's
+    artifact rather than the next one's.
+    """
+    k = highest_recorded(root)
+    if k is None:
+        return None
+    try:
+        data = json.loads((root / f"BENCH_PR{k}.json").read_text())
+    except (OSError, ValueError):
+        return None
+    commit = (data.get("commit_info") or {}).get("id")
+    return str(commit) if commit else None
+
+
+def current_commit(root: Path = ROOT) -> Optional[str]:
+    """HEAD's commit id, or None outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+        )
+    except OSError:
+        return None
+    return proc.stdout.strip() or None if proc.returncode == 0 else None
 
 
 def _run(args: list, env: dict) -> int:
@@ -101,7 +144,22 @@ def main(argv=None) -> int:
         elif args.pr is not None:
             args.json = f"BENCH_PR{args.pr}.json"
         else:
-            args.json = next_artifact_name()
+            # Same-PR rerun guard: inferring k+1 is only right when HEAD
+            # moved since the last artifact.  A rerun on the recorded
+            # commit would mint a spurious next-PR artifact and poison
+            # the cross-PR regression trajectory.
+            recorded = recorded_head_commit(ROOT)
+            head = current_commit(ROOT)
+            if recorded is not None and head is not None and recorded == head:
+                k = highest_recorded(ROOT)
+                parser.error(
+                    f"HEAD ({head[:12]}) is the commit BENCH_PR{k}.json "
+                    f"already records; refusing to infer BENCH_PR{k + 1}"
+                    f".json for a same-PR rerun. Pass --pr {k} to "
+                    "re-record this PR's artifact, or --json/--perf-only "
+                    "for a scratch run."
+                )
+            args.json = next_artifact_name(ROOT)
 
     env = dict(os.environ)
     src = str(ROOT / "src")

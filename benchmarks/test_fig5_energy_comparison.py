@@ -59,6 +59,14 @@ def test_fig5_registry_scenario_matches_outcome(benchmark, infra, worldcup_trace
     assert np.array_equal(run.result.unserved, outcome.bml.unserved)
     assert run.result.n_reconfigurations == outcome.bml.n_reconfigurations
 
+    # the distilled records agree between the two producers bit-for-bit
+    record = run.to_record()
+    outcome_record = next(
+        r for r in outcome.records() if r.name == "paper-bml"
+    )
+    assert record.metrics() == outcome_record.metrics()
+    assert record.per_day_energy_j == outcome_record.per_day_energy_j
+
 
 @pytest.mark.benchmark(group="fig5")
 def test_fig5_scenario_comparison(benchmark, outcome):
@@ -85,6 +93,14 @@ def test_fig5_scenario_comparison(benchmark, outcome):
     # --- QoS: served fraction stays essentially 1 ---
     qos = bml.qos(outcome.trace)
     assert qos.served_fraction > 0.9999
+
+    # --- suite-level aggregation through the unified results layer ---
+    report = outcome.report()  # baseline: the over-provisioned data center
+    savings = report.savings()
+    assert savings["paper-upper-global"] == 0.0
+    assert savings["paper-bml"] > 0.6  # ubg > 3x bml implies >2/3 saved
+    stats = report.overhead("paper-bml", "paper-lower-bound")
+    assert stats.mean == ov.mean and stats.maximum == ov.maximum
 
     rows = outcome.summary_rows()
     print_comparison(

@@ -12,14 +12,17 @@ import pytest
 
 from conftest import print_comparison
 from repro import scenarios
+from repro.results import SuiteReport
 
 
 @pytest.mark.benchmark(group="scenario-suite")
 def test_scenario_catalogue_sweep(benchmark):
+    # Archive-backed scenarios (wc98) only run where the log files exist;
+    # the sweep covers everything materialisable on this machine.
     specs = [
         spec.with_days(1)
         for spec in scenarios.specs()
-        if "paper" not in spec.tags
+        if "paper" not in spec.tags and spec.workload.is_available()
     ]
     assert len(specs) >= 10  # the catalogue keeps covering the extension axes
 
@@ -37,7 +40,13 @@ def test_scenario_catalogue_sweep(benchmark):
         by_name["underestimating-prediction"].qos().unserved_demand
         > by_name["pattern-steady"].qos().unserved_demand
     )
-    print_comparison(
-        "scenario catalogue (1-day workloads)",
-        [r.summary_row() for r in runs],
-    )
+
+    # the suite aggregates through the unified results layer
+    report = SuiteReport.from_runs(runs, baseline="homogeneous-week-global")
+    assert report.names == [s.name for s in specs]
+    savings = report.savings()
+    assert savings["homogeneous-week-global"] == 0.0
+    for record, run in zip(report.results, runs):
+        assert record.total_energy_j == run.result.total_energy
+        assert record.served_fraction == run.qos().served_fraction
+    print_comparison("scenario catalogue (1-day workloads)", report.rows())

@@ -11,9 +11,14 @@ The four scenarios come straight from the declarative registry
 (``paper-upper-global``, ``paper-upper-perday``, ``paper-bml``,
 ``paper-lower-bound``) with the CLI flags layered on as spec overrides,
 and run through :func:`repro.scenarios.run_suite` — optionally fanned out
-over worker processes with ``--jobs``.
+over worker processes with ``--jobs``.  The summary table is a
+:class:`repro.results.SuiteReport` (savings vs the over-provisioned
+baseline included), and ``--save DIR`` persists every run into a
+:class:`repro.results.RunStore` for later ``repro scenario diff`` /
+``repro scenario report`` sessions.
 
-Run: ``python examples/worldcup_replay.py [--days 87] [--jobs 4] [--csv out/]``
+Run: ``python examples/worldcup_replay.py [--days 87] [--jobs 4]
+[--csv out/] [--save runs/]``
 (87 days take under a minute; use fewer for a quick look).
 """
 
@@ -24,7 +29,8 @@ from pathlib import Path
 from repro import scenarios
 from repro.analysis.figures import fig5_series
 from repro.analysis.metrics import overhead_stats
-from repro.analysis.tables import render_table, write_csv
+from repro.analysis.tables import render_suite, render_table, write_csv
+from repro.results import RunStore, SuiteReport
 
 
 def main(argv=None) -> int:
@@ -34,6 +40,7 @@ def main(argv=None) -> int:
     parser.add_argument("--window", type=int, default=378)
     parser.add_argument("--jobs", type=int, default=1)
     parser.add_argument("--csv", type=Path, default=None)
+    parser.add_argument("--save", type=Path, default=None)
     args = parser.parse_args(argv)
 
     specs = []
@@ -53,9 +60,10 @@ def main(argv=None) -> int:
     lower = next(r for r in results if r.scenario == "LowerBound Theoretical")
     overhead = overhead_stats(bml.per_day_energy(), lower.per_day_energy())
 
+    report = SuiteReport.from_runs(runs, baseline="paper-upper-global")
     print(
-        render_table(
-            [r.summary_row() for r in runs],
+        render_suite(
+            report,
             title=f"Fig. 5 scenarios — {args.days} days, window {args.window}s",
         )
     )
@@ -89,8 +97,17 @@ def main(argv=None) -> int:
     if args.csv:
         args.csv.mkdir(parents=True, exist_ok=True)
         write_csv(args.csv / "fig5_daily_energy.csv", fig.rows())
-        write_csv(args.csv / "fig5_summary.csv", [r.summary_row() for r in runs])
+        write_csv(args.csv / "fig5_summary.csv", report.rows())
         print(f"\nCSV series written to {args.csv}/")
+    if args.save:
+        store = RunStore(args.save)
+        ids = [store.save(record) for record in report.results]
+        for run_id in ids:
+            print(f"saved {run_id} -> {store.root / run_id}")
+        print(
+            f"compare any two later: repro scenario diff {ids[0]} {ids[-1]} "
+            f"--store {args.save}"
+        )
     return 0
 
 

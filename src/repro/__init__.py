@@ -57,6 +57,8 @@ from .scenarios import (
     run_scenario,
     run_suite,
 )
+from . import results
+from .results import RunStore, ScenarioResult, SuiteReport, diff_results
 
 __version__ = "1.0.0"
 
@@ -95,4 +97,9 @@ __all__ = [
     "ScenarioRun",
     "run_scenario",
     "run_suite",
+    "results",
+    "ScenarioResult",
+    "RunStore",
+    "SuiteReport",
+    "diff_results",
 ]

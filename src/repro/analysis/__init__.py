@@ -8,6 +8,8 @@ from .figures import (
     fig3_series,
     fig4_series,
     fig5_series,
+    scenario_series,
+    suite_series,
 )
 from .metrics import (
     OverheadStats,
@@ -17,7 +19,7 @@ from .metrics import (
     overhead_stats,
     proportionality_gap,
 )
-from .tables import format_value, render_table, write_csv
+from .tables import format_value, render_suite, render_table, write_csv
 
 __all__ = [
     "ipr",
@@ -32,7 +34,10 @@ __all__ = [
     "fig3_series",
     "fig4_series",
     "fig5_series",
+    "scenario_series",
+    "suite_series",
     "render_table",
+    "render_suite",
     "write_csv",
     "format_value",
     "sparkline",

@@ -28,6 +28,7 @@ __all__ = [
     "fig4_series",
     "fig5_series",
     "scenario_series",
+    "suite_series",
 ]
 
 
@@ -205,6 +206,36 @@ def scenario_series(runs: Sequence) -> FigureSeries:
             "total_kwh": run.result.total_energy_kwh,
             "reconfigurations": run.result.n_reconfigurations,
             "served_fraction": run.qos().served_fraction,
+        }
+    return FigureSeries(
+        figure="scenario-suite",
+        x_label="day",
+        y_label="energy (kWh)",
+        series=series,
+        annotations=annotations,
+    )
+
+
+def suite_series(report) -> FigureSeries:
+    """Per-day energy of a :class:`~repro.results.report.SuiteReport`.
+
+    The stored-record counterpart of :func:`scenario_series`: series come
+    from :class:`~repro.results.record.ScenarioResult` records (live suite
+    runs or a :class:`~repro.results.store.RunStore` query), so figures
+    can be re-rendered from persisted artifacts without replaying
+    anything.  Duck-typed on ``report.results`` to keep this module free
+    of a results dependency.
+    """
+    series: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    annotations: Dict[str, object] = {}
+    for rec in report.results:
+        daily = rec.per_day_energy_kwh()
+        series[rec.name] = (np.arange(len(daily)), daily)
+        annotations[rec.name] = {
+            "label": rec.label,
+            "total_kwh": rec.total_energy_kwh,
+            "reconfigurations": rec.n_reconfigurations,
+            "served_fraction": rec.served_fraction,
         }
     return FigureSeries(
         figure="scenario-suite",

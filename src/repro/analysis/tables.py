@@ -12,7 +12,7 @@ import io
 from pathlib import Path
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
-__all__ = ["render_table", "write_csv", "format_value"]
+__all__ = ["render_table", "render_suite", "write_csv", "format_value"]
 
 Cell = Union[str, int, float, None]
 
@@ -76,6 +76,17 @@ def render_table(
             + "\n"
         )
     return out.getvalue().rstrip("\n")
+
+
+def render_suite(report, title: Optional[str] = "scenario suite") -> str:
+    """Render a :class:`~repro.results.report.SuiteReport` summary table.
+
+    Duck-typed on ``report.rows()`` (this module stays free of a results
+    dependency); the report contributes the row shape — including the
+    ``saved_vs_baseline`` column when a baseline is set — and this module
+    contributes the alignment rules shared by every CLI table.
+    """
+    return render_table(report.rows(), title=title)
 
 
 def write_csv(

@@ -19,9 +19,18 @@ Commands
     Show the declarative scenario registry.
 ``repro scenario show NAME``
     Print one scenario spec as JSON (``from_dict``-compatible).
-``repro scenario run [NAME ...|--all] [--jobs N] [--days D] [--csv DIR]``
+``repro scenario run [NAME ...|--all] [--jobs N] [--days D] [--csv DIR]
+[--save DIR]``
     Run scenarios through the one execution path, optionally fanned out
-    over worker processes.
+    over worker processes; ``--save`` persists every run into a
+    :class:`~repro.results.store.RunStore` directory.
+``repro scenario diff A B [--store DIR]``
+    Compare two persisted runs (run ids in the store, or paths to run
+    directories): headline metric deltas, per-day energy deltas and spec
+    field changes.
+``repro scenario report [NAME ...] [--store DIR] [--baseline NAME]``
+    Aggregate the latest stored run of each scenario into a suite report
+    (summary table, savings vs a baseline).
 """
 
 from __future__ import annotations
@@ -83,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="scheduler for the BML scenario",
     )
     p_sim.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
+    p_sim.add_argument(
+        "--save", type=Path, default=None,
+        help="persist the four scenario runs into a run store at DIR",
+    )
 
     p_trace = sub.add_parser(
         "trace", help="synthesize a WC98-shaped workload trace to a file"
@@ -123,6 +136,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="override every scenario's workload length (days)",
     )
     p_run.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
+    p_run.add_argument(
+        "--save", type=Path, default=None,
+        help="persist every run into a run store at DIR (prints run ids)",
+    )
+    p_diff = scen_sub.add_parser(
+        "diff", help="compare two persisted runs (metrics, series, spec)"
+    )
+    p_diff.add_argument("run_a", help="run id in --store, or a run directory")
+    p_diff.add_argument("run_b", help="run id in --store, or a run directory")
+    p_diff.add_argument(
+        "--store", type=Path, default=Path("runs"),
+        help="run store directory resolving bare run ids (default: runs/)",
+    )
+    p_report = scen_sub.add_parser(
+        "report", help="aggregate stored runs into a suite report"
+    )
+    p_report.add_argument(
+        "names", nargs="*",
+        help="scenario names to include (default: every stored scenario)",
+    )
+    p_report.add_argument(
+        "--store", type=Path, default=Path("runs"),
+        help="run store directory (default: runs/)",
+    )
+    p_report.add_argument(
+        "--baseline", default=None,
+        help="scenario name to compute savings against",
+    )
+    p_report.add_argument(
+        "--csv", type=Path, default=None, help="dump series to DIR"
+    )
     return parser
 
 
@@ -195,6 +239,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         write_csv(args.csv / "fig5_daily_energy.csv", fig.rows())
         write_csv(args.csv / "fig5_summary.csv", outcome.summary_rows())
         print(f"series written to {args.csv}")
+    if getattr(args, "save", None):
+        from .results import RunStore
+
+        store = RunStore(args.save)
+        for run_id in outcome.save(store):
+            print(f"saved {run_id} -> {store.root / run_id}")
     return 0
 
 
@@ -238,7 +288,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if name == "fig5":
         return _cmd_simulate(
             argparse.Namespace(
-                days=args.days, seed=1998, window=378, method="greedy", csv=args.csv
+                days=args.days, seed=1998, window=378, method="greedy",
+                csv=args.csv, save=None,
             )
         )
     fig = {
@@ -296,6 +347,10 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc))
         print(json.dumps(spec.to_dict(), indent=2))
         return 0
+    if args.scenario_command == "diff":
+        return _cmd_scenario_diff(args)
+    if args.scenario_command == "report":
+        return _cmd_scenario_report(args)
     # run
     if args.all and args.names:
         raise SystemExit(
@@ -304,6 +359,13 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         )
     if args.all:
         specs = scenarios.specs()
+        skipped = [s.name for s in specs if not s.workload.is_available()]
+        if skipped:
+            print(
+                "skipping scenarios whose workload files are missing: "
+                + ", ".join(skipped)
+            )
+        specs = [s for s in specs if s.workload.is_available()]
     elif args.names:
         try:
             specs = [scenarios.get(name) for name in args.names]
@@ -314,14 +376,108 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     if args.days is not None:
         specs = [spec.with_days(args.days) for spec in specs]
     runs = scenarios.run_suite(specs, jobs=args.jobs)
-    print(render_table([r.summary_row() for r in runs], title="scenario suite"))
+    from .analysis.tables import render_suite
+    from .results import RunStore, SuiteReport
+
+    report = SuiteReport.from_runs(runs)
+    print(render_suite(report, title="scenario suite"))
+    if args.save:
+        store = RunStore(args.save)
+        for record in report.results:
+            run_id = store.save(record)
+            print(f"saved {run_id} -> {store.root / run_id}")
     if args.csv:
-        from .analysis.figures import scenario_series
+        from .analysis.figures import suite_series
 
         args.csv.mkdir(parents=True, exist_ok=True)
-        fig = scenario_series(runs)
+        fig = suite_series(report)
         write_csv(args.csv / "scenario_daily_energy.csv", fig.rows())
-        write_csv(args.csv / "scenario_summary.csv", [r.summary_row() for r in runs])
+        write_csv(args.csv / "scenario_summary.csv", report.rows())
+        print(f"series written to {args.csv}")
+    return 0
+
+
+def _load_stored_run(arg: str, store_dir: Path):
+    """A diff operand: a run directory path, or a run id in the store."""
+    from .results import RunStore, load_run_dir
+
+    path = Path(arg)
+    try:
+        if path.is_dir() and (path / "result.json").exists():
+            return load_run_dir(path)
+        return RunStore(store_dir).load(arg)
+    except ValueError as exc:
+        # StoreError/ResultError and malformed-JSON errors are all
+        # ValueErrors; surface them as clean CLI messages, not tracebacks
+        raise SystemExit(f"{arg}: {exc}")
+
+
+def _cmd_scenario_diff(args: argparse.Namespace) -> int:
+    from .analysis.charts import sparkline
+    from .results import diff
+
+    a = _load_stored_run(args.run_a, args.store)
+    b = _load_stored_run(args.run_b, args.store)
+    d = diff(a, b)
+    print(f"a: {args.run_a}  ({a.name}, {a.days} days, engine {a.engine})")
+    print(f"b: {args.run_b}  ({b.name}, {b.days} days, engine {b.engine})")
+    print(d.describe())
+    print()
+    print(render_table(d.metric_rows(), title="headline metrics (b vs a)"))
+    if d.spec_changes:
+        print()
+        print(render_table(d.spec_rows(), title="spec changes"))
+    if d.per_day_delta_j is not None and len(d.per_day_delta_j):
+        delta_kwh = d.per_day_delta_j / 3.6e6
+        print()
+        print(
+            "per-day energy delta (kWh): "
+            f"mean {delta_kwh.mean():+.3f}, "
+            f"min {delta_kwh.min():+.3f}, max {delta_kwh.max():+.3f}"
+        )
+        if len(delta_kwh) > 1:
+            print("delta/day  " + sparkline(delta_kwh, width=min(60, len(delta_kwh))))
+    return 0
+
+
+def _cmd_scenario_report(args: argparse.Namespace) -> int:
+    from .analysis.tables import render_suite
+    from .results import RunStore, SuiteReport
+
+    from .results import load_run_dir
+
+    store = RunStore(args.store)
+    stored = store.list()
+    if not stored:
+        raise SystemExit(f"no stored runs in {store.root}")
+    # one directory scan: stored is in save order, so the last entry per
+    # name is that scenario's latest run
+    latest = {s.name: s for s in stored}
+    names = args.names or list(dict.fromkeys(s.name for s in stored))
+    missing = [name for name in names if name not in latest]
+    if missing:
+        raise SystemExit(
+            f"no stored run for {missing[0]!r} in {store.root} "
+            f"(stored: {', '.join(sorted(latest))})"
+        )
+    try:
+        records = [load_run_dir(latest[name].path) for name in names]
+        report = SuiteReport(tuple(records), baseline=args.baseline)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    title = f"suite report ({store.root}, latest run per scenario)"
+    print(render_suite(report, title=title))
+    if args.baseline:
+        base = report.get(args.baseline)
+        print()
+        print(f"savings vs {args.baseline} ({base.total_energy_kwh:.2f} kWh)")
+    if args.csv:
+        from .analysis.figures import suite_series
+
+        args.csv.mkdir(parents=True, exist_ok=True)
+        fig = suite_series(report)
+        write_csv(args.csv / "report_daily_energy.csv", fig.rows())
+        write_csv(args.csv / "report_summary.csv", report.rows())
         print(f"series written to {args.csv}")
     return 0
 

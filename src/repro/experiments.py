@@ -7,8 +7,9 @@ index (E1..E6, A1..A4) for the mapping to the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
 
 
 from .analysis.figures import (
@@ -29,8 +30,9 @@ from .core.profiles import (
 )
 from .profiling.harness import MachineReport, ProfilingCampaign
 from .profiling.hardware import paper_hardware
+from .results import RunStore, ScenarioResult, SuiteReport
 from .scenarios import registry as scenario_registry
-from .scenarios.runner import run_scenario
+from .scenarios.runner import ScenarioRun, run_scenario
 from .sim.results import SimulationResult
 from .workload.trace import LoadTrace
 
@@ -105,10 +107,34 @@ class Fig5Outcome:
     bml: SimulationResult
     lower_bound: SimulationResult
     overhead: OverheadStats
+    #: The four scenario runs in presentation order (carry spec + trace
+    #: metadata so the outcome can distil unified result records).
+    runs: List[ScenarioRun] = field(default_factory=list)
 
     @property
     def results(self) -> List[SimulationResult]:
         return [self.upper_global, self.upper_per_day, self.bml, self.lower_bound]
+
+    def records(self) -> List[ScenarioResult]:
+        """The four scenarios as unified result records."""
+        return [run.to_record() for run in self.runs]
+
+    def report(
+        self, baseline: str = "paper-upper-global"
+    ) -> SuiteReport:
+        """Suite-level aggregation over the four Fig. 5 scenarios.
+
+        The default baseline is the classical over-provisioned data
+        center, so ``report().savings()`` states the paper's pitch (how
+        much BML saves vs always-on Bigs) directly from the records.
+        """
+        return SuiteReport.from_runs(self.runs, baseline=baseline)
+
+    def save(self, store: Union[RunStore, str, Path]) -> List[str]:
+        """Persist all four scenario runs; returns their run ids."""
+        if not isinstance(store, RunStore):
+            store = RunStore(store)
+        return [store.save(run) for run in self.runs]
 
     def figure(self) -> FigureSeries:
         """The Fig. 5 series with overhead annotations."""
@@ -170,7 +196,7 @@ def run_fig5(
         trace = workload.build(days=n_days)
     infra = infra if infra is not None else design(table_i_profiles())
 
-    def scenario(name: str, **overrides) -> SimulationResult:
+    def scenario(name: str, **overrides) -> ScenarioRun:
         spec = specs[name]
         if overrides:
             spec = replace(spec, scheduler=replace(spec.scheduler, **overrides))
@@ -180,19 +206,22 @@ def run_fig5(
             trace=trace,
             infra=infra,
             predictor=predictor if scheduling else None,
-        ).result
+        )
 
     bml = scenario("paper-bml", policy=policy, method=method)
     upper_global = scenario("paper-upper-global")
     upper_per_day = scenario("paper-upper-perday")
     lower = scenario("paper-lower-bound", method=method)
-    overhead = overhead_stats(bml.per_day_energy(), lower.per_day_energy())
+    overhead = overhead_stats(
+        bml.result.per_day_energy(), lower.result.per_day_energy()
+    )
     return Fig5Outcome(
         trace=trace,
         infra=infra,
-        upper_global=upper_global,
-        upper_per_day=upper_per_day,
-        bml=bml,
-        lower_bound=lower,
+        upper_global=upper_global.result,
+        upper_per_day=upper_per_day.result,
+        bml=bml.result,
+        lower_bound=lower.result,
         overhead=overhead,
+        runs=[upper_global, upper_per_day, bml, lower],
     )

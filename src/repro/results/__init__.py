@@ -1,0 +1,52 @@
+"""Unified results subsystem: record, persist, aggregate, compare.
+
+One result model for every producer and consumer in the repo:
+
+* :class:`ScenarioResult` — the frozen, serialisable summary of one
+  scenario replay (spec + headline metrics + per-day energy + QoS +
+  switching overheads + provenance), distilled from a
+  :class:`~repro.scenarios.runner.ScenarioRun`;
+* :class:`RunStore` — a durable directory of saved runs
+  (``save``/``load``/``list``/``latest``; JSON metrics + NPZ series,
+  bit-identical round trips);
+* :class:`SuiteReport` — cross-scenario aggregation (summary tables,
+  savings vs a baseline, per-day overhead statistics);
+* :func:`diff` — the comparison engine behind ``repro scenario diff``
+  (metric deltas, per-day energy deltas, spec field changes).
+
+Quick start::
+
+    from repro import scenarios
+    from repro.results import RunStore, SuiteReport, diff
+
+    store = RunStore("runs")
+    runs = scenarios.run_suite([scenarios.get("paper-bml").with_days(2)])
+    run_id = store.save(runs[0])                 # durable artifact
+    record = store.load(run_id)                  # bit-identical metrics
+    report = SuiteReport.from_runs(runs)         # cross-scenario view
+    print(report.render())
+"""
+
+from .diffing import MetricDelta, ResultDiff, diff
+from .record import HEADLINE_METRICS, ResultError, ScenarioResult
+from .report import SuiteReport
+from .store import RunStore, StoredRun, StoreError, load_run_dir
+
+#: Alias for the root namespace (``repro.diff_results``): ``diff`` reads
+#: well inside the package but is too generic a name at top level.
+diff_results = diff
+
+__all__ = [
+    "diff_results",
+    "ScenarioResult",
+    "ResultError",
+    "HEADLINE_METRICS",
+    "RunStore",
+    "StoredRun",
+    "StoreError",
+    "load_run_dir",
+    "SuiteReport",
+    "MetricDelta",
+    "ResultDiff",
+    "diff",
+]

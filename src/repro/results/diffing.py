@@ -1,0 +1,154 @@
+"""Run comparison: what changed between two stored results.
+
+:func:`diff` compares two :class:`ScenarioResult` records on three axes —
+headline metric deltas, per-day energy deltas (when both cover the same
+day count) and spec field changes (the flattened ``ScenarioSpec`` dicts)
+— and returns a :class:`ResultDiff` the CLI's ``repro scenario diff``
+renders.  Specs serialise only non-default fields, so a key present on
+one side only means "the other run used the default"; those show up with
+the ``(default)`` marker rather than being silently dropped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from .record import HEADLINE_METRICS, ScenarioResult
+
+__all__ = ["MetricDelta", "ResultDiff", "diff"]
+
+#: Marker for a spec field present on one side only (= the default value).
+DEFAULT_MARKER = "(default)"
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One headline metric on both sides."""
+
+    metric: str
+    a: float
+    b: float
+
+    @property
+    def delta(self) -> float:
+        return self.b - self.a
+
+    @property
+    def relative(self) -> Optional[float]:
+        """``delta / a``, or ``None`` when the reference value is zero."""
+        if self.a == 0:
+            return None
+        return self.delta / self.a
+
+    @property
+    def changed(self) -> bool:
+        return self.a != self.b
+
+
+def _flatten(
+    mapping: Mapping[str, object], prefix: str = ""
+) -> Dict[str, object]:
+    out: Dict[str, object] = {}
+    for key, value in mapping.items():
+        dotted = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(_flatten(value, prefix=f"{dotted}."))
+        else:
+            out[dotted] = value
+    return out
+
+
+def spec_changes(
+    a: Mapping[str, object], b: Mapping[str, object]
+) -> Dict[str, Tuple[object, object]]:
+    """Dotted-path spec fields that differ between two spec dicts."""
+    flat_a, flat_b = _flatten(a), _flatten(b)
+    changes: Dict[str, Tuple[object, object]] = {}
+    for key in sorted(set(flat_a) | set(flat_b)):
+        va = flat_a.get(key, DEFAULT_MARKER)
+        vb = flat_b.get(key, DEFAULT_MARKER)
+        if va != vb:
+            changes[key] = (va, vb)
+    return changes
+
+
+@dataclass(frozen=True)
+class ResultDiff:
+    """Everything that differs between two runs."""
+
+    a: ScenarioResult
+    b: ScenarioResult
+    metrics: Tuple[MetricDelta, ...]
+    spec_changes: Dict[str, Tuple[object, object]]
+    #: ``b - a`` per-day energy (J); ``None`` when day counts differ.
+    per_day_delta_j: Optional[np.ndarray]
+
+    @property
+    def identical(self) -> bool:
+        """Same spec, same metrics, same per-day series."""
+        return (
+            not self.spec_changes
+            and not any(m.changed for m in self.metrics)
+            and self.per_day_delta_j is not None
+            and not np.any(self.per_day_delta_j)
+        )
+
+    # -- rendering ---------------------------------------------------------
+    def metric_rows(self) -> List[Dict[str, object]]:
+        rows = []
+        for m in self.metrics:
+            rows.append(
+                {
+                    "metric": m.metric,
+                    "a": m.a,
+                    "b": m.b,
+                    "delta": m.delta,
+                    "rel_%": (
+                        None
+                        if m.relative is None
+                        else round(100.0 * m.relative, 3)
+                    ),
+                }
+            )
+        return rows
+
+    def spec_rows(self) -> List[Dict[str, object]]:
+        return [
+            {"field": key, "a": str(va), "b": str(vb)}
+            for key, (va, vb) in self.spec_changes.items()
+        ]
+
+    def describe(self) -> str:
+        """One-line verdict for logs and CLI headers."""
+        if self.identical:
+            return "runs are identical (same spec, bit-identical metrics)"
+        n_metrics = sum(1 for m in self.metrics if m.changed)
+        parts = [f"{n_metrics} metric(s) differ"]
+        if self.spec_changes:
+            parts.append(f"{len(self.spec_changes)} spec field(s) changed")
+        if self.per_day_delta_j is None:
+            parts.append(
+                f"day counts differ ({self.a.days} vs {self.b.days})"
+            )
+        return "; ".join(parts)
+
+
+def diff(a: ScenarioResult, b: ScenarioResult) -> ResultDiff:
+    """Compare two result records (``b`` relative to ``a``)."""
+    metrics = tuple(
+        MetricDelta(metric=m, a=float(getattr(a, m)), b=float(getattr(b, m)))
+        for m in HEADLINE_METRICS
+    )
+    per_day: Optional[np.ndarray] = None
+    if len(a.per_day_energy_j) == len(b.per_day_energy_j):
+        per_day = b.per_day_energy() - a.per_day_energy()
+    return ResultDiff(
+        a=a,
+        b=b,
+        metrics=metrics,
+        spec_changes=spec_changes(a.spec, b.spec),
+        per_day_delta_j=per_day,
+    )

@@ -1,0 +1,111 @@
+"""Suite-level aggregation: many records, one comparable report.
+
+A :class:`SuiteReport` holds the :class:`ScenarioResult` records of one
+suite run (or one store query) and answers the cross-scenario questions
+the paper's evaluation asks: the summary table, savings vs a baseline
+scenario (``energy_savings``), and per-day overhead statistics vs a
+reference (``overhead_stats`` — the "+32 % average over the lower
+bound" headline).  Rendering goes through
+:func:`repro.analysis.tables.render_suite` and
+:func:`repro.analysis.figures.suite_series` so tables and figures keep a
+single source of truth for suite output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.metrics import OverheadStats, energy_savings, overhead_stats
+from .record import ResultError, ScenarioResult
+
+__all__ = ["SuiteReport"]
+
+
+@dataclass(frozen=True)
+class SuiteReport:
+    """Aggregated view over the records of one scenario suite.
+
+    ``baseline`` names the record other scenarios are compared against
+    (for the paper's Fig. 5 that is the over-provisioned
+    ``paper-upper-global``); when set, ``rows()`` grows a
+    ``saved_vs_baseline`` column and :meth:`savings` becomes available.
+    """
+
+    results: Tuple[ScenarioResult, ...]
+    baseline: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "results", tuple(self.results))
+        if not self.results:
+            raise ResultError("a suite report needs at least one result")
+        names = [r.name for r in self.results]
+        if self.baseline is not None and self.baseline not in names:
+            raise ResultError(
+                f"baseline {self.baseline!r} is not among {names}"
+            )
+
+    @classmethod
+    def from_runs(
+        cls, runs: Sequence, baseline: Optional[str] = None
+    ) -> "SuiteReport":
+        """Build from runs or records (mixed inputs are fine)."""
+        return cls(
+            results=tuple(
+                r
+                if isinstance(r, ScenarioResult)
+                else ScenarioResult.from_run(r)
+                for r in runs
+            ),
+            baseline=baseline,
+        )
+
+    # -- access ------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return [r.name for r in self.results]
+
+    def get(self, name: str) -> ScenarioResult:
+        for r in self.results:
+            if r.name == name:
+                return r
+        raise ResultError(f"no result named {name!r} (have: {self.names})")
+
+    # -- cross-scenario metrics -------------------------------------------
+    def savings(self) -> Dict[str, float]:
+        """Fractional energy savings of every scenario vs the baseline."""
+        if self.baseline is None:
+            raise ResultError("set a baseline to compute savings")
+        base = self.get(self.baseline)
+        return {
+            r.name: energy_savings(r.total_energy_j, base.total_energy_j)
+            for r in self.results
+        }
+
+    def overhead(self, name: str, reference: str) -> OverheadStats:
+        """Per-day overhead of ``name`` vs ``reference`` (paper headline).
+
+        Both records must cover the same day count — this is the
+        ``analysis.metrics.overhead_stats`` statistic computed from
+        stored series instead of live replays.
+        """
+        return overhead_stats(
+            self.get(name).per_day_energy(),
+            self.get(reference).per_day_energy(),
+        )
+
+    # -- rendering ---------------------------------------------------------
+    def rows(self) -> List[Dict[str, object]]:
+        """Summary-table rows; adds savings vs the baseline when set."""
+        rows = [r.summary_row() for r in self.results]
+        if self.baseline is not None:
+            savings = self.savings()
+            for row in rows:
+                row["saved_vs_baseline"] = round(savings[row["scenario"]], 4)
+        return rows
+
+    def render(self, title: str = "scenario suite") -> str:
+        """Aligned-table rendering (see ``analysis.tables.render_suite``)."""
+        from ..analysis.tables import render_suite
+
+        return render_suite(self, title=title)

@@ -1,0 +1,178 @@
+"""Persistent run storage: suite runs become durable artifacts.
+
+A :class:`RunStore` is a plain directory of runs, one sub-directory per
+saved :class:`~repro.results.record.ScenarioResult`::
+
+    <root>/
+      0001-paper-bml/
+        result.json    # spec + headline metrics + provenance
+        series.npz     # per-day energy series, float64 (bit-exact)
+      0002-paper-lower-bound/
+        ...
+
+Run ids are ``<seq>-<scenario-name>``: the zero-padded sequence number
+keeps ``store.list()`` (and ``ls``) in save order, the name keeps ids
+human-addressable.  The format is deliberately boring — JSON and NPZ,
+no index file to corrupt; the directory *is* the database.  ``save`` →
+``load`` reproduces every metric bit-identically (JSON floats round-trip
+exactly, series travel as float64 NPZ), which is what makes stored runs
+valid inputs for ``repro scenario diff`` and golden pinning.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+import numpy as np
+
+from .record import ResultError, ScenarioResult
+
+__all__ = ["RunStore", "StoredRun", "StoreError", "load_run_dir"]
+
+RESULT_FILE = "result.json"
+SERIES_FILE = "series.npz"
+
+_RUN_ID_RE = re.compile(r"^(\d+)-(.+)$")
+
+
+class StoreError(ResultError):
+    """Raised for missing or malformed stored runs."""
+
+
+@dataclass(frozen=True)
+class StoredRun:
+    """One ``store.list()`` entry: enough to pick a run without loading it."""
+
+    run_id: str
+    name: str
+    label: str
+    days: int
+    created_at: str
+    total_energy_kwh: float
+    path: Path
+
+    @property
+    def seq(self) -> int:
+        m = _RUN_ID_RE.match(self.run_id)
+        return int(m.group(1)) if m else 0
+
+
+def load_run_dir(path: Union[str, Path]) -> ScenarioResult:
+    """Load the record stored in one run directory."""
+    path = Path(path)
+    result_path = path / RESULT_FILE
+    series_path = path / SERIES_FILE
+    if not result_path.exists():
+        raise StoreError(f"{path} holds no {RESULT_FILE}")
+    data = json.loads(result_path.read_text())
+    if not series_path.exists():
+        raise StoreError(f"{path} holds no {SERIES_FILE}")
+    with np.load(series_path) as npz:
+        series = {key: npz[key] for key in npz.files}
+    return ScenarioResult.from_parts(data, series)
+
+
+class RunStore:
+    """A directory of persisted scenario runs."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+
+    # -- writing -----------------------------------------------------------
+    def save(self, run) -> str:
+        """Persist a run; returns its run id.
+
+        Accepts a :class:`ScenarioResult` or anything
+        :meth:`ScenarioResult.from_run` understands (a ``ScenarioRun``).
+        """
+        record = (
+            run
+            if isinstance(run, ScenarioResult)
+            else ScenarioResult.from_run(run)
+        )
+        self.root.mkdir(parents=True, exist_ok=True)
+        # mkdir is the claim on a sequence number: a concurrent saver of
+        # the same scenario loses the race, re-derives the next free seq
+        # and retries (no check-then-act window on the id itself)
+        while True:
+            run_id = f"{self._next_seq():04d}-{record.name}"
+            run_dir = self.root / run_id
+            try:
+                run_dir.mkdir()
+            except FileExistsError:
+                continue
+            break
+        (run_dir / RESULT_FILE).write_text(
+            json.dumps(record.to_json_dict(), indent=2) + "\n"
+        )
+        np.savez_compressed(run_dir / SERIES_FILE, **record.series_arrays())
+        return run_id
+
+    def _next_seq(self) -> int:
+        seqs = [
+            int(m.group(1))
+            for p in self.root.iterdir()
+            if p.is_dir()
+            for m in [_RUN_ID_RE.match(p.name)]
+            if m
+        ]
+        return max(seqs, default=0) + 1
+
+    # -- reading -----------------------------------------------------------
+    def load(self, run_id: str) -> ScenarioResult:
+        """Load one run by id."""
+        run_dir = self.root / run_id
+        if not run_dir.is_dir():
+            known = ", ".join(s.run_id for s in self.list()) or "(store empty)"
+            raise StoreError(
+                f"no run {run_id!r} in {self.root} (known: {known})"
+            )
+        return load_run_dir(run_dir)
+
+    def list(self) -> List[StoredRun]:
+        """All stored runs in save order (cheap: reads JSON headers only)."""
+        if not self.root.is_dir():
+            return []
+        out: List[StoredRun] = []
+        for p in sorted(self.root.iterdir()):
+            if not p.is_dir() or not _RUN_ID_RE.match(p.name):
+                continue
+            result_path = p / RESULT_FILE
+            if not result_path.exists():
+                continue
+            data = json.loads(result_path.read_text())
+            out.append(
+                StoredRun(
+                    run_id=p.name,
+                    name=data.get("name", ""),
+                    label=data.get("label", ""),
+                    days=int(data.get("days", 0)),
+                    created_at=data.get("provenance", {}).get("created_at", ""),
+                    total_energy_kwh=float(
+                        data.get("metrics", {}).get("total_energy_j", 0.0)
+                    )
+                    / 3.6e6,
+                    path=p,
+                )
+            )
+        out.sort(key=lambda s: s.seq)
+        return out
+
+    def load_all(self) -> List[ScenarioResult]:
+        """Load every stored run in save order."""
+        return [load_run_dir(s.path) for s in self.list()]
+
+    def latest(self, name: Optional[str] = None) -> ScenarioResult:
+        """The most recently saved run, optionally filtered by scenario name."""
+        stored = [s for s in self.list() if name is None or s.name == name]
+        if not stored:
+            raise StoreError(
+                f"no stored run for {name!r} in {self.root}"
+                if name
+                else f"store {self.root} is empty"
+            )
+        return load_run_dir(stored[-1].path)

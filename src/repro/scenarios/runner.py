@@ -114,21 +114,23 @@ class ScenarioRun:
             self.result.qos(), total_demand=self.trace_total_demand
         )
 
+    def to_record(self):
+        """Distil this run into a durable
+        :class:`~repro.results.record.ScenarioResult` (the unified result
+        model the :class:`~repro.results.store.RunStore`,
+        :class:`~repro.results.report.SuiteReport` and ``repro scenario
+        diff`` all consume)."""
+        from ..results.record import ScenarioResult
+
+        return ScenarioResult.from_run(self)
+
     def summary_row(self) -> Dict[str, object]:
-        """One report-table row (same shape as ``Fig5Outcome`` rows)."""
-        qos = self.qos()
-        return {
-            "scenario": self.name,
-            "label": self.result.scenario,
-            "energy_kwh": round(self.result.total_energy_kwh, 2),
-            "mean_power_w": round(self.result.mean_power, 1),
-            "reconfigs": self.result.n_reconfigurations,
-            "switch_kwh": round(self.result.switch_energy / 3.6e6, 3),
-            "unserved_s": qos.violation_seconds,
-            "served_frac": round(qos.served_fraction, 6),
-            "days": self.days,
-            "elapsed_s": round(self.elapsed_s, 2),
-        }
+        """One report-table row (same shape as ``Fig5Outcome`` rows).
+
+        Delegates to the distilled record so the row shape has a single
+        source of truth (``ScenarioResult.summary_row``).
+        """
+        return self.to_record().summary_row()
 
 
 # ---------------------------------------------------------------------------

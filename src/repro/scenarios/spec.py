@@ -166,6 +166,24 @@ class WorkloadSpec:
             raise ScenarioError(f"source {self.source!r} requires a path")
         object.__setattr__(self, "params", _freeze(self.params) or ())
 
+    def is_available(self) -> bool:
+        """Whether this workload's external inputs exist right now.
+
+        Synthetic sources are always available; file-backed sources
+        (``wc98``/``csv``/``npz``) require their ``path`` (or at least one
+        glob match) to exist.  Catalogue sweeps — the scenario-suite
+        benchmark, ``repro scenario run --all``, golden pinning — use
+        this to skip archive-backed scenarios on machines that do not
+        hold the data, instead of crashing the whole sweep.
+        """
+        if self.source not in ("wc98", "csv", "npz"):
+            return True
+        if any(ch in self.path for ch in "*?["):
+            import glob
+
+            return bool(glob.glob(self.path))
+        return os.path.exists(self.path)
+
     def resolved_days(self) -> int:
         """``days``, unless ``REPRO_FIG5_DAYS`` overrides it.
 

@@ -1,0 +1,33 @@
+"""Shared runs for the results-layer tests.
+
+Two module-cheap runs on the session-cached two-hour trace: the paper's
+BML scenario and a variant with a different prediction window, enough to
+exercise records, stores, reports and diffs without long replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro import scenarios
+
+
+@pytest.fixture(scope="session")
+def bml_run(infra, short_trace):
+    return scenarios.run_scenario(
+        scenarios.get("paper-bml"), trace=short_trace, infra=infra
+    )
+
+
+@pytest.fixture(scope="session")
+def variant_run(infra, short_trace):
+    spec = scenarios.get("paper-bml")
+    spec = replace(
+        spec,
+        name="bml-window-600",
+        label=None,
+        scheduler=replace(spec.scheduler, window=600),
+    )
+    return scenarios.run_scenario(spec, trace=short_trace, infra=infra)

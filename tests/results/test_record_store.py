@@ -1,0 +1,137 @@
+"""ScenarioResult distillation and RunStore round trips.
+
+The acceptance contract of the results layer: a save→load cycle must
+reproduce every headline metric, the per-day energy series and the spec
+dict bit-identically.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.results import (
+    HEADLINE_METRICS,
+    RunStore,
+    ScenarioResult,
+    StoreError,
+    load_run_dir,
+)
+
+pytestmark = pytest.mark.quick
+
+
+class TestRecord:
+    def test_distils_headline_metrics_from_run(self, bml_run):
+        rec = bml_run.to_record()
+        res = bml_run.result
+        assert rec.name == "paper-bml"
+        assert rec.label == "Big-Medium-Little"
+        assert rec.total_energy_j == res.total_energy
+        assert rec.mean_power_w == res.mean_power
+        assert rec.n_reconfigurations == res.n_reconfigurations
+        assert rec.switch_energy_j == res.switch_energy
+        assert rec.switch_time_s == sum(
+            r.duration for r in res.reconfigurations
+        )
+        assert rec.per_day_energy_j == tuple(res.per_day_energy())
+        assert rec.total_demand == bml_run.trace_total_demand
+        assert rec.served_fraction == bml_run.qos().served_fraction
+        assert rec.engine == "fast"
+        assert rec.seed == bml_run.spec.workload.seed
+        assert rec.days == bml_run.days
+        from repro import __version__
+
+        assert rec.version == __version__
+
+    def test_metrics_cover_the_contract(self, bml_run):
+        metrics = bml_run.to_record().metrics()
+        assert tuple(metrics) == HEADLINE_METRICS
+        assert metrics["total_energy_kwh"] == metrics["total_energy_j"] / 3.6e6
+
+    def test_spec_round_trips_to_live_spec(self, bml_run):
+        from repro import scenarios
+
+        rec = bml_run.to_record()
+        assert rec.load_spec() == scenarios.get("paper-bml")
+
+    def test_summary_row_shape_matches_run(self, bml_run):
+        assert bml_run.to_record().summary_row() == bml_run.summary_row()
+
+    def test_rejects_unknown_format(self, bml_run):
+        rec = bml_run.to_record()
+        data = rec.to_json_dict()
+        data["format"] = 99
+        with pytest.raises(ValueError, match="format"):
+            ScenarioResult.from_parts(data, rec.series_arrays())
+
+
+class TestRunStore:
+    def test_save_load_bit_identical(self, tmp_path, bml_run):
+        store = RunStore(tmp_path / "runs")
+        rec = bml_run.to_record()
+        run_id = store.save(bml_run)
+        back = store.load(run_id)
+        assert back == rec
+        assert back.metrics() == rec.metrics()  # every metric, bit-exact
+        assert back.per_day_energy_j == rec.per_day_energy_j
+        assert np.array_equal(back.per_day_energy(), rec.per_day_energy())
+        assert back.spec == rec.spec
+        assert back.created_at == rec.created_at
+
+    def test_save_accepts_records_and_runs(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        a = store.save(bml_run)
+        b = store.save(bml_run.to_record())
+        assert [a, b] == ["0001-paper-bml", "0002-paper-bml"]
+        assert store.load(a).metrics() == store.load(b).metrics()
+
+    def test_list_and_latest(self, tmp_path, bml_run, variant_run):
+        store = RunStore(tmp_path)
+        ids = [store.save(bml_run), store.save(variant_run),
+               store.save(bml_run)]
+        stored = store.list()
+        assert [s.run_id for s in stored] == ids
+        assert [s.name for s in stored] == [
+            "paper-bml", "bml-window-600", "paper-bml",
+        ]
+        assert stored[0].total_energy_kwh == pytest.approx(
+            bml_run.result.total_energy_kwh
+        )
+        # latest overall is the last save; latest by name filters
+        assert store.latest().name == "paper-bml"
+        assert store.latest("bml-window-600").name == "bml-window-600"
+        assert len(store.load_all()) == 3
+
+    def test_unknown_run_raises_with_known_ids(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        run_id = store.save(bml_run)
+        with pytest.raises(StoreError, match=run_id):
+            store.load("0099-nope")
+        with pytest.raises(StoreError):
+            store.latest("nope")
+
+    def test_empty_store(self, tmp_path):
+        store = RunStore(tmp_path / "missing")
+        assert store.list() == []
+        with pytest.raises(StoreError):
+            store.latest()
+
+    def test_load_run_dir_directly(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        run_id = store.save(bml_run)
+        rec = load_run_dir(tmp_path / run_id)
+        assert rec == store.load(run_id)
+        with pytest.raises(StoreError, match="result.json"):
+            load_run_dir(tmp_path)
+
+    def test_on_disk_format_is_json_plus_npz(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        run_dir = tmp_path / store.save(bml_run)
+        data = json.loads((run_dir / "result.json").read_text())
+        assert data["name"] == "paper-bml"
+        assert data["spec"]["name"] == "paper-bml"
+        assert "total_energy_j" in data["metrics"]
+        assert data["provenance"]["engine"] == "fast"
+        with np.load(run_dir / "series.npz") as npz:
+            assert npz["per_day_energy_j"].dtype == np.float64

@@ -1,0 +1,185 @@
+"""SuiteReport aggregation, the diff engine, and the CLI on stored runs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import suite_series
+from repro.analysis.metrics import overhead_stats
+from repro.analysis.tables import render_suite
+from repro.cli import main
+from repro.results import RunStore, SuiteReport, diff
+
+pytestmark = pytest.mark.quick
+
+
+class TestSuiteReport:
+    def test_rows_and_baseline_savings(self, bml_run, variant_run):
+        report = SuiteReport.from_runs(
+            [bml_run, variant_run], baseline="paper-bml"
+        )
+        assert report.names == ["paper-bml", "bml-window-600"]
+        savings = report.savings()
+        assert savings["paper-bml"] == 0.0
+        expected = 1.0 - (
+            variant_run.result.total_energy / bml_run.result.total_energy
+        )
+        assert savings["bml-window-600"] == pytest.approx(expected)
+        rows = report.rows()
+        assert [r["scenario"] for r in rows] == report.names
+        assert all("saved_vs_baseline" in r for r in rows)
+
+    def test_overhead_uses_stored_series(self, bml_run, variant_run):
+        report = SuiteReport.from_runs([bml_run, variant_run])
+        stats = report.overhead("bml-window-600", "paper-bml")
+        ref = overhead_stats(
+            variant_run.result.per_day_energy(),
+            bml_run.result.per_day_energy(),
+        )
+        assert stats.mean == ref.mean
+        assert np.array_equal(stats.per_day, ref.per_day)
+
+    def test_bad_inputs_rejected(self, bml_run):
+        with pytest.raises(ValueError):
+            SuiteReport(results=())
+        with pytest.raises(ValueError, match="baseline"):
+            SuiteReport.from_runs([bml_run], baseline="nope")
+        report = SuiteReport.from_runs([bml_run])
+        with pytest.raises(ValueError, match="baseline"):
+            report.savings()
+        with pytest.raises(ValueError, match="no result"):
+            report.get("nope")
+
+    def test_render_suite_smoke(self, bml_run, variant_run):
+        report = SuiteReport.from_runs(
+            [bml_run, variant_run], baseline="paper-bml"
+        )
+        text = render_suite(report, title="suite smoke")
+        assert "suite smoke" in text
+        assert "paper-bml" in text and "bml-window-600" in text
+        assert "saved_vs_baseline" in text
+        assert report.render() == render_suite(report)
+
+    def test_suite_series_from_records(self, bml_run, variant_run):
+        report = SuiteReport.from_runs([bml_run, variant_run])
+        fig = suite_series(report)
+        assert set(fig.series) == {"paper-bml", "bml-window-600"}
+        x, y = fig.series["paper-bml"]
+        assert np.array_equal(y, bml_run.result.per_day_energy_kwh())
+        assert fig.annotations["paper-bml"]["label"] == "Big-Medium-Little"
+
+
+class TestDiff:
+    def test_identical_runs(self, bml_run):
+        d = diff(bml_run.to_record(), bml_run.to_record())
+        assert d.identical
+        assert not d.spec_changes
+        assert not np.any(d.per_day_delta_j)
+        assert "identical" in d.describe()
+
+    def test_detects_metric_and_spec_changes(self, bml_run, variant_run):
+        a, b = bml_run.to_record(), variant_run.to_record()
+        d = diff(a, b)
+        assert not d.identical
+        # specs serialise non-default fields only: the paper's 378 s
+        # window is the default, so side a reads "(default)"
+        assert d.spec_changes["scheduler.window"] == ("(default)", 600)
+        assert d.spec_changes["name"] == ("paper-bml", "bml-window-600")
+        by_metric = {m.metric: m for m in d.metrics}
+        energy = by_metric["total_energy_j"]
+        assert energy.delta == b.total_energy_j - a.total_energy_j
+        assert energy.relative == pytest.approx(
+            energy.delta / a.total_energy_j
+        )
+        assert d.per_day_delta_j is not None
+        assert np.array_equal(
+            d.per_day_delta_j, b.per_day_energy() - a.per_day_energy()
+        )
+
+    def test_default_marker_for_one_sided_spec_fields(self, bml_run, variant_run):
+        d = diff(bml_run.to_record(), variant_run.to_record())
+        # paper-bml carries an explicit label; the variant uses the default
+        assert d.spec_changes["label"] == ("Big-Medium-Little", "(default)")
+
+    def test_day_count_mismatch(self, bml_run):
+        from dataclasses import replace
+
+        a = bml_run.to_record()
+        b = replace(
+            a, per_day_energy_j=a.per_day_energy_j * 2, days=a.days * 2
+        )
+        d = diff(a, b)
+        assert d.per_day_delta_j is None
+        assert "day counts differ" in d.describe()
+
+    def test_zero_reference_metric_has_no_relative(self, bml_run):
+        d = diff(bml_run.to_record(), bml_run.to_record())
+        by_metric = {m.metric: m for m in d.metrics}
+        # a perfectly served run has zero unserved demand on both sides
+        assert by_metric["unserved_demand"].a == 0.0
+        assert by_metric["unserved_demand"].relative is None
+
+
+class TestCliOnStoredRuns:
+    @pytest.fixture()
+    def store(self, tmp_path, bml_run, variant_run):
+        store = RunStore(tmp_path / "runs")
+        self.id_a = store.save(bml_run)
+        self.id_b = store.save(variant_run)
+        return store
+
+    def test_diff_cli(self, store, capsys):
+        assert (
+            main(
+                [
+                    "scenario", "diff", self.id_a, self.id_b,
+                    "--store", str(store.root),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "headline metrics" in out
+        assert "scheduler.window" in out
+        assert "total_energy_j" in out
+
+    def test_diff_cli_accepts_run_directories(self, store, capsys):
+        assert (
+            main(
+                [
+                    "scenario", "diff",
+                    str(store.root / self.id_a),
+                    str(store.root / self.id_b),
+                ]
+            )
+            == 0
+        )
+        assert "headline metrics" in capsys.readouterr().out
+
+    def test_diff_cli_unknown_run_id(self, store):
+        with pytest.raises(SystemExit, match="0099-nope"):
+            main(
+                [
+                    "scenario", "diff", self.id_a, "0099-nope",
+                    "--store", str(store.root),
+                ]
+            )
+
+    def test_report_cli(self, store, capsys):
+        assert (
+            main(
+                [
+                    "scenario", "report",
+                    "--store", str(store.root),
+                    "--baseline", "paper-bml",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "suite report" in out
+        assert "saved_vs_baseline" in out
+        assert "bml-window-600" in out
+
+    def test_report_cli_empty_store(self, tmp_path):
+        with pytest.raises(SystemExit, match="no stored runs"):
+            main(["scenario", "report", "--store", str(tmp_path / "none")])

@@ -74,6 +74,80 @@ class TestNextArtifactName:
             _artifact(tmp_path / f"BENCH_PR{k}.json", {"bench::x": 1.0})
         (tmp_path / "BENCH_PERF_ONLY.json").write_text("{}")  # never counted
         assert run_benchmarks.next_artifact_name(tmp_path) == "BENCH_PR11.json"
+        assert run_benchmarks.highest_recorded(tmp_path) == 10
 
     def test_empty_directory_starts_at_one(self, tmp_path):
         assert run_benchmarks.next_artifact_name(tmp_path) == "BENCH_PR1.json"
+        assert run_benchmarks.highest_recorded(tmp_path) is None
+
+
+def _stamped(path: Path, commit: str) -> None:
+    path.write_text(
+        json.dumps({"benchmarks": [], "commit_info": {"id": commit}})
+    )
+
+
+class TestSamePrRerunGuard:
+    """Rerunning on the recorded HEAD must not mint the next PR artifact."""
+
+    def test_recorded_head_commit_reads_highest_artifact(self, tmp_path):
+        _stamped(tmp_path / "BENCH_PR1.json", "aaa")
+        _stamped(tmp_path / "BENCH_PR3.json", "ccc")
+        assert run_benchmarks.recorded_head_commit(tmp_path) == "ccc"
+
+    def test_missing_or_malformed_artifacts_read_as_none(self, tmp_path):
+        assert run_benchmarks.recorded_head_commit(tmp_path) is None
+        (tmp_path / "BENCH_PR1.json").write_text("{not json")
+        assert run_benchmarks.recorded_head_commit(tmp_path) is None
+        _artifact(tmp_path / "BENCH_PR2.json", {"bench::x": 1.0})  # no commit_info
+        assert run_benchmarks.recorded_head_commit(tmp_path) is None
+
+    def test_same_commit_rerun_is_refused(self, tmp_path, monkeypatch, capsys):
+        _stamped(tmp_path / "BENCH_PR2.json", "deadbeef")
+        monkeypatch.setattr(run_benchmarks, "ROOT", tmp_path)
+        monkeypatch.setattr(
+            run_benchmarks, "current_commit", lambda root=None: "deadbeef"
+        )
+        with pytest.raises(SystemExit):
+            run_benchmarks.main([])
+        err = capsys.readouterr().err
+        assert "--pr 2" in err and "BENCH_PR3.json" in err
+
+    def test_new_commit_infers_next_artifact(self, tmp_path, monkeypatch):
+        _stamped(tmp_path / "BENCH_PR2.json", "deadbeef")
+        monkeypatch.setattr(run_benchmarks, "ROOT", tmp_path)
+        monkeypatch.setattr(
+            run_benchmarks, "current_commit", lambda root=None: "0ddc0ffee"
+        )
+        calls = []
+        monkeypatch.setattr(
+            run_benchmarks, "_run", lambda args, env: (calls.append(args), 0)[1]
+        )
+        assert run_benchmarks.main([]) == 0
+        assert any("BENCH_PR3.json" in arg for call in calls for arg in call)
+
+    def test_explicit_pr_rerecords_same_commit(self, tmp_path, monkeypatch):
+        _stamped(tmp_path / "BENCH_PR2.json", "deadbeef")
+        monkeypatch.setattr(run_benchmarks, "ROOT", tmp_path)
+        monkeypatch.setattr(
+            run_benchmarks, "current_commit", lambda root=None: "deadbeef"
+        )
+        calls = []
+        monkeypatch.setattr(
+            run_benchmarks, "_run", lambda args, env: (calls.append(args), 0)[1]
+        )
+        assert run_benchmarks.main(["--pr", "2"]) == 0
+        assert any("BENCH_PR2.json" in arg for call in calls for arg in call)
+
+    def test_outside_git_checkout_never_blocks(self, tmp_path, monkeypatch):
+        _stamped(tmp_path / "BENCH_PR2.json", "deadbeef")
+        monkeypatch.setattr(run_benchmarks, "ROOT", tmp_path)
+        monkeypatch.setattr(
+            run_benchmarks, "current_commit", lambda root=None: None
+        )
+        calls = []
+        monkeypatch.setattr(
+            run_benchmarks, "_run", lambda args, env: (calls.append(args), 0)[1]
+        )
+        assert run_benchmarks.main([]) == 0
+        assert any("BENCH_PR3.json" in arg for call in calls for arg in call)

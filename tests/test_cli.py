@@ -141,6 +141,57 @@ class TestScenario:
         assert (tmp_path / "out" / "scenario_summary.csv").exists()
 
 
+class TestScenarioStoreCommands:
+    def test_run_save_then_report(self, capsys, tmp_path):
+        store = tmp_path / "runs"
+        assert (
+            main(["scenario", "run", "pattern-steady", "--save", str(store)])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "saved 0001-pattern-steady" in out
+        assert (store / "0001-pattern-steady" / "result.json").exists()
+        assert (store / "0001-pattern-steady" / "series.npz").exists()
+        assert main(["scenario", "report", "--store", str(store)]) == 0
+        assert "pattern-steady" in capsys.readouterr().out
+
+    def test_report_csv_dump(self, capsys, tmp_path):
+        store = tmp_path / "runs"
+        assert (
+            main(["scenario", "run", "pattern-steady", "--save", str(store)])
+            == 0
+        )
+        assert (
+            main(
+                [
+                    "scenario", "report", "--store", str(store),
+                    "--csv", str(tmp_path / "out"),
+                ]
+            )
+            == 0
+        )
+        assert (tmp_path / "out" / "report_daily_energy.csv").exists()
+        assert (tmp_path / "out" / "report_summary.csv").exists()
+
+    def test_simulate_save_stores_the_four_scenarios(self, capsys, tmp_path):
+        from repro.results import RunStore
+
+        store = tmp_path / "runs"
+        assert (
+            main(
+                ["simulate", "--days", "1", "--seed", "5", "--save", str(store)]
+            )
+            == 0
+        )
+        assert "saved" in capsys.readouterr().out
+        assert [s.name for s in RunStore(store).list()] == [
+            "paper-upper-global",
+            "paper-upper-perday",
+            "paper-bml",
+            "paper-lower-bound",
+        ]
+
+
 class TestTrace:
     def test_npz_output(self, capsys, tmp_path):
         out = tmp_path / "t.npz"

@@ -33,10 +33,27 @@ class TestExamples:
 
     def test_worldcup_replay(self, capsys, tmp_path):
         mod = load_example("worldcup_replay")
-        assert mod.main(["--days", "2", "--csv", str(tmp_path)]) == 0
+        store = tmp_path / "runs"
+        assert (
+            mod.main(
+                ["--days", "2", "--csv", str(tmp_path), "--save", str(store)]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "UpperBound Global" in out
         assert (tmp_path / "fig5_daily_energy.csv").exists()
+        # the runs were persisted through the results layer
+        from repro.results import RunStore
+
+        stored = RunStore(store).list()
+        assert [s.name for s in stored] == [
+            "paper-upper-global",
+            "paper-upper-perday",
+            "paper-bml",
+            "paper-lower-bound",
+        ]
+        assert "scenario diff" in out
 
     def test_prediction_errors(self, capsys):
         mod = load_example("prediction_errors")

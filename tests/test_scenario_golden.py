@@ -1,0 +1,117 @@
+"""Golden pinning for the non-paper scenario catalogue.
+
+The paper's four Fig. 5 scenarios are pinned against ``run_fig5``
+(``tests/test_scenarios.py``); this file pins everything else.  Each
+registry scenario's headline metrics — distilled through the unified
+:class:`repro.results.ScenarioResult` record at one replayed day — are
+checked in as ``tests/golden/scenario_catalogue.json`` and must match
+**bit-identically**: any numeric drift in the schedulers, kernels or
+replay engines shows up here as a diff against the golden file instead
+of silently shifting the catalogue.
+
+When a change is *intentional* (a new scenario, a deliberate behaviour
+change), regenerate and commit the golden file::
+
+    PYTHONPATH=src python tests/test_scenario_golden.py --regen
+
+File-backed scenarios (``wc98``/``csv``/``npz`` sources) are excluded
+*unconditionally* — their metrics depend on whatever files a machine
+happens to hold, so pinning them would break the golden file the moment
+someone drops archive logs under ``data/wc98/`` (they are end-to-end
+tested against synthetic logs in ``tests/test_scenarios.py`` instead).
+The golden set and the synthetic catalogue must agree exactly.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import scenarios
+from repro.results import HEADLINE_METRICS
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent / "golden" / "scenario_catalogue.json"
+)
+
+#: Day count every catalogue scenario is pinned at (kept tiny: the point
+#: is numeric identity, not paper-scale statistics).
+GOLDEN_DAYS = 1
+
+
+#: Sources whose traces come from machine-local files; never pinned.
+FILE_BACKED_SOURCES = ("wc98", "csv", "npz")
+
+
+def catalogue_specs():
+    """The synthetic non-paper catalogue, shrunk to ``GOLDEN_DAYS``."""
+    return [
+        spec.with_days(GOLDEN_DAYS)
+        for spec in scenarios.specs()
+        if "paper" not in spec.tags
+        and spec.workload.source not in FILE_BACKED_SOURCES
+    ]
+
+
+def compute_catalogue_metrics():
+    """name -> headline-metric dict for every runnable catalogue entry."""
+    runs = scenarios.run_suite(catalogue_specs())
+    return {run.name: run.to_record().metrics() for run in runs}
+
+
+class TestCatalogueGolden:
+    def test_golden_file_checked_in(self):
+        assert GOLDEN_PATH.exists(), (
+            "tests/golden/scenario_catalogue.json is missing; regenerate "
+            "with: PYTHONPATH=src python tests/test_scenario_golden.py --regen"
+        )
+
+    def test_catalogue_matches_golden_bit_identically(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        assert golden["days"] == GOLDEN_DAYS
+        assert golden["metrics"] == list(HEADLINE_METRICS)
+        current = compute_catalogue_metrics()
+        assert sorted(current) == sorted(golden["scenarios"]), (
+            "the runnable catalogue and the golden file disagree on the "
+            "scenario set; regenerate with --regen"
+        )
+        for name, metrics in current.items():
+            assert metrics == golden["scenarios"][name], (
+                f"{name}: headline metrics drifted from the golden pin; "
+                "if intentional, regenerate with --regen"
+            )
+
+
+def regen() -> Path:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": (
+            "Golden headline metrics of the non-paper scenario catalogue "
+            "(1 replayed day each), distilled via repro.results."
+            "ScenarioResult. Regenerate with: PYTHONPATH=src python "
+            "tests/test_scenario_golden.py --regen"
+        ),
+        "days": GOLDEN_DAYS,
+        "metrics": list(HEADLINE_METRICS),
+        "scenarios": compute_catalogue_metrics(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="regenerate the catalogue golden file"
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="rewrite tests/golden/scenario_catalogue.json from the "
+        "current catalogue",
+    )
+    args = parser.parse_args()
+    if not args.regen:
+        parser.error("pass --regen to rewrite the golden file")
+    print(f"wrote {regen()}")
