@@ -13,21 +13,32 @@ round — which is the standard noise-robust choice for detecting real
 slowdowns (means absorb scheduler jitter; a genuine regression moves the
 floor).
 
+Timings on shared boxes are noisy: a single recording can flag a >1.3x
+"regression" on untouched code.  Before failing, the checker therefore
+**re-measures the flagged benchmarks once** (best-of-2: the fresh ``min``
+is merged with the recorded one) and only fails what still regresses —
+a real slowdown reproduces, scheduler noise does not.  ``--no-retry``
+restores the strict single-measurement behaviour.
+
 Usage::
 
     python benchmarks/check_regression.py                  # newest vs previous
     python benchmarks/check_regression.py --current BENCH_PR2.json
     python benchmarks/check_regression.py --threshold 1.5
+    python benchmarks/check_regression.py --no-retry
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
+import subprocess
 import sys
+import tempfile
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 ROOT = Path(__file__).resolve().parent.parent
 ARTIFACT_RE = re.compile(r"^BENCH_PR(\d+)\.json$")
@@ -86,7 +97,64 @@ def compare(
     return lines, failures
 
 
-def main(argv: Optional[List[str]] = None) -> int:
+def artifact_commit(path: Path) -> Optional[str]:
+    """The ``commit_info.id`` an artifact was recorded at, if readable."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return None
+    commit = (data.get("commit_info") or {}).get("id")
+    return str(commit) if commit else None
+
+
+def head_commit(root: Optional[Path] = None) -> Optional[str]:
+    """HEAD's commit id, or None outside a usable git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=ROOT if root is None else root,
+            capture_output=True,
+            text=True,
+        )
+    except OSError:
+        return None
+    return proc.stdout.strip() or None if proc.returncode == 0 else None
+
+
+def rerun_mins(names: List[str], root: Optional[Path] = None) -> Dict[str, float]:
+    """Re-measure the named benchmarks once; returns their fresh ``min``s.
+
+    ``names`` are pytest-benchmark fullnames, which double as pytest
+    node ids relative to the repo root.  Failures to re-measure (missing
+    node, crash) simply yield no entry — the caller then falls back to
+    the originally recorded timing.
+    """
+    root = ROOT if root is None else root
+    env = dict(os.environ)
+    src = str(root / "src")
+    env["PYTHONPATH"] = (
+        src + os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else src
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        out = Path(tmp) / "rerun.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *names,
+            "-q",
+            f"--benchmark-json={out}",
+        ]
+        proc = subprocess.run(cmd, cwd=root, env=env)
+        if proc.returncode != 0 or not out.exists():
+            return {}
+        return load_mins(out)
+
+
+def main(
+    argv: Optional[List[str]] = None,
+    rerun: Callable[[List[str]], Dict[str, float]] = rerun_mins,
+) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--current",
@@ -105,6 +173,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=float,
         default=DEFAULT_THRESHOLD,
         help=f"failure ratio for shared benchmarks (default {DEFAULT_THRESHOLD})",
+    )
+    parser.add_argument(
+        "--no-retry",
+        action="store_true",
+        help="fail immediately instead of re-measuring flagged benchmarks "
+        "once (best-of-2)",
     )
     args = parser.parse_args(argv)
 
@@ -137,6 +211,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     lines, failures = compare(current, previous, args.threshold)
     for line in lines:
         print("  " + line)
+    retry = not args.no_retry
+    if failures and retry:
+        # A re-measurement runs on the *current* checkout, so it is only
+        # comparable when the current artifact was recorded from it —
+        # auditing a historical artifact must not be whitewashed by
+        # today's (possibly faster) code.
+        recorded, head = artifact_commit(current_path), head_commit()
+        if recorded is not None and head is not None and recorded != head:
+            print(
+                f"skipping best-of-2 re-measurement: {current_path.name} "
+                f"records commit {recorded[:12]} but the checkout is at "
+                f"{head[:12]} (fresh timings would not be comparable)"
+            )
+            retry = False
+    if failures and retry:
+        # Best-of-2: re-measure only what was flagged; noise does not
+        # reproduce, real regressions do.
+        print(
+            f"{len(failures)} benchmark(s) flagged; re-measuring once "
+            "before failing (best-of-2)"
+        )
+        fresh = rerun(failures)
+        for name in failures:
+            if name in fresh:
+                current[name] = min(current[name], fresh[name])
+        lines, failures = compare(current, previous, args.threshold)
+        print("after re-measurement:")
+        for line in lines:
+            if any(line.startswith(name + ":") for name in set(fresh) | set(failures)):
+                print("  " + line)
     if failures:
         print(f"{len(failures)} benchmark(s) regressed past {args.threshold:g}x")
         return 1

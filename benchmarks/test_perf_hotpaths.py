@@ -193,21 +193,25 @@ def test_perf_event_replay_reference_day(benchmark, infra, day_trace):
 
 @pytest.mark.benchmark(group="perf-replay")
 def test_perf_event_replay_segments_day(benchmark, infra, day_trace):
-    """Segment-compressed engine over the same day-long trace."""
-    result = _bench_replay(benchmark, infra, day_trace, "segments", rounds=3)
+    """Segment-compressed engine over the same day-long trace.
+
+    More rounds than the reference pair: sub-100 ms measurements on a
+    shared box need a deeper min to be comparable across PR artifacts.
+    """
+    result = _bench_replay(benchmark, infra, day_trace, "segments", rounds=5)
     assert result.n_segments < len(day_trace) / 20
 
 
 @pytest.mark.benchmark(group="perf-replay")
 def test_perf_event_replay_reference_wc98(benchmark, infra, wc98_slice):
     """Per-second reference on a WC98 archive-format slice (1.5 h)."""
-    _bench_replay(benchmark, infra, wc98_slice, "reference", rounds=2)
+    _bench_replay(benchmark, infra, wc98_slice, "reference", rounds=4)
 
 
 @pytest.mark.benchmark(group="perf-replay")
 def test_perf_event_replay_segments_wc98(benchmark, infra, wc98_slice):
     """Segment engine on the same WC98 slice."""
-    _bench_replay(benchmark, infra, wc98_slice, "segments", rounds=3)
+    _bench_replay(benchmark, infra, wc98_slice, "segments", rounds=6)
 
 
 @pytest.mark.benchmark(group="perf")

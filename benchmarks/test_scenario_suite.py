@@ -50,3 +50,76 @@ def test_scenario_catalogue_sweep(benchmark):
         assert record.total_energy_j == run.result.total_energy
         assert record.served_fraction == run.qos().served_fraction
     print_comparison("scenario catalogue (1-day workloads)", report.rows())
+
+
+def _fanout_specs():
+    """A workload-heavy suite for the fan-out benchmarks.
+
+    Six distinct two-day workloads (seed variants of the paper trace),
+    two scheduler variants each: workload construction is a real
+    fraction of the suite cost — the thing the chunked scheduler dedupes
+    by colocating same-workload scenarios — while the ``fast``-engine
+    replays keep each scenario cheap enough for the benchmark to stay in
+    seconds.
+    """
+    from dataclasses import replace
+
+    base = scenarios.get("paper-bml").with_days(2)
+    specs = []
+    for seed in range(6):
+        workload = replace(base.workload, seed=2000 + seed)
+        for window in (378, 600):
+            specs.append(
+                replace(
+                    base,
+                    name=f"fanout-s{seed}-w{window}",
+                    label=None,
+                    workload=workload,
+                    scheduler=replace(base.scheduler, window=window),
+                )
+            )
+    return specs
+
+
+def _cold_caches(specs):
+    """Cold-start setup (untimed): both fan-out modes build from scratch.
+
+    Also the reason these benchmarks are defined *after* the catalogue
+    sweep: they clear and repopulate the process-level trace cache, and
+    must not perturb the ambient state earlier benchmarks measure under.
+    """
+    scenarios.clear_caches()
+    return (specs,), {}
+
+
+@pytest.mark.benchmark(group="perf-suite")
+def test_perf_suite_fanout_chunked(benchmark):
+    """PR 5 fan-out: workload-chunked pool tasks.
+
+    Scenarios sharing a workload land on one worker, so every trace is
+    built exactly once across the pool (the per-spec reference rebuilds
+    a workload in every worker its scenarios happen to land on).  The
+    chunked/per-spec ratio in the benchmark JSON *is* the measured
+    scheduling win over the PR 4 fan-out.
+    """
+    specs = _fanout_specs()
+    runs = benchmark.pedantic(
+        lambda s: scenarios.run_suite(s, jobs=2),
+        setup=lambda: _cold_caches(specs),
+        rounds=2,
+        iterations=1,
+    )
+    assert [r.name for r in runs] == [s.name for s in specs]
+
+
+@pytest.mark.benchmark(group="perf-suite")
+def test_perf_suite_fanout_per_spec(benchmark):
+    """The PR 4 fan-out (one pool task per spec), kept as the reference."""
+    specs = _fanout_specs()
+    runs = benchmark.pedantic(
+        lambda s: scenarios.run_suite(s, jobs=2, chunked=False),
+        setup=lambda: _cold_caches(specs),
+        rounds=2,
+        iterations=1,
+    )
+    assert [r.name for r in runs] == [s.name for s in specs]

@@ -28,9 +28,15 @@ Commands
     Compare two persisted runs (run ids in the store, or paths to run
     directories): headline metric deltas, per-day energy deltas and spec
     field changes.
-``repro scenario report [NAME ...] [--store DIR] [--baseline NAME]``
+``repro scenario report [NAME ...] [--store DIR] [--baseline NAME]
+[--prune N]``
     Aggregate the latest stored run of each scenario into a suite report
-    (summary table, savings vs a baseline).
+    (summary table, savings vs a baseline); ``--prune N`` first applies
+    the store's retention policy (keep each scenario's newest N runs).
+``repro cache-stats [--json]``
+    Surface every process-level cache's telemetry in one view: the
+    memoised infrastructures' combination-table counters, the
+    breakpoint-table LRU and the serving-set kernel LRU.
 """
 
 from __future__ import annotations
@@ -149,6 +155,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--store", type=Path, default=Path("runs"),
         help="run store directory resolving bare run ids (default: runs/)",
     )
+    p_diff.add_argument(
+        "--json", type=Path, default=None, metavar="FILE",
+        help="write the full diff as JSON to FILE ('-' for stdout)",
+    )
+    p_diff.add_argument(
+        "--csv", type=Path, default=None, metavar="FILE",
+        help="write metric/spec delta rows as CSV to FILE",
+    )
     p_report = scen_sub.add_parser(
         "report", help="aggregate stored runs into a suite report"
     )
@@ -166,6 +180,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--csv", type=Path, default=None, help="dump series to DIR"
+    )
+    p_report.add_argument(
+        "--prune", type=int, default=None, metavar="N",
+        help="first prune the store to each scenario's newest N runs",
+    )
+
+    p_cache = sub.add_parser(
+        "cache-stats", help="show process-level cache telemetry"
+    )
+    p_cache.add_argument(
+        "--json", action="store_true", help="machine-readable JSON output"
     )
     return parser
 
@@ -413,12 +438,30 @@ def _load_stored_run(arg: str, store_dir: Path):
 
 
 def _cmd_scenario_diff(args: argparse.Namespace) -> int:
+    import json
+
     from .analysis.charts import sparkline
     from .results import diff
 
     a = _load_stored_run(args.run_a, args.store)
     b = _load_stored_run(args.run_b, args.store)
     d = diff(a, b)
+    if args.json is not None:
+        payload = json.dumps(d.to_json_dict(), indent=2) + "\n"
+        if str(args.json) == "-":
+            print(payload, end="")
+        else:
+            args.json.parent.mkdir(parents=True, exist_ok=True)
+            args.json.write_text(payload)
+            print(f"diff written to {args.json}")
+    if args.csv is not None:
+        args.csv.parent.mkdir(parents=True, exist_ok=True)
+        write_csv(args.csv, d.csv_rows())
+        # keep stdout a clean JSON stream when --json - is also given
+        notice_stream = sys.stderr if str(args.json) == "-" else sys.stdout
+        print(f"diff rows written to {args.csv}", file=notice_stream)
+    if args.json is not None or args.csv is not None:
+        return 0
     print(f"a: {args.run_a}  ({a.name}, {a.days} days, engine {a.engine})")
     print(f"b: {args.run_b}  ({b.name}, {b.days} days, engine {b.engine})")
     print(d.describe())
@@ -447,6 +490,18 @@ def _cmd_scenario_report(args: argparse.Namespace) -> int:
     from .results import load_run_dir
 
     store = RunStore(args.store)
+    if args.prune is not None:
+        if args.prune < 1:
+            raise SystemExit(
+                "scenario report: --prune keeps each scenario's newest N "
+                "runs; N must be >= 1"
+            )
+        removed = store.prune(keep_last=args.prune)
+        if removed:
+            print(
+                f"pruned {len(removed)} run(s) past keep-last={args.prune}: "
+                + ", ".join(removed)
+            )
     stored = store.list()
     if not stored:
         raise SystemExit(f"no stored runs in {store.root}")
@@ -482,6 +537,57 @@ def _cmd_scenario_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def collect_cache_stats() -> dict:
+    """Every process-level cache's telemetry in one mapping.
+
+    Sections: one ``infrastructure[<key>]`` entry per memoised
+    :class:`~repro.core.bml.BMLInfrastructure` (the combination-table
+    cache counters), the breakpoint-table LRU of :mod:`repro.sim.energy`
+    and the serving-set kernel LRU of :mod:`repro.sim.loadbalancer`.
+    Exposed as a function (not just a CLI command) so tests and
+    long-running drivers can snapshot it programmatically.
+    """
+    from .scenarios.runner import infra_cache_stats
+    from .sim import breakpoint_cache_stats, serving_kernel_cache_stats
+
+    return {
+        "infrastructure": infra_cache_stats(),
+        "breakpoint_tables": breakpoint_cache_stats(),
+        "serving_set_kernels": serving_kernel_cache_stats(),
+    }
+
+
+def _cmd_cache_stats(args: argparse.Namespace) -> int:
+    import json
+
+    stats = collect_cache_stats()
+    if args.json:
+        print(json.dumps(stats, indent=2))
+        return 0
+    rows = []
+    for label, counters in stats["infrastructure"].items():
+        rows.append({"cache": f"infrastructure[{label}]", **counters})
+    for section in ("breakpoint_tables", "serving_set_kernels"):
+        rows.append({"cache": section, **stats[section]})
+    if not rows:
+        print("no caches populated in this process")
+        return 0
+    print(
+        render_table(
+            rows,
+            columns=[
+                "cache",
+                "table_cache_hits",
+                "table_cache_misses",
+                "table_cache_size",
+                "table_cache_maxsize",
+            ],
+            title="cache telemetry (this process)",
+        )
+    )
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point for the ``repro`` console script."""
     args = build_parser().parse_args(argv)
@@ -493,6 +599,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "scenario": _cmd_scenario,
+        "cache-stats": _cmd_cache_stats,
     }
     return handlers[args.command](args)
 

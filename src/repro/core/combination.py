@@ -961,6 +961,16 @@ class CombinationTable:
         """The combination serving ``rate`` (grid-rounded up)."""
         return self._combos[int(self._index(rate))]
 
+    def combo_at(self, idx: int) -> Combination:
+        """The combination at a grid index (e.g. from :meth:`clipped_index`).
+
+        ``clipped_index`` applies the same grid rounding as ``_index``,
+        so for in-range rates ``combo_at(clipped_index(rate)[0])`` is
+        exactly ``combination_for(rate)`` without re-deriving the index —
+        the segment replay's decision loop relies on this.
+        """
+        return self._combos[idx]
+
     def power_for(self, rate: Union[float, np.ndarray]) -> Union[float, np.ndarray]:
         """Power of the table's combination at ``rate`` (vectorised)."""
         idx = self._index(rate)

@@ -135,6 +135,64 @@ class ResultDiff:
             )
         return "; ".join(parts)
 
+    # -- export (CI artifacts) ---------------------------------------------
+    def to_json_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view of the whole diff.
+
+        Floats pass through unrounded (``json`` round-trips them
+        bit-exactly), so an archived diff is as trustworthy as the live
+        one — the point of ``repro scenario diff --json`` CI artifacts.
+        """
+        return {
+            "a": {"name": self.a.name, "days": self.a.days,
+                  "engine": self.a.engine},
+            "b": {"name": self.b.name, "days": self.b.days,
+                  "engine": self.b.engine},
+            "identical": self.identical,
+            "summary": self.describe(),
+            "metrics": self.metric_rows(),
+            "spec_changes": {
+                key: {"a": va, "b": vb}
+                for key, (va, vb) in self.spec_changes.items()
+            },
+            "per_day_delta_j": (
+                None
+                if self.per_day_delta_j is None
+                else [float(x) for x in self.per_day_delta_j]
+            ),
+        }
+
+    def csv_rows(self) -> List[Dict[str, object]]:
+        """Flat rows for CSV export: metrics first, then spec changes.
+
+        One uniform column set (``kind/name/a/b/delta/rel_%``) so the
+        whole diff lands in a single CI artifact file.
+        """
+        rows: List[Dict[str, object]] = []
+        for m in self.metric_rows():
+            rows.append(
+                {
+                    "kind": "metric",
+                    "name": m["metric"],
+                    "a": m["a"],
+                    "b": m["b"],
+                    "delta": m["delta"],
+                    "rel_%": m["rel_%"],
+                }
+            )
+        for key, (va, vb) in self.spec_changes.items():
+            rows.append(
+                {
+                    "kind": "spec",
+                    "name": key,
+                    "a": str(va),
+                    "b": str(vb),
+                    "delta": "",
+                    "rel_%": "",
+                }
+            )
+        return rows
+
 
 def diff(a: ScenarioResult, b: ScenarioResult) -> ResultDiff:
     """Compare two result records (``b`` relative to ``a``)."""

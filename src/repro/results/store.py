@@ -25,7 +25,7 @@ import json
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import List, Optional, Union
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -165,6 +165,33 @@ class RunStore:
     def load_all(self) -> List[ScenarioResult]:
         """Load every stored run in save order."""
         return [load_run_dir(s.path) for s in self.list()]
+
+    # -- retention ---------------------------------------------------------
+    def prune(self, keep_last: int) -> List[str]:
+        """Delete all but each scenario's newest ``keep_last`` runs.
+
+        Retention is **per scenario name** (the unit ``latest()`` and
+        ``repro scenario report`` consume): for every scenario with more
+        than ``keep_last`` stored runs, the oldest surplus run
+        directories are removed.  ``keep_last=0`` empties the store.
+        Surviving runs are untouched on disk — loads stay bit-identical
+        — and returned ids are in deletion (save) order.
+        """
+        if keep_last < 0:
+            raise StoreError("keep_last must be >= 0")
+        import shutil
+
+        by_name: Dict[str, List[StoredRun]] = {}
+        for stored in self.list():  # already in save (seq) order
+            by_name.setdefault(stored.name, []).append(stored)
+        removed: List[StoredRun] = []
+        for runs in by_name.values():
+            surplus = runs[:-keep_last] if keep_last else runs
+            removed.extend(surplus)
+        removed.sort(key=lambda s: s.seq)
+        for stored in removed:
+            shutil.rmtree(stored.path)
+        return [s.run_id for s in removed]
 
     def latest(self, name: Optional[str] = None) -> ScenarioResult:
         """The most recently saved run, optionally filtered by scenario name."""

@@ -18,7 +18,14 @@ Quick start::
 """
 
 from .registry import PAPER_SCENARIOS, by_tag, get, names, register, specs
-from .runner import ScenarioRun, clear_caches, run_scenario, run_suite
+from .runner import (
+    ScenarioRun,
+    chunk_specs,
+    clear_caches,
+    infra_cache_stats,
+    run_scenario,
+    run_suite,
+)
 from .spec import (
     FIG5_DAYS_ENV,
     ScenarioError,
@@ -42,5 +49,7 @@ __all__ = [
     "by_tag",
     "run_scenario",
     "run_suite",
+    "chunk_specs",
     "clear_caches",
+    "infra_cache_stats",
 ]

@@ -19,6 +19,7 @@ from .energy import (
     combination_power,
     power_breakpoints,
 )
+from .loadbalancer import serving_kernel_cache_stats
 from .powercap import CappedMachine, capped_profile, capped_stack_power
 from .results import QoSReport, SimulationResult
 
@@ -28,6 +29,7 @@ __all__ = [
     "combination_power",
     "power_breakpoints",
     "breakpoint_cache_stats",
+    "serving_kernel_cache_stats",
     "EnergyMeter",
     "QoSReport",
     "SimulationResult",

@@ -55,6 +55,10 @@ class Cluster:
     def profiles(self) -> Dict[str, ArchitectureProfile]:
         return dict(self._profiles)
 
+    def profile(self, arch: str) -> ArchitectureProfile:
+        """One architecture's profile (no dict copy — hot-path accessor)."""
+        return self._profiles[arch]
+
     def machines(self, arch: Optional[str] = None) -> List[Machine]:
         """All machines (of one architecture, if given)."""
         if arch is not None:

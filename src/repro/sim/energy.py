@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple, Union
+from typing import Any, Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -26,46 +26,49 @@ __all__ = [
     "power_breakpoints",
     "combination_power",
     "breakpoint_cache_stats",
+    "TelemetryLRU",
     "EnergyMeter",
 ]
 
 _BreakTable = Tuple[np.ndarray, np.ndarray]
 
 
-class _BreakTableCache:
-    """LRU memo for per-combination breakpoint tables.
+class TelemetryLRU:
+    """Bounded LRU memo with ``table_cache_*``-style telemetry.
 
     Long multi-scenario runs (ablation sweeps, powercap searches) visit an
-    unbounded stream of distinct combinations; the old module-level dict
-    grew without limit.  This cache evicts least-recently-used tables past
+    unbounded stream of distinct keys; unbounded module-level dicts grew
+    without limit.  This cache evicts least-recently-used entries past
     ``maxsize`` and exposes hit/miss counters following the
     ``table_cache_hits``/``table_cache_misses`` telemetry convention of
-    :class:`repro.core.bml.BMLInfrastructure`.
+    :class:`repro.core.bml.BMLInfrastructure`.  It backs both the
+    per-combination breakpoint tables here and the per-serving-set
+    composite kernels of :mod:`repro.sim.loadbalancer`.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:
         if maxsize < 1:
             raise ValueError("maxsize must be >= 1")
         self.maxsize = maxsize
-        self._data: "OrderedDict[Combination, _BreakTable]" = OrderedDict()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def __len__(self) -> int:
         return len(self._data)
 
-    def get(self, combo: Combination) -> Union[_BreakTable, None]:
-        table = self._data.get(combo)
-        if table is None:
+    def get(self, key: Hashable) -> Any:
+        value = self._data.get(key)
+        if value is None:
             self.misses += 1
             return None
-        self._data.move_to_end(combo)
+        self._data.move_to_end(key)
         self.hits += 1
-        return table
+        return value
 
-    def put(self, combo: Combination, table: _BreakTable) -> None:
-        self._data[combo] = table
-        self._data.move_to_end(combo)
+    def put(self, key: Hashable, value: Any) -> None:
+        self._data[key] = value
+        self._data.move_to_end(key)
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
@@ -83,7 +86,13 @@ class _BreakTableCache:
         }
 
 
-_cache = _BreakTableCache()
+_cache = TelemetryLRU()
+
+#: Deferred-ledger buffer bound: a machine's pending contribution stream
+#: is settled early once it holds this many pieces, so month-scale
+#: replays don't pin every segment's draw arrays until ``finalize``
+#: (partial flushes continue the same sequential chain — bit-identical).
+_PENDING_FLUSH_PIECES = 1024
 
 
 def breakpoint_cache_stats() -> Dict[str, int]:
@@ -133,17 +142,45 @@ class EnergyMeter:
     Mimics the role of the paper's wattmeters/Kwapi: every state interval
     of every machine is recorded as (power, duration) and integrated
     exactly.
+
+    Two batch APIs serve the segment-compressed replay:
+
+    * :meth:`record_series` — eager: one ``np.cumsum`` settle per call
+      (PR 2's kernel, kept as the executable contract pinned by
+      ``tests/properties/test_prop_replay.py``);
+    * :meth:`record_gather` — deferred: per-segment windows are buffered
+      as ``(values, inverse)`` gather pairs and settled in **one**
+      ``np.cumsum`` pass per machine when something needs the totals
+      (a ``set_power`` interleave, :meth:`finalize`, or an energy query),
+      eliminating the per-machine-per-segment cumsum/concatenate cost.
+      The buffered chain replays the exact ``record_series`` call
+      sequence float-for-float, so totals stay bit-identical.
     """
 
     _totals: Dict[str, float] = field(default_factory=dict)
     _power_now: Dict[str, float] = field(default_factory=dict)
     _since: Dict[str, float] = field(default_factory=dict)
+    #: machine -> ordered closed contributions awaiting settlement: a
+    #: ``float`` is one scalar term (an interval's ``power * duration``),
+    #: a ``(values, inverse, n_closed)`` tuple is a window's first
+    #: ``n_closed`` per-second powers (``values[inverse]`` order).
+    _pending: Dict[str, List] = field(default_factory=dict, repr=False)
 
     def set_power(self, machine_id: str, power: float, now: float) -> None:
         """Machine ``machine_id`` draws ``power`` Watts from ``now`` on."""
         if power < 0:
             raise ValueError("power must be >= 0")
-        self._settle(machine_id, now)
+        pieces = self._pending.get(machine_id)
+        if pieces is None:
+            self._scalar_settle(machine_id, now)
+        else:
+            # Deferred machine: buffer the closing interval's term instead
+            # of settling — same ``power * duration`` float op, added in
+            # sequence order at flush time.
+            since = self._since[machine_id]
+            if now < since - 1e-9:
+                raise ValueError(f"time went backwards for {machine_id}")
+            pieces.append(self._power_now[machine_id] * (now - since))
         self._power_now[machine_id] = power
         self._since[machine_id] = now
 
@@ -178,7 +215,98 @@ class EnergyMeter:
         self._power_now[machine_id] = float(powers[-1])
         self._since[machine_id] = t_start + n - 1
 
-    def _settle(self, machine_id: str, now: float) -> None:
+    # -- deferred array ledger (serving-set kernel path) -------------------
+    def record_gather(
+        self,
+        machine_id: str,
+        values: np.ndarray,
+        inverse: Optional[np.ndarray],
+        t_start: int,
+    ) -> None:
+        """Deferred :meth:`record_series`: buffer now, settle lazily.
+
+        The per-second power series of the window is ``values[inverse]``
+        (``inverse`` of ``None`` means ``values`` *is* the series) — the
+        gather representation the serving-set kernel produces, buffered
+        by reference so no per-second array is materialised per segment.
+        The window's first ``n - 1`` seconds are closed contributions
+        appended to the machine's pending stream; the last second stays
+        the open interval, closed by the next write exactly as in the
+        eager chain.  Interleaved :meth:`set_power` calls append their
+        ``power * duration`` term to the same stream, so nothing settles
+        until :meth:`finalize` (or an energy query) runs the machine's
+        whole stream through **one** ``np.cumsum`` — whose left-to-right
+        order replays the eager per-segment sequence float-for-float.
+
+        Trusted-contract API for the segment engine: ``values`` must be
+        non-negative (kernel draws are ``idle + slope * load`` with
+        non-negative factors by construction).
+        """
+        n = len(values) if inverse is None else len(inverse)
+        if n == 0:
+            return
+        pieces = self._pending.get(machine_id)
+        prev_power = self._power_now.get(machine_id)
+        if prev_power is not None:
+            since = self._since[machine_id]
+            if t_start < since - 1e-9:
+                raise ValueError(f"time went backwards for {machine_id}")
+            closing = prev_power * (t_start - since)
+            if pieces is None:
+                # First deferred write: fold the closing term eagerly
+                # (same multiply-add record_series would do) and open the
+                # stream.
+                self._totals[machine_id] = (
+                    self._totals.get(machine_id, 0.0) + closing
+                )
+            else:
+                pieces.append(closing)
+        if pieces is None:
+            pieces = self._pending[machine_id] = []
+        if n > 1:
+            pieces.append((values, inverse, n - 1))
+        self._power_now[machine_id] = float(
+            values[-1] if inverse is None else values[inverse[-1]]
+        )
+        self._since[machine_id] = t_start + n - 1
+        # Bound the buffer: month-scale replays would otherwise pin every
+        # segment's draw arrays until finalize.  A partial flush continues
+        # the same sequential chain from the settled total, so totals stay
+        # bit-identical to one flush at the end.
+        if len(pieces) >= _PENDING_FLUSH_PIECES:
+            self._flush(machine_id)
+
+    def _flush(self, machine_id: str) -> None:
+        """Settle a machine's buffered contributions in one cumsum pass."""
+        pieces = self._pending.pop(machine_id, None)
+        if not pieces:
+            return
+        parts: List[np.ndarray] = []
+        scalars: List[float] = []
+        for piece in pieces:
+            if isinstance(piece, tuple):
+                if scalars:
+                    parts.append(np.asarray(scalars))
+                    scalars = []
+                values, inverse, n_closed = piece
+                parts.append(
+                    values[:n_closed]
+                    if inverse is None
+                    else values[inverse[:n_closed]]
+                )
+            else:
+                scalars.append(piece)
+        if scalars:
+            parts.append(np.asarray(scalars))
+        powers = parts[0] if len(parts) == 1 else np.concatenate(parts)
+        base = self._totals.get(machine_id, 0.0)
+        # One sequential left-to-right accumulation over every closed
+        # contribution — bit-identical to folding them in as they happened.
+        self._totals[machine_id] = float(
+            np.cumsum(np.concatenate(([base], powers)))[-1]
+        )
+
+    def _scalar_settle(self, machine_id: str, now: float) -> None:
         prev_power = self._power_now.get(machine_id)
         if prev_power is None:
             return
@@ -189,6 +317,11 @@ class EnergyMeter:
             now - since
         )
 
+    def _settle(self, machine_id: str, now: float) -> None:
+        if machine_id in self._pending:
+            self._flush(machine_id)
+        self._scalar_settle(machine_id, now)
+
     def finalize(self, now: float) -> None:
         """Close all open intervals at ``now`` (end of simulation)."""
         for machine_id in list(self._power_now):
@@ -197,9 +330,13 @@ class EnergyMeter:
 
     def energy_of(self, machine_id: str) -> float:
         """Energy (J) accumulated so far by one machine."""
+        if machine_id in self._pending:
+            self._flush(machine_id)
         return self._totals.get(machine_id, 0.0)
 
     @property
     def total_energy(self) -> float:
         """Energy (J) accumulated by all machines (closed intervals only)."""
+        for machine_id in list(self._pending):
+            self._flush(machine_id)
         return sum(self._totals.values())

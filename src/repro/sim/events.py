@@ -89,13 +89,17 @@ class EventQueue:
         The clock ends at ``time`` even if the queue empties earlier.
         """
         fired = 0
-        while True:
-            nxt = self.peek_time()
-            if nxt is None or nxt > time:
+        heap = self._heap
+        while heap:
+            ev_time, _, ev = heap[0]
+            if ev.cancelled:
+                heapq.heappop(heap)
+                continue
+            if ev_time > time:
                 break
-            ev = self.pop()
-            assert ev is not None
-            ev.fire()
+            heapq.heappop(heap)
+            self.now = ev_time
+            ev.callback(*ev.args)
             fired += 1
         if time > self.now:
             self.now = time

@@ -21,9 +21,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.profiles import ArchitectureProfile
+from .energy import TelemetryLRU
 from .machine import Machine
 
-__all__ = ["LoadBalancer", "Assignment", "WindowAssignment"]
+__all__ = [
+    "LoadBalancer",
+    "Assignment",
+    "WindowAssignment",
+    "ServingSetKernel",
+    "KernelWindow",
+    "serving_set_kernel",
+    "serving_kernel_cache_stats",
+]
 
 
 @dataclass(frozen=True)
@@ -163,3 +173,269 @@ class WindowAssignment:
     served: np.ndarray
     unserved: np.ndarray
     draws: Optional[Dict[str, np.ndarray]] = None  # machine_id -> power series
+
+
+# ---------------------------------------------------------------------------
+# Serving-set composite kernels (O(1)-per-segment replay)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KernelWindow:
+    """One steady segment evaluated on a serving-set kernel.
+
+    Everything is stored on the window's **unique** rates plus the
+    gather index back to per-second order: ``X_unique[inverse]`` is the
+    per-second series for any of the unique-indexed arrays (``inverse``
+    of ``None`` means the window did not compress — the unique arrays
+    *are* per-second).  Per-machine per-second series are *not*
+    materialised up front — the replay's hot loop only needs the
+    unique-indexed arrays plus ``inverse`` (the deferred energy ledger
+    buffers the same gather pairs) — they are built lazily by
+    :meth:`draw_series`/:meth:`load_series` when a consumer (QoS
+    attribution, per-machine diff series) asks.
+    """
+
+    kernel: "ServingSetKernel"
+    inverse: Optional[np.ndarray]  #: per-second gather index, or None
+    loads: Tuple[np.ndarray, ...]  #: per machine, unique-indexed
+    draws: Tuple[np.ndarray, ...]  #: per machine, unique-indexed
+    served: np.ndarray  #: unique-indexed
+    unserved: np.ndarray  #: unique-indexed
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.served)
+
+    def gather(self, values: np.ndarray) -> np.ndarray:
+        """Scatter a unique-indexed array back to per-second order.
+
+        Internal zero-copy accessor: when the window did not compress,
+        the *backing buffer itself* comes back — the replay's hot loop
+        only reads it.  The public ``*_series`` accessors below return
+        independent arrays instead, because the deferred energy ledger
+        may still hold references to these buffers until it settles.
+        """
+        return values if self.inverse is None else values[self.inverse]
+
+    def _materialise(self, values: np.ndarray) -> np.ndarray:
+        return values.copy() if self.inverse is None else values[self.inverse]
+
+    def unserved_series(self) -> np.ndarray:
+        """Per-second unserved mass of the window (caller-owned array)."""
+        return self._materialise(self.unserved)
+
+    def draw_series(self, machine_id: str) -> np.ndarray:
+        """One machine's per-second power draw series (caller-owned)."""
+        return self._materialise(self.draws[self.kernel.index_of(machine_id)])
+
+    def load_series(self, machine_id: str) -> np.ndarray:
+        """One machine's per-second assigned-rate series (caller-owned)."""
+        return self._materialise(self.loads[self.kernel.index_of(machine_id)])
+
+    def materialise_draws(self) -> Dict[str, np.ndarray]:
+        """Full per-machine draw dict, shaped like ``WindowAssignment.draws``."""
+        return {
+            mid: self._materialise(self.draws[i])
+            for i, mid in enumerate(self.kernel.machine_ids)
+        }
+
+
+class ServingSetKernel:
+    """Composite balance/power evaluator for one frozen serving set.
+
+    Collapses the per-machine chain of
+    :meth:`LoadBalancer.balance_series` + ``idle + slope * load`` draws
+    into one object whose per-set constants (capacity sum, stable
+    slope-sort order, per-machine linear-model coefficients) are computed
+    once and reused across every segment served by the same set —
+    typically hundreds of segments per replay, since the replay cycles
+    through a handful of combinations.  ``evaluate`` runs the **exact**
+    scalar float-operation chain, but only on the window's unique rates;
+    equal inputs get equal outputs by construction, so gathering the
+    results back to per-second order is bit-identical to the full-window
+    (and the per-second) evaluation.
+    """
+
+    __slots__ = (
+        "strategy",
+        "machine_ids",
+        "capacity",
+        "_order",
+        "_max_perfs",
+        "_slopes",
+        "_idles",
+        "_index",
+    )
+
+    def __init__(
+        self,
+        strategy: str,
+        members: Sequence[Tuple[str, ArchitectureProfile]],
+    ) -> None:
+        self.strategy = strategy
+        self.machine_ids: Tuple[str, ...] = tuple(mid for mid, _ in members)
+        profiles = [prof for _, prof in members]
+        # Same Python-sum order as LoadBalancer.balance's capacity.
+        self.capacity = sum(p.max_perf for p in profiles)
+        # Stable sort by slope = the scalar fill order.
+        self._order = sorted(range(len(profiles)), key=lambda i: profiles[i].slope)
+        self._max_perfs = [p.max_perf for p in profiles]
+        self._slopes = [p.slope for p in profiles]
+        self._idles = [p.idle_power for p in profiles]
+        self._index = {mid: i for i, mid in enumerate(self.machine_ids)}
+
+    def index_of(self, machine_id: str) -> int:
+        return self._index[machine_id]
+
+    def evaluate(
+        self,
+        rates: np.ndarray,
+        pre_validated: bool = False,
+        compress: Optional[bool] = None,
+    ) -> KernelWindow:
+        """Evaluate a whole steady window through the composite chain.
+
+        ``pre_validated=True`` skips the non-negativity check — for
+        callers that validated the full series once up front (the replay
+        checks the whole trace before segmenting it into windows).
+
+        ``compress`` controls the unique-rate gather compression:
+        evaluating only the window's unique rates pays off on traces that
+        repeat rates (integer request-count traces like WC98) and is pure
+        overhead on continuous synthetic traces.  ``None`` probes the
+        window head per call; the replay decides once per run on the
+        whole trace and passes the verdict in.  Both paths run the
+        identical elementwise chain, so the choice never changes a
+        single bit of the output.
+        """
+        rates = np.asarray(rates, dtype=float)
+        if not pre_validated and np.any(rates < 0):
+            raise ValueError("rate must be >= 0")
+        inverse: Optional[np.ndarray] = None
+        uniq = rates
+        if compress is None:
+            compress = len(rates) > 64 and len(np.unique(rates[:64])) <= 48
+        if compress and len(rates) > 1:
+            uniq, inverse = np.unique(rates, return_inverse=True)
+        served = np.minimum(uniq, self.capacity)
+        n = len(self.machine_ids)
+        loads: List[Optional[np.ndarray]] = [None] * n
+        draws: List[Optional[np.ndarray]] = [None] * n
+        if n:
+            if self.strategy == "efficient":
+                remaining = served.copy()
+                active = served > 0
+                alive = bool(active.any())
+                first = True
+                last = self._order[-1]
+                zeros: Optional[np.ndarray] = None
+                for i in self._order:
+                    if alive:
+                        if first:
+                            # Inactive elements have remaining == 0.0, so
+                            # min(0, cap) is already the masked 0.0 — the
+                            # first fill needs no np.where.
+                            take = np.minimum(remaining, self._max_perfs[i])
+                            first = False
+                        else:
+                            take = np.where(
+                                active,
+                                np.minimum(remaining, self._max_perfs[i]),
+                                0.0,
+                            )
+                        loads[i] = take
+                        draws[i] = self._idles[i] + self._slopes[i] * take
+                        if i != last:
+                            remaining = remaining - take
+                            active = active & (remaining > 1e-12)
+                            alive = bool(active.any())
+                    else:
+                        # The scalar chain's take is 0.0 everywhere once
+                        # every element broke out, so load 0 and the exact
+                        # idle draw (idle + slope * 0.0 == idle) follow
+                        # without running the masked chain.
+                        if zeros is None:
+                            zeros = np.zeros(len(uniq))
+                        loads[i] = zeros
+                        draws[i] = np.full(len(uniq), self._idles[i])
+            elif self.capacity > 0:  # proportional
+                frac = served / self.capacity
+                loads = [frac * mp for mp in self._max_perfs]
+                draws = [
+                    self._idles[i] + self._slopes[i] * loads[i]
+                    for i in range(n)
+                ]
+            else:  # degenerate set: nothing can be served
+                loads = [np.zeros(len(uniq)) for _ in range(n)]
+                draws = [np.full(len(uniq), self._idles[i]) for i in range(n)]
+        return KernelWindow(
+            kernel=self,
+            inverse=inverse,
+            loads=tuple(loads),
+            draws=tuple(draws),
+            served=served,
+            unserved=np.maximum(uniq - served, 0.0),
+        )
+
+
+    def evaluate_small(
+        self, rates: np.ndarray
+    ) -> Tuple[List[List[float]], List[List[float]], List[float]]:
+        """Scalar chain for tiny windows (``"efficient"`` strategy only).
+
+        Transition windows (boot/shutdown ceilings) are typically a few
+        seconds long; for those the numpy dispatch overhead of
+        :meth:`evaluate` dwarfs the work, so the replay runs the exact
+        per-second scalar chain instead — the same float ops
+        :meth:`LoadBalancer.balance` performs, which is what makes the
+        two paths bit-identical (pinned by the replay property suite).
+        Returns ``(loads, draws, unserved)`` as per-machine per-second
+        Python lists (loads/draws) and a per-second list (unserved).
+        """
+        n = len(self.machine_ids)
+        n_sec = len(rates)
+        cap = self.capacity
+        mps, slopes, idles = self._max_perfs, self._slopes, self._idles
+        loads = [[0.0] * n_sec for _ in range(n)]
+        draws = [[idles[i]] * n_sec for i in range(n)]
+        unserved = [0.0] * n_sec
+        for k, rate in enumerate(rates.tolist()):
+            served = rate if rate < cap else cap
+            if served > 0:
+                remaining = served
+                for i in self._order:
+                    mp = mps[i]
+                    take = remaining if remaining < mp else mp
+                    loads[i][k] = take
+                    draws[i][k] = idles[i] + slopes[i] * take
+                    remaining -= take
+                    if remaining <= 1e-12:
+                        break
+            over = rate - served
+            if over > 0:
+                unserved[k] = over
+        return loads, draws, unserved
+
+
+#: Process-wide kernel LRU.  Keys carry the full frozen profiles (not just
+#: machine ids), so reuse across replays — even replays built on different
+#: infrastructures that happen to repeat machine names — is always safe.
+_KERNEL_CACHE = TelemetryLRU(maxsize=256)
+
+
+def serving_set_kernel(
+    strategy: str, machines: Sequence[Machine]
+) -> ServingSetKernel:
+    """The memoised composite kernel for a serving set (order-sensitive)."""
+    key = (strategy, tuple((m.machine_id, m.profile) for m in machines))
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is None:
+        kernel = ServingSetKernel(strategy, key[1])
+        _KERNEL_CACHE.put(key, kernel)
+    return kernel
+
+
+def serving_kernel_cache_stats() -> Dict[str, int]:
+    """Hit/miss/size telemetry of the serving-set kernel LRU."""
+    return _KERNEL_CACHE.stats()

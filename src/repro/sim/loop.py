@@ -26,14 +26,18 @@ Two engines replay that rule:
   advances boundary to boundary (machine-state events, instance-ready
   times, decision points found by scanning the predictor series against
   mixed-radix table row ids, exactly like the scheduler) and evaluates
-  each steady segment's load split, power trajectory and unserved mass
-  with the windowed numpy kernels
-  (:meth:`~repro.sim.loadbalancer.LoadBalancer.apply_series`,
-  :meth:`~repro.sim.energy.EnergyMeter.record_series`).  Every kernel
-  mirrors the per-second float-operation order exactly, so the produced
-  series, ledger totals and counters are **bit-identical** to the
-  reference engine (pinned by ``tests/properties/test_prop_replay.py``),
-  while day-scale replays run orders of magnitude faster.
+  each steady segment with the memoised **serving-set kernel**
+  (:func:`~repro.sim.loadbalancer.serving_set_kernel`): the exact
+  per-machine balance/draw chain runs once over the window's *unique*
+  rates, results are scattered back through the gather index, and the
+  per-machine ledger writes are buffered by the **deferred array
+  ledger** (:meth:`~repro.sim.energy.EnergyMeter.record_gather`) and
+  settled in one ``np.cumsum`` pass per machine.  Every kernel mirrors
+  the per-second float-operation order exactly — equal inputs get equal
+  outputs by construction — so the produced series, ledger totals and
+  counters are **bit-identical** to the reference engine (pinned by
+  ``tests/properties/test_prop_replay.py``), while day-scale replays
+  run orders of magnitude faster.
 
 Reconfigurations themselves still run through the real FSM/event-queue
 machinery in both engines: booting, migration round-robin, shutdown victim
@@ -58,7 +62,7 @@ from .application import Application, ApplicationSpec
 from .cluster import Cluster
 from .energy import EnergyMeter
 from .events import EventQueue
-from .loadbalancer import LoadBalancer
+from .loadbalancer import LoadBalancer, serving_set_kernel
 from .machine import Machine, MachineState
 from .results import SimulationResult
 
@@ -140,10 +144,13 @@ class EventDrivenReplay:
                 self.stats.boots[name] = self.stats.boots.get(name, 0) + 1
         handover = t + boot_dur
         off_dur = 0
-        profs = self.cluster.profiles
+        profs = {
+            name: self.cluster.profile(name)
+            for name in (*starts, *stops)
+        }
         for name in stops:
             p = profs[name]
-            off_dur = max(off_dur, int(np.ceil(p.off_time - 1e-9)))
+            off_dur = max(off_dur, int(math.ceil(p.off_time - 1e-9)))
         if boot_dur == 0:
             # Pure scale-down: the hand-over happens at the decision itself
             # (the queue only drains at the next loop step).
@@ -198,20 +205,27 @@ class EventDrivenReplay:
                 end = m.power_off(now)
                 self.queue.schedule(end, m.complete_shutdown, end)
                 self.stats.shutdowns[name] = self.stats.shutdowns.get(name, 0) + 1
-        # Ensure every ON machine of the target set hosts an instance.
-        for m in self.cluster.machines_in_state(MachineState.ON):
+        # Ensure every ON machine of the target set hosts an instance
+        # (one cluster scan serves both the deploy check and the new
+        # serving list).
+        serving = self.cluster.machines_in_state(MachineState.ON)
+        for m in serving:
             if self.app.instance_on(m) is None:
                 self.app.deploy(m, now)
-        self._serving = self.cluster.machines_in_state(MachineState.ON)
+        self._serving = serving
 
     # -- shared pieces ------------------------------------------------------
-    def _decision_ids(self, pred: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Mixed-radix combination id per second, plus its change points.
+    def _decision_ids(
+        self, pred: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Mixed-radix combination id per second, change points and indices.
 
         Rates beyond the table get the sentinel id ``-1``: the first such
         second that is checked for a decision triggers a table lookup and
         raises exactly where the per-second reference would (seconds inside
-        reconfiguration windows are never checked by either engine).
+        reconfiguration windows are never checked by either engine).  The
+        returned grid indices let decision points fetch their combination
+        with ``table.combo_at`` instead of re-deriving the lookup.
         """
         # Ids are encoded on the table's few thousand rows once, then
         # gathered per second through the table's own (non-raising) grid
@@ -221,7 +235,7 @@ class EventDrivenReplay:
         cid = table_ids[idx]
         cid[oob] = -1
         changes = np.flatnonzero(cid[1:] != cid[:-1]) + 1
-        return cid, changes
+        return cid, changes, idx
 
     def _ready_serving(self, t: int) -> List[Machine]:
         """Serving machines whose instance can take traffic at second ``t``."""
@@ -316,18 +330,39 @@ class EventDrivenReplay:
         initial = self.table.combination_for(float(pred[0]))
         self._materialise_initial(initial, 0.0)
 
-        cid, changes = self._decision_ids(pred)
+        cid, changes, grid_idx = self._decision_ids(pred)
         cur_id = int(cid[0])
         values = trace.values
+        # One whole-trace check lets every window skip its own (the
+        # reference raises on the first negative rate it balances; the
+        # segment engine raises before starting, same user outcome).
+        if np.any(values < 0):
+            raise ValueError("rate must be >= 0")
+        # Decide the unique-rate compression once for the whole trace
+        # (rate repetition is a trace property, not a window property):
+        # sample the head, compress when it repeats enough to pay for the
+        # per-window sort.  Either choice is bit-identical.
+        head = values[: min(len(values), 4096)]
+        compress = len(np.unique(head)) <= 0.75 * len(head)
+        kernel_memo: Dict[Tuple[str, ...], object] = {}
+        machine_list: List[Machine] = []
+        acc_plan: List[Tuple[Optional[str], float]] = []
+        plan_key: Optional[Tuple[str, ...]] = None
         n_segments = 0
         t = 0
         while t < horizon:
-            self.queue.run_until(t)
+            fired = self.queue.run_until(t)
+            state_changed = fired > 0 or t == 0
             if t >= self._reconfig_until and cid[t] != cur_id:
-                # Raises for rates beyond the table, like the reference.
-                target = self.table.combination_for(float(pred[t]))
+                if cid[t] == -1:
+                    # Raises for rates beyond the table, like the reference.
+                    self.table.combination_for(float(pred[t]))
+                # clipped_index applies combination_for's exact rounding,
+                # so the precomputed grid index is the same lookup.
+                target = self.table.combo_at(int(grid_idx[t]))
                 if target != self._current:
                     self._start_reconfiguration(t, target)
+                    state_changed = True
                 cur_id = int(cid[t])
 
             # -- next boundary ------------------------------------------------
@@ -340,29 +375,115 @@ class EventDrivenReplay:
                 td = _next_decision(cid, changes, d_from, cur_id)
                 if td is not None:
                     b = min(b, td)
-            for m in self._serving:
-                inst = self.app.instance_on(m)
+            if state_changed:
+                # The serving list and the instance placement only move
+                # inside reconfigurations/events; the machine pool only
+                # grows there too.
+                serving_pairs = [
+                    (m, self.app.instance_on(m)) for m in self._serving
+                ]
+                machine_list = self.cluster.machines()
+            for m, inst in serving_pairs:
                 if inst is not None and inst.ready_at > t:
                     b = min(b, max(int(math.ceil(inst.ready_at - 1e-9)), t + 1))
 
             # -- evaluate the steady segment [t, b) --------------------------
-            ready = self._ready_serving(t)
-            assignment = self.balancer.apply_series(values[t:b], ready, t)
-            unserved[t:b] = assignment.unserved
-            draws = assignment.draws or {}
-            # Power: same machine iteration order (and therefore float
-            # accumulation order) as Cluster.total_power, one vector op
-            # per machine instead of one Python sum per second.
-            acc = np.zeros(b - t)
-            for m in self.cluster.machines():
-                series = draws.get(m.machine_id)
-                if series is not None:
-                    acc += series
-                else:
-                    acc += m.power_draw
-            power[t:b] = acc
-            n_on = self.cluster.n_in_state(MachineState.ON)
-            self.stats.peak_machines_on = max(self.stats.peak_machines_on, n_on)
+            # The memoised serving-set kernel runs the exact per-machine
+            # balance/draw chain on the window's *unique* rates only; the
+            # gather index scatters every unique result back to per-second
+            # order, so the per-second series stay bit-identical while the
+            # window-length work collapses to a constant number of ops.
+            ready = [
+                m
+                for m, inst in serving_pairs
+                if m.state is MachineState.ON
+                and inst is not None
+                and inst.is_ready(t)
+            ]
+            # Two-level kernel memo: the replay-local dict avoids hashing
+            # full profiles per segment (machine ids are stable within one
+            # replay); the process-wide LRU underneath provides the
+            # cross-replay reuse and the telemetry.
+            memo_key = (self.balancer.strategy, *(m.machine_id for m in ready))
+            kernel = kernel_memo.get(memo_key)
+            if kernel is None:
+                kernel = serving_set_kernel(self.balancer.strategy, ready)
+                kernel_memo[memo_key] = kernel
+            # The accumulation plan — which cluster position contributes a
+            # draw series vs a constant — only changes when states move or
+            # the ready set does, so it is rebuilt per epoch, not per
+            # segment.  OFF machines are dropped from it: adding their
+            # 0.0 draw is a float no-op the reference chain performs
+            # without effect.
+            if state_changed or memo_key != plan_key:
+                ready_ids = frozenset(m.machine_id for m in ready)
+                # ready machines are ON by construction, so the OFF
+                # filter alone decides membership
+                acc_plan = [
+                    (m.machine_id if m.machine_id in ready_ids else None,
+                     m.power_draw)
+                    for m in machine_list
+                    if m.state is not MachineState.OFF
+                ]
+                plan_key = memo_key
+            if b - t <= 24 and self.balancer.strategy == "efficient":
+                # Tiny transition windows: the exact per-second scalar
+                # chain beats numpy dispatch overhead (bit-identical by
+                # construction — it is the reference chain).
+                s_loads, s_draws, s_unserved = kernel.evaluate_small(
+                    values[t:b]
+                )
+                unserved[t:b] = s_unserved
+                draw_cols = dict(zip(kernel.machine_ids, s_draws))
+                power[t:b] = [
+                    sum(
+                        const if key is None else draw_cols[key][k]
+                        for key, const in acc_plan
+                    )
+                    for k in range(b - t)
+                ]
+                for m, loads_c, draws_c in zip(ready, s_loads, s_draws):
+                    m.load = float(
+                        min(max(loads_c[-1], 0.0), m.profile.max_perf)
+                    )
+                    self.meter.record_gather(
+                        m.machine_id, np.asarray(draws_c), None, t
+                    )
+            else:
+                window = kernel.evaluate(
+                    values[t:b], pre_validated=True, compress=compress
+                )
+                inverse = window.inverse
+                unserved[t:b] = window.gather(window.unserved)
+                # Power: same machine iteration order (and therefore float
+                # accumulation order) as Cluster.total_power, one vector
+                # op per machine over the unique rates instead of the
+                # window.
+                draw_of = dict(zip(kernel.machine_ids, window.draws))
+                acc = np.zeros(window.n_unique)
+                for draw_key, const in acc_plan:
+                    acc += const if draw_key is None else draw_of[draw_key]
+                power[t:b] = window.gather(acc)
+                # Side effects: leave each serving machine holding the
+                # window's final load (shutdown-victim ordering, drain
+                # checks) and hand the deferred ledger the same gather
+                # pairs — no per-machine per-second series is materialised
+                # unless a consumer asks (KernelWindow.draw_series /
+                # load_series).
+                last = -1 if inverse is None else int(inverse[-1])
+                for m, loads_u, draws_u in zip(ready, window.loads, window.draws):
+                    m.load = float(
+                        min(max(float(loads_u[last]), 0.0), m.profile.max_perf)
+                    )
+                    self.meter.record_gather(m.machine_id, draws_u, inverse, t)
+            if state_changed:
+                # Machine states only move when events fired or a
+                # reconfiguration started this step; n_on is constant on
+                # every other segment, so the peak cannot move either.
+                n_on = self.cluster.n_in_state(MachineState.ON)
+                self.stats.peak_machines_on = max(
+                    self.stats.peak_machines_on, n_on
+                )
             n_segments += 1
             t = b
         return self._finish(

@@ -117,6 +117,77 @@ class TestEngineEquivalence:
             result.total_energy, rel=1e-9
         )
 
+    def test_cross_replay_kernel_reuse_stays_bit_identical(
+        self, infra, short_trace
+    ):
+        """PR 5: serving-set kernels are cached process-wide; a second
+        replay served entirely from warm kernels must reproduce the
+        first (and the reference) exactly, and must actually hit."""
+        from repro.sim.loadbalancer import serving_kernel_cache_stats
+
+        def run(engine):
+            return EventDrivenReplay(
+                infra.table(3000.0),
+                short_trace,
+                predictor=LookAheadMaxPredictor(378),
+            ).run(engine=engine)
+
+        first = run("segments")
+        before = serving_kernel_cache_stats()
+        second = run("segments")
+        after = serving_kernel_cache_stats()
+        reference = run("reference")
+        assert np.array_equal(first.power, second.power)
+        assert np.array_equal(second.power, reference.power)
+        assert np.array_equal(second.unserved, reference.unserved)
+        assert second.meta["meter_energy_j"] == reference.meta["meter_energy_j"]
+        assert after["table_cache_hits"] > before["table_cache_hits"]
+        assert after["table_cache_misses"] == before["table_cache_misses"]
+
+
+class TestDeferredLedgerProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(st.data())
+    def test_record_gather_matches_per_second_set_power(self, data):
+        """The PR 5 deferred gather ledger replays the scalar chain.
+
+        Mirrors ``test_record_series_matches_per_second_set_power`` with
+        the gather representation (unique values + inverse) and a few
+        interleaved transitions, the exact call pattern of the segment
+        engine's serving-set kernel path.
+        """
+        n_windows = data.draw(st.integers(1, 4))
+        scalar = EnergyMeter()
+        deferred = EnergyMeter()
+        for meter in (scalar, deferred):
+            meter.set_power("m", 17.5, 0.0)
+        t = data.draw(st.integers(1, 50))
+        for _ in range(n_windows):
+            n = data.draw(st.integers(1, 30))
+            powers = np.array(
+                data.draw(
+                    st.lists(
+                        st.floats(0.0, 500.0, allow_nan=False),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+            )
+            for k, p in enumerate(powers):
+                scalar.set_power("m", float(p), t + k)
+            uniq, inverse = np.unique(powers, return_inverse=True)
+            deferred.record_gather("m", uniq, inverse, t)
+            t += n
+            if data.draw(st.booleans()):  # a transition between windows
+                power = data.draw(st.floats(0.0, 800.0, allow_nan=False))
+                scalar.set_power("m", power, t)
+                deferred.set_power("m", power, t)
+                t += data.draw(st.integers(1, 5))
+        scalar.finalize(t + 5)
+        deferred.finalize(t + 5)
+        assert scalar._totals == deferred._totals
+        assert scalar.total_energy == deferred.total_energy
+
 
 class TestWindowedBalancer:
     @settings(max_examples=40, deadline=None)

@@ -135,3 +135,61 @@ class TestRunStore:
         assert data["provenance"]["engine"] == "fast"
         with np.load(run_dir / "series.npz") as npz:
             assert npz["per_day_energy_j"].dtype == np.float64
+
+
+class TestPrune:
+    """PR 5 retention policy: keep each scenario's newest N runs."""
+
+    def _store(self, tmp_path, bml_run, variant_run):
+        store = RunStore(tmp_path)
+        ids = [store.save(bml_run) for _ in range(3)]
+        ids += [store.save(variant_run)]
+        return store, ids
+
+    def test_keeps_newest_per_scenario(self, tmp_path, bml_run, variant_run):
+        store, ids = self._store(tmp_path, bml_run, variant_run)
+        removed = store.prune(keep_last=1)
+        # the two oldest paper-bml runs go, in save order; the single
+        # variant run is untouched
+        assert removed == ids[:2]
+        assert [s.run_id for s in store.list()] == [ids[2], ids[3]]
+
+    def test_survivors_stay_bit_identical(self, tmp_path, bml_run, variant_run):
+        store, ids = self._store(tmp_path, bml_run, variant_run)
+        before = {rid: store.load(rid) for rid in ids[2:]}
+        store.prune(keep_last=1)
+        for rid, record in before.items():
+            reloaded = store.load(rid)
+            assert reloaded.to_json_dict() == record.to_json_dict()
+            assert np.array_equal(
+                reloaded.per_day_energy_j, record.per_day_energy_j
+            )
+
+    def test_keep_more_than_stored_is_a_no_op(
+        self, tmp_path, bml_run, variant_run
+    ):
+        store, ids = self._store(tmp_path, bml_run, variant_run)
+        assert store.prune(keep_last=10) == []
+        assert [s.run_id for s in store.list()] == ids
+
+    def test_keep_zero_empties_the_store(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        store.save(bml_run)
+        store.save(bml_run)
+        removed = store.prune(keep_last=0)
+        assert len(removed) == 2
+        assert store.list() == []
+
+    def test_negative_rejected(self, tmp_path):
+        with pytest.raises(StoreError):
+            RunStore(tmp_path).prune(keep_last=-1)
+
+    def test_new_saves_after_prune_keep_sequencing(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        for _ in range(3):
+            store.save(bml_run)
+        store.prune(keep_last=1)
+        new_id = store.save(bml_run)
+        # the survivor had seq 3; the next save continues past it
+        assert new_id.startswith("0004-")
+        assert [s.seq for s in store.list()] == [3, 4]

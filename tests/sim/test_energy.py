@@ -100,9 +100,9 @@ class TestBreakpointCacheLRU:
     """The breakpoint memo is bounded (LRU) and exposes telemetry."""
 
     def _fresh_cache(self, maxsize):
-        from repro.sim.energy import _BreakTableCache
+        from repro.sim.energy import TelemetryLRU
 
-        return _BreakTableCache(maxsize=maxsize)
+        return TelemetryLRU(maxsize=maxsize)
 
     def test_eviction_past_maxsize(self):
         cache = self._fresh_cache(2)

@@ -1,0 +1,221 @@
+"""Serving-set kernel cache and deferred array ledger (PR 5).
+
+The composite kernel collapses a steady segment's balance/draw chain to
+a handful of vector ops over the window's unique rates; the deferred
+ledger buffers per-machine contributions and settles them in one cumsum
+pass.  Both must reproduce the eager PR 2 kernels bit-for-bit, and the
+kernel LRU must behave like the repo's other telemetry caches
+(eviction, hit/miss counters, cross-segment and cross-replay reuse).
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim.energy import EnergyMeter
+from repro.sim.loadbalancer import (
+    LoadBalancer,
+    ServingSetKernel,
+    serving_kernel_cache_stats,
+    serving_set_kernel,
+)
+from repro.sim.machine import Machine, MachineState
+
+pytestmark = pytest.mark.quick
+
+
+@pytest.fixture()
+def machines(toy_profiles):
+    big, little = toy_profiles
+    meter = EnergyMeter()
+    out = []
+    for i, prof in enumerate([big, little, little]):
+        m = Machine(machine_id=f"m{i}", profile=prof, meter=meter)
+        m.state = MachineState.ON
+        out.append(m)
+    return out
+
+
+class TestKernelEquivalence:
+    """kernel.evaluate == balance_series + draws, bit for bit."""
+
+    @pytest.mark.parametrize("strategy", ["efficient", "proportional"])
+    @pytest.mark.parametrize("compress", [True, False])
+    def test_matches_balance_series(self, machines, strategy, compress):
+        rng = np.random.default_rng(7)
+        rates = np.round(rng.uniform(0.0, 150.0, size=200), 1)  # repeats
+        lb = LoadBalancer(strategy)
+        reference = lb.balance_series(rates, machines)
+        kernel = serving_set_kernel(strategy, machines)
+        window = kernel.evaluate(rates, compress=compress)
+        assert np.array_equal(
+            window.gather(window.unserved), reference.unserved
+        )
+        for i, m in enumerate(machines):
+            assert np.array_equal(
+                window.gather(window.loads[i]), reference.loads[m.machine_id]
+            )
+            expected_draw = (
+                m.profile.idle_power
+                + m.profile.slope * reference.loads[m.machine_id]
+            )
+            assert np.array_equal(
+                window.draw_series(m.machine_id), expected_draw
+            )
+            assert np.array_equal(
+                window.load_series(m.machine_id),
+                reference.loads[m.machine_id],
+            )
+
+    def test_small_scalar_path_matches_vector(self, machines):
+        rng = np.random.default_rng(11)
+        rates = rng.uniform(0.0, 200.0, size=13)
+        kernel = serving_set_kernel("efficient", machines)
+        window = kernel.evaluate(rates)
+        loads, draws, unserved = kernel.evaluate_small(rates)
+        assert np.array_equal(np.asarray(unserved), window.gather(window.unserved))
+        for i in range(len(machines)):
+            assert np.array_equal(
+                np.asarray(loads[i]), window.gather(window.loads[i])
+            )
+            assert np.array_equal(
+                np.asarray(draws[i]), window.gather(window.draws[i])
+            )
+
+    def test_materialise_draws_shapes_like_apply_series(self, machines):
+        rates = np.linspace(0.0, 120.0, 40)
+        lb = LoadBalancer("efficient")
+        eager = lb.apply_series(rates, machines, t_start=0)
+        kernel = serving_set_kernel("efficient", machines)
+        lazy = kernel.evaluate(rates).materialise_draws()
+        assert set(lazy) == set(eager.draws)
+        for machine_id, series in eager.draws.items():
+            assert np.array_equal(lazy[machine_id], series)
+
+    def test_negative_rates_rejected_unless_prevalidated(self, machines):
+        kernel = serving_set_kernel("efficient", machines)
+        with pytest.raises(ValueError):
+            kernel.evaluate(np.array([1.0, -0.5]))
+
+
+class TestKernelCache:
+    def test_cross_segment_reuse_hits(self, toy_profiles):
+        big, _ = toy_profiles
+        meter = EnergyMeter()
+        m = Machine(machine_id="hit-probe", profile=big, meter=meter)
+        m.state = MachineState.ON
+        before = serving_kernel_cache_stats()
+        k1 = serving_set_kernel("efficient", [m])  # miss: fresh serving set
+        k2 = serving_set_kernel("efficient", [m])  # hit: same serving set
+        after = serving_kernel_cache_stats()
+        assert k1 is k2
+        assert after["table_cache_hits"] == before["table_cache_hits"] + 1
+        assert after["table_cache_misses"] == before["table_cache_misses"] + 1
+
+    def test_order_and_strategy_are_part_of_the_key(self, machines):
+        k1 = serving_set_kernel("efficient", machines)
+        assert serving_set_kernel("proportional", machines) is not k1
+        assert serving_set_kernel("efficient", machines[::-1]) is not k1
+
+    def test_cross_replay_reuse_is_profile_safe(self, toy_profiles):
+        """Same machine ids + different profiles must not collide."""
+        big, little = toy_profiles
+        meter = EnergyMeter()
+        a = Machine(machine_id="m0", profile=big, meter=meter)
+        b = Machine(machine_id="m0", profile=little, meter=meter)
+        a.state = b.state = MachineState.ON
+        assert serving_set_kernel("efficient", [a]) is not serving_set_kernel(
+            "efficient", [b]
+        )
+
+    def test_eviction_and_telemetry(self, toy_profiles):
+        from repro.sim import loadbalancer as lb_mod
+        from repro.sim.energy import TelemetryLRU
+
+        big, little = toy_profiles
+        meter = EnergyMeter()
+        fresh = TelemetryLRU(maxsize=2)
+        original = lb_mod._KERNEL_CACHE
+        lb_mod._KERNEL_CACHE = fresh
+        try:
+            sets = []
+            for i in range(3):
+                m = Machine(machine_id=f"ev{i}", profile=big, meter=meter)
+                m.state = MachineState.ON
+                sets.append([m])
+            kernels = [serving_set_kernel("efficient", s) for s in sets]
+            assert len(fresh) == 2
+            assert fresh.misses == 3
+            # the first set was evicted: asking again misses and rebuilds
+            again = serving_set_kernel("efficient", sets[0])
+            assert again is not kernels[0]
+            assert fresh.misses == 4
+            # the most recent stays hot
+            assert serving_set_kernel("efficient", sets[2]) is kernels[2]
+            assert fresh.hits == 1
+            stats = lb_mod.serving_kernel_cache_stats()
+            assert stats["table_cache_maxsize"] == 2
+            assert stats["table_cache_size"] == 2
+        finally:
+            lb_mod._KERNEL_CACHE = original
+
+
+class TestDeferredLedger:
+    """record_gather == the eager record_series/set_power sequence."""
+
+    def _eager_and_deferred(self):
+        eager, deferred = EnergyMeter(), EnergyMeter()
+        for m in (eager, deferred):
+            m.set_power("m", 12.5, 0.0)
+        return eager, deferred
+
+    def test_contiguous_windows_match_record_series(self):
+        rng = np.random.default_rng(3)
+        eager, deferred = self._eager_and_deferred()
+        t = 10
+        for n in (5, 1, 17, 3):
+            powers = rng.uniform(0.0, 400.0, size=n)
+            uniq, inv = np.unique(powers, return_inverse=True)
+            eager.record_series("m", powers, t)
+            deferred.record_gather("m", uniq, inv, t)
+            t += n
+        eager.finalize(t + 2)
+        deferred.finalize(t + 2)
+        assert eager._totals == deferred._totals
+        assert eager.total_energy == deferred.total_energy
+
+    def test_set_power_interleaves_without_flush(self):
+        eager, deferred = self._eager_and_deferred()
+        powers = np.array([10.0, 20.0, 30.0])
+        eager.record_series("m", powers, 5)
+        deferred.record_gather("m", powers, None, 5)
+        # a transition at a fractional time closes the open second
+        for m in (eager, deferred):
+            m.set_power("m", 99.0, 8.75)
+        assert deferred._pending  # still buffered, not settled
+        eager.record_series("m", powers * 2, 12)
+        deferred.record_gather("m", powers * 2, None, 12)
+        eager.finalize(20.0)
+        deferred.finalize(20.0)
+        assert eager._totals == deferred._totals
+
+    def test_queries_flush_on_demand(self):
+        eager, deferred = self._eager_and_deferred()
+        powers = np.array([50.0, 60.0])
+        eager.record_series("m", powers, 2)
+        deferred.record_gather("m", powers, None, 2)
+        assert deferred.energy_of("m") == eager.energy_of("m")
+        assert deferred.total_energy == eager.total_energy
+
+    def test_empty_window_is_a_no_op(self):
+        meter = EnergyMeter()
+        meter.set_power("m", 5.0, 0.0)
+        meter.record_gather("m", np.array([]), None, 3)
+        meter.finalize(4.0)
+        assert meter.energy_of("m") == 5.0 * 4.0
+
+    def test_time_going_backwards_rejected(self):
+        meter = EnergyMeter()
+        meter.set_power("m", 5.0, 0.0)
+        meter.record_gather("m", np.array([1.0, 2.0]), None, 10)
+        with pytest.raises(ValueError):
+            meter.record_gather("m", np.array([1.0]), None, 3)

@@ -191,6 +191,122 @@ class TestScenarioStoreCommands:
             "paper-lower-bound",
         ]
 
+    def test_diff_json_and_csv_export(self, capsys, tmp_path):
+        import json
+
+        store = tmp_path / "runs"
+        for _ in range(2):
+            assert (
+                main(
+                    ["scenario", "run", "pattern-steady", "--save", str(store)]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        json_path = tmp_path / "artifacts" / "diff.json"
+        csv_path = tmp_path / "artifacts" / "diff.csv"
+        assert (
+            main(
+                [
+                    "scenario", "diff",
+                    "0001-pattern-steady", "0002-pattern-steady",
+                    "--store", str(store),
+                    "--json", str(json_path), "--csv", str(csv_path),
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(json_path.read_text())
+        assert payload["identical"] is True
+        assert payload["a"]["name"] == "pattern-steady"
+        assert {m["metric"] for m in payload["metrics"]} >= {
+            "total_energy_j", "served_fraction",
+        }
+        header = csv_path.read_text().splitlines()[0]
+        assert header.split(",")[:3] == ["kind", "name", "a"]
+
+    def test_diff_json_to_stdout(self, capsys, tmp_path):
+        import json
+
+        store = tmp_path / "runs"
+        assert (
+            main(["scenario", "run", "pattern-steady", "--save", str(store)])
+            == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "scenario", "diff",
+                    "0001-pattern-steady", "0001-pattern-steady",
+                    "--store", str(store), "--json", "-",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["identical"] is True
+
+    def test_report_prune_applies_retention(self, capsys, tmp_path):
+        from repro.results import RunStore
+
+        store = tmp_path / "runs"
+        for _ in range(3):
+            assert (
+                main(
+                    ["scenario", "run", "pattern-steady", "--save", str(store)]
+                )
+                == 0
+            )
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "scenario", "report", "--store", str(store), "--prune", "1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "pruned 2 run(s)" in out
+        assert [s.run_id for s in RunStore(store).list()] == [
+            "0003-pattern-steady"
+        ]
+
+    def test_report_prune_rejects_zero(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "scenario", "report",
+                    "--store", str(tmp_path), "--prune", "0",
+                ]
+            )
+
+
+class TestCacheStats:
+    def test_table_output_after_a_run(self, capsys):
+        from repro import scenarios
+
+        scenarios.run_scenario(scenarios.get("pattern-steady").with_days(1))
+        assert main(["cache-stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cache telemetry" in out
+        assert "infrastructure[" in out
+        assert "breakpoint_tables" in out
+        assert "serving_set_kernels" in out
+
+    def test_json_output_shape(self, capsys):
+        import json
+
+        assert main(["cache-stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload) == {
+            "infrastructure", "breakpoint_tables", "serving_set_kernels",
+        }
+        for section in ("breakpoint_tables", "serving_set_kernels"):
+            assert "table_cache_hits" in payload[section]
+            assert "table_cache_maxsize" in payload[section]
+
 
 class TestTrace:
     def test_npz_output(self, capsys, tmp_path):

@@ -230,6 +230,87 @@ class TestRunSuite:
             assert run.trace_peak == short_trace.peak
 
 
+class TestChunkedFanOut:
+    """PR 5: workload-chunked scheduling with warm-cache shipping."""
+
+    def _catalogue(self, days=1):
+        return [
+            s.with_days(days)
+            for s in scenarios.specs()
+            if "paper" not in s.tags and s.workload.is_available()
+        ]
+
+    def test_chunks_partition_all_indices(self):
+        specs = self._catalogue()
+        chunks = scenarios.chunk_specs(specs, 4)
+        flat = sorted(i for chunk in chunks for i in chunk)
+        assert flat == list(range(len(specs)))
+        # one task per workload piece, biggest first (LPT dispatch order)
+        sizes = [len(c) for c in chunks]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_same_workload_coalesces_within_fair_share(self):
+        specs = [
+            scenarios.get(n).with_days(1)
+            for n in ("pattern-steady", "noisy-prediction", "pattern-flashcrowd")
+        ]
+        # three distinct workloads -> three singleton tasks
+        chunks = scenarios.chunk_specs(specs, 2)
+        assert sorted(len(c) for c in chunks) == [1, 1, 1]
+        # duplicate workloads coalesce: the same spec listed twice always
+        # lands in one chunk
+        dup = [specs[0], specs[1], specs[0]]
+        chunks = scenarios.chunk_specs(dup, 2)
+        together = [c for c in chunks if 0 in c]
+        assert together and 2 in together[0]
+
+    def test_oversized_groups_split_to_fair_share(self):
+        specs = [scenarios.get("pattern-steady").with_days(1)] * 8
+        chunks = scenarios.chunk_specs(specs, 4)
+        assert sorted(len(c) for c in chunks) == [2, 2, 2, 2]
+
+    def test_chunking_is_deterministic(self):
+        specs = self._catalogue()
+        assert scenarios.chunk_specs(specs, 3) == scenarios.chunk_specs(
+            specs, 3
+        )
+
+    def test_chunked_and_legacy_match_sequential(self):
+        specs = [
+            scenarios.get(n).with_days(1)
+            for n in (
+                "pattern-steady",
+                "constrained-redundant",
+                "inventory-small-dc",
+                "noisy-prediction",
+            )
+        ]
+        seq = scenarios.run_suite(specs, jobs=1)
+        chunked = scenarios.run_suite(specs, jobs=2)
+        legacy = scenarios.run_suite(specs, jobs=2, chunked=False)
+        for a, b, c in zip(seq, chunked, legacy):
+            assert a.name == b.name == c.name
+            assert np.array_equal(a.result.power, b.result.power)
+            assert np.array_equal(a.result.power, c.result.power)
+            assert np.array_equal(a.result.unserved, b.result.unserved)
+            assert a.result.switch_energy == b.result.switch_energy
+            assert b.result.meta == c.result.meta
+
+    def test_prewarmed_parent_cache_ships_bit_identical_results(self):
+        specs = [
+            scenarios.get(n).with_days(1)
+            for n in ("pattern-steady", "pattern-flashcrowd")
+        ]
+        scenarios.clear_caches()
+        cold = scenarios.run_suite(specs, jobs=2)
+        # parent cache is now warm: the chunked pool receives the built
+        # traces instead of rebuilding them, with identical results
+        warm = scenarios.run_suite(specs, jobs=2)
+        for a, b in zip(cold, warm):
+            assert np.array_equal(a.result.power, b.result.power)
+            assert a.result.total_energy == b.result.total_energy
+
+
 class TestPaperBitIdentity:
     """The four paper scenarios must reproduce the Fig. 5 numbers exactly."""
 
