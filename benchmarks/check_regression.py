@@ -245,7 +245,16 @@ def main(
         print(f"{len(failures)} benchmark(s) regressed past {args.threshold:g}x")
         return 1
     shared = len(set(current) & set(previous))
-    print(f"OK: {shared} shared benchmark(s) within {args.threshold:g}x")
+    summary = f"OK: {shared} shared benchmark(s) within {args.threshold:g}x"
+    # New benchmarks (no baseline in the previous artifact) are graced —
+    # reported above, counted here, never a failure.  Removed ones too.
+    new = len(set(current) - set(previous))
+    removed = len(set(previous) - set(current))
+    if new:
+        summary += f"; {new} new (no baseline, graced)"
+    if removed:
+        summary += f"; {removed} removed"
+    print(summary)
     return 0
 
 

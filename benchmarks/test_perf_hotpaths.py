@@ -203,6 +203,19 @@ def test_perf_event_replay_segments_day(benchmark, infra, day_trace):
 
 
 @pytest.mark.benchmark(group="perf-replay")
+def test_perf_event_replay_twophase_day(benchmark, infra, day_trace):
+    """Two-phase control/evaluate engine over the same day-long trace.
+
+    The PR 6 engine: one kernel invocation per serving set over the
+    whole run, journaled meter settling.  Compare against
+    ``segments_day`` for the batching win and ``reference_day`` for the
+    total speedup.
+    """
+    result = _bench_replay(benchmark, infra, day_trace, "twophase", rounds=5)
+    assert result.meta["batches"] <= result.meta["serving_sets"]
+
+
+@pytest.mark.benchmark(group="perf-replay")
 def test_perf_event_replay_reference_wc98(benchmark, infra, wc98_slice):
     """Per-second reference on a WC98 archive-format slice (1.5 h)."""
     _bench_replay(benchmark, infra, wc98_slice, "reference", rounds=4)
@@ -212,6 +225,43 @@ def test_perf_event_replay_reference_wc98(benchmark, infra, wc98_slice):
 def test_perf_event_replay_segments_wc98(benchmark, infra, wc98_slice):
     """Segment engine on the same WC98 slice."""
     _bench_replay(benchmark, infra, wc98_slice, "segments", rounds=6)
+
+
+@pytest.mark.benchmark(group="perf-replay")
+def test_perf_event_replay_twophase_wc98(benchmark, infra, wc98_slice):
+    """Two-phase engine on the same WC98 slice."""
+    _bench_replay(benchmark, infra, wc98_slice, "twophase", rounds=6)
+
+
+@pytest.fixture(scope="module")
+def year_trace():
+    """365 days of integer-valued diurnal load — the year-scale target.
+
+    Integer rates (requests per second) recur massively across a year of
+    smooth diurnal cycles, so serving-set groups compress to their
+    unique values — the workload shape the two-phase engine's run-level
+    batching is built for (the ROADMAP's months-of-traffic north star).
+    """
+    from repro.workload import patterns
+    from repro.workload.trace import SECONDS_PER_DAY
+
+    duration = 365 * SECONDS_PER_DAY
+    base = patterns.diurnal(duration, low=0.15, high=1.0, peak_hour=15.0)
+    week = patterns.weekly(duration, 1.0, 0.9)
+    values = np.round(patterns.compose(base, [week]) * 3000.0)
+    return patterns.make_trace(values, "year-diurnal-synthetic")
+
+
+@pytest.mark.benchmark(group="perf-replay")
+def test_perf_event_replay_twophase_year(benchmark, infra, year_trace):
+    """Year-scale replay (31.5 M seconds) on the two-phase engine.
+
+    The PR 6 headline: a 365-day replay as a seconds-scale operation.
+    One round — the run is long enough that a single measurement is
+    stable, and the reference engine at this scale would take hours.
+    """
+    result = _bench_replay(benchmark, infra, year_trace, "twophase", rounds=1)
+    assert len(result.power) == len(year_trace)
 
 
 @pytest.mark.benchmark(group="perf")

@@ -97,6 +97,17 @@ def build_parser() -> argparse.ArgumentParser:
         default="bml",
         help="scheduler for the BML scenario",
     )
+    p_sim.add_argument(
+        "--engine",
+        choices=("segments", "reference", "twophase"),
+        default=None,
+        help="replay the BML scenario on this event-driven engine variant "
+             "instead of the fast plan executor",
+    )
+    p_sim.add_argument(
+        "--stats", action="store_true",
+        help="print replay statistics (segments, serving sets, batches)",
+    )
     p_sim.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
     p_sim.add_argument(
         "--save", type=Path, default=None,
@@ -140,6 +151,17 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--days", type=int, default=None,
         help="override every scenario's workload length (days)",
+    )
+    p_run.add_argument(
+        "--engine",
+        choices=("segments", "reference", "twophase"),
+        default=None,
+        help="replay scheduling-policy scenarios on this event-driven "
+             "engine variant (baseline policies keep their engine)",
+    )
+    p_run.add_argument(
+        "--stats", action="store_true",
+        help="print replay statistics (segments, serving sets, batches)",
     )
     p_run.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
     p_run.add_argument(
@@ -235,15 +257,52 @@ def _cmd_combination(args: argparse.Namespace) -> int:
     return 0
 
 
+def _replay_stats_rows(results) -> list:
+    """Replay-engine telemetry rows for ``--stats`` (scenario, engine,
+    segments, unique serving sets, batch count — blank where an engine
+    does not produce the figure)."""
+    rows = []
+    for res in results:
+        meta = res.meta
+        if meta.get("engine") is None:
+            continue
+        rows.append(
+            {
+                "scenario": res.scenario,
+                "engine": meta["engine"],
+                "segments": meta.get("segments", ""),
+                "serving_sets": meta.get("serving_sets", ""),
+                "batches": meta.get("batches", ""),
+            }
+        )
+    return rows
+
+
+def _print_replay_stats(results) -> None:
+    rows = _replay_stats_rows(results)
+    if not rows:
+        print(
+            "no replay statistics: every scenario ran on the fast plan "
+            "executor (pass --engine to use the event-driven simulator)"
+        )
+        return
+    print(render_table(rows, title="replay statistics"))
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    engine = getattr(args, "engine", None)
     outcome = experiments.run_fig5(
         n_days=args.days,
         seed=args.seed,
         predictor=LookAheadMaxPredictor(args.window),
         method=args.method,
         policy=getattr(args, "policy", "bml"),
+        engine=None if engine is None else f"event-{engine}",
     )
     print(render_table(outcome.summary_rows(), title="Fig. 5 scenarios"))
+    if getattr(args, "stats", False):
+        print()
+        _print_replay_stats(outcome.results)
     print()
     from .analysis.charts import sparkline
 
@@ -400,7 +459,32 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         raise SystemExit("scenario run: give scenario names or --all")
     if args.days is not None:
         specs = [spec.with_days(args.days) for spec in specs]
+    if args.engine is not None:
+        from dataclasses import replace as _replace
+
+        # Only scheduling policies replay on the event-driven simulator;
+        # baselines (upper/lower bounds) have no machine-level replay.
+        engine = f"event-{args.engine}"
+        unchanged = [
+            s.name
+            for s in specs
+            if s.scheduler.policy not in ("bml", "transition-aware")
+        ]
+        if unchanged:
+            print(
+                "--engine applies to scheduling-policy scenarios only; "
+                "unchanged: " + ", ".join(unchanged)
+            )
+        specs = [
+            _replace(s, engine=engine)
+            if s.scheduler.policy in ("bml", "transition-aware")
+            else s
+            for s in specs
+        ]
     runs = scenarios.run_suite(specs, jobs=args.jobs)
+    if args.stats:
+        _print_replay_stats([run.result for run in runs])
+        print()
     from .analysis.tables import render_suite
     from .results import RunStore, SuiteReport
 

@@ -147,8 +147,12 @@ class Combination:
 
     @property
     def counts(self) -> Dict[str, int]:
-        """``architecture name -> node count`` view."""
-        return {p.name: c for p, c in self.items}
+        """``architecture name -> node count`` view (cached; do not mutate)."""
+        cached = self.__dict__.get("_counts")
+        if cached is None:
+            cached = {p.name: c for p, c in self.items}
+            object.__setattr__(self, "_counts", cached)
+        return cached
 
     @property
     def total_nodes(self) -> int:

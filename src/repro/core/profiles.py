@@ -88,6 +88,15 @@ class ArchitectureProfile:
         for attr in ("on_time", "on_energy", "off_time", "off_energy"):
             if getattr(self, attr) < 0:
                 raise ProfileError(f"{self.name}: {attr} must be >= 0")
+        # Precompute the hot derived scalars once; `slope` in particular is
+        # read on every power-model evaluation and every balancer fill, and
+        # a per-access division shows up in replay profiles.  Stored via
+        # object.__setattr__ because the dataclass is frozen; not declared
+        # as fields so equality/hash/repr stay defined by Table I inputs.
+        object.__setattr__(self, "_dynamic_range", self.max_power - self.idle_power)
+        object.__setattr__(
+            self, "_slope", (self.max_power - self.idle_power) / self.max_perf
+        )
 
     # ------------------------------------------------------------------
     # Derived quantities
@@ -95,12 +104,12 @@ class ArchitectureProfile:
     @property
     def dynamic_range(self) -> float:
         """Dynamic power range ``max_power - idle_power`` in Watts."""
-        return self.max_power - self.idle_power
+        return self._dynamic_range
 
     @property
     def slope(self) -> float:
         """Marginal power in W per unit of performance rate (linear model)."""
-        return self.dynamic_range / self.max_perf
+        return self._slope
 
     @property
     def full_load_efficiency(self) -> float:

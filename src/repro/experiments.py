@@ -167,6 +167,7 @@ def run_fig5(
     seed: int = 1998,
     method: str = "greedy",
     policy: str = "bml",
+    engine: Optional[str] = None,
 ) -> Fig5Outcome:
     """E6 — the World Cup replay: 4 scenarios, per-day energy, overheads.
 
@@ -174,7 +175,10 @@ def run_fig5(
     prediction over 378 s, greedy Step 5 combinations.  Pass a shorter
     synthetic trace (``n_days``) for quick runs.  ``policy`` selects the
     BML scenario's scheduler: ``"bml"`` (the paper) or
-    ``"transition-aware"`` (the Sec. VI future-work policy).
+    ``"transition-aware"`` (the Sec. VI future-work policy); ``engine``
+    overrides the BML scenario's replay engine (a
+    :data:`repro.scenarios.spec.ENGINES` name, e.g. ``"event-twophase"``
+    — the baselines always use the fast plan executor).
 
     Thin wrapper over the scenario subsystem: the four specs come from
     :mod:`repro.scenarios.registry` (``paper-upper-global``,
@@ -201,6 +205,8 @@ def run_fig5(
         if overrides:
             spec = replace(spec, scheduler=replace(spec.scheduler, **overrides))
         scheduling = spec.scheduler.policy in ("bml", "transition-aware")
+        if engine is not None and scheduling:
+            spec = replace(spec, engine=engine)
         return run_scenario(
             spec,
             trace=trace,

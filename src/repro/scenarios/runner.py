@@ -166,6 +166,17 @@ class ScenarioRun:
 # ---------------------------------------------------------------------------
 
 
+#: Spec engine name -> :meth:`EventDrivenReplay.run` engine.  The bare
+#: ``"event"`` alias tracks the fastest bit-identical implementation
+#: (the two-phase engine since PR 6); the explicit names pin a variant.
+_REPLAY_ENGINES = {
+    "event": "twophase",
+    "event-twophase": "twophase",
+    "event-segments": "segments",
+    "event-reference": "reference",
+}
+
+
 def _replay(
     spec: ScenarioSpec,
     trace: LoadTrace,
@@ -205,8 +216,7 @@ def _replay(
             predictor=predictor,
             inventory=sched.inventory_dict(),
         )
-        engine = "segments" if spec.engine == "event" else "reference"
-        result = replay.run(engine=engine)
+        result = replay.run(engine=_REPLAY_ENGINES[spec.engine])
         result.scenario = label
         return result
     if sched.policy == "upper-global":
@@ -331,12 +341,46 @@ def _run_chunk(payload) -> List[Tuple[int, ScenarioRun]]:
     ]
 
 
+def _make_pool(ctx, processes, trace, infra):
+    """A worker pool with the shared overrides installed fork-aware.
+
+    Under the ``fork`` start method the children inherit the parent's
+    memory copy-on-write, so serialising ``trace``/``infra`` through the
+    pool's ``initargs`` pipe is pure waste (an 87-day trace is ~60 MB).
+    Instead the overrides are installed into the parent's module global
+    *before* the fork and restored after — the children keep their
+    inherited copy.  ``spawn``/``forkserver`` children start from a
+    fresh interpreter and genuinely need the pickled initargs.
+
+    Returns ``(pool, cleanup)``; callers must run ``cleanup()`` after
+    closing the pool (it undoes the parent-side global mutation).
+    """
+    if ctx.get_start_method() == "fork":
+        saved = dict(_WORKER_SHARED)
+        _init_worker(trace, infra)
+
+        def cleanup():
+            _WORKER_SHARED.clear()
+            _WORKER_SHARED.update(saved)
+
+        return ctx.Pool(processes=processes), cleanup
+    return (
+        ctx.Pool(
+            processes=processes,
+            initializer=_init_worker,
+            initargs=(trace, infra),
+        ),
+        lambda: None,
+    )
+
+
 def run_suite(
     specs: Sequence[ScenarioSpec],
     jobs: int = 1,
     trace: Optional[LoadTrace] = None,
     infra: Optional[BMLInfrastructure] = None,
     chunked: bool = True,
+    start_method: Optional[str] = None,
 ) -> List[ScenarioRun]:
     """Run many scenarios, optionally fanned out over worker processes.
 
@@ -353,7 +397,9 @@ def run_suite(
     and every worker runs the same deterministic code path.
     ``trace``/``infra`` are shared overrides applied to *every* scenario
     (callers that already built the workload pass it here instead of
-    paying a rebuild per scenario or per worker).
+    paying a rebuild per scenario or per worker).  ``start_method``
+    overrides the platform's multiprocessing start method (tests pin
+    ``"fork"``/``"spawn"`` to cover both shipping regimes).
     """
     specs = list(specs)
     if jobs < 1:
@@ -363,18 +409,22 @@ def run_suite(
     import multiprocessing
 
     jobs = min(jobs, len(specs))
-    ctx = multiprocessing.get_context()
+    ctx = multiprocessing.get_context(start_method)
+    fork = ctx.get_start_method() == "fork"
     if not chunked:
-        with ctx.Pool(
-            processes=jobs, initializer=_init_worker, initargs=(trace, infra)
-        ) as pool:
-            return pool.map(_run_worker, specs)
+        pool, cleanup = _make_pool(ctx, jobs, trace, infra)
+        try:
+            with pool:
+                return pool.map(_run_worker, specs)
+        finally:
+            cleanup()
     chunks = chunk_specs(specs, jobs)
     # Warm-cache shipping: traces the parent already built travel to
     # exactly the worker that needs them.  Under the "fork" start method
     # the children inherit the parent's cache copy-on-write anyway, so
-    # shipping would only duplicate the bytes through a pipe — skip it.
-    ship = trace is None and ctx.get_start_method() != "fork"
+    # shipping would only duplicate the bytes through a pipe — the
+    # method is detected once here and fork payloads stay empty.
+    ship = trace is None and not fork
     payloads = []
     for chunk in chunks:
         prebuilt = {}
@@ -385,18 +435,19 @@ def run_suite(
                 if built is not None:
                     prebuilt[key] = built
         payloads.append(([(i, specs[i]) for i in chunk], prebuilt))
-    with ctx.Pool(
-        processes=min(jobs, len(chunks)),
-        initializer=_init_worker,
-        initargs=(trace, infra),
-    ) as pool:
-        # chunksize=1: each workload piece is dispatched to the next free
-        # worker, so stragglers don't serialise behind a static split.
-        indexed = [
-            pair
-            for out in pool.map(_run_chunk, payloads, chunksize=1)
-            for pair in out
-        ]
+    pool, cleanup = _make_pool(ctx, min(jobs, len(chunks)), trace, infra)
+    try:
+        with pool:
+            # chunksize=1: each workload piece is dispatched to the next
+            # free worker, so stragglers don't serialise behind a static
+            # split.
+            indexed = [
+                pair
+                for out in pool.map(_run_chunk, payloads, chunksize=1)
+                for pair in out
+            ]
+    finally:
+        cleanup()
     runs: List[Optional[ScenarioRun]] = [None] * len(specs)
     for i, run in indexed:
         runs[i] = run

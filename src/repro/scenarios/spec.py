@@ -76,7 +76,13 @@ POLICIES = (
     "lower-bound",
 )
 PREDICTORS = ("lookahead-max", "perfect", "trailing-max", "ewma")
-ENGINES = ("fast", "event", "event-reference")
+ENGINES = (
+    "fast",
+    "event",
+    "event-twophase",
+    "event-segments",
+    "event-reference",
+)
 PROFILE_SOURCES = ("table1", "illustrative")
 
 
@@ -398,8 +404,11 @@ class ScenarioSpec:
     (``cap = idle + powercap * (max - idle)``, see
     :mod:`repro.sim.powercap`).  ``engine`` selects the replay
     implementation: the vectorised plan executor (``"fast"``), the
-    segment-compressed event-driven simulator (``"event"``) or its
-    per-second reference loop (``"event-reference"``).
+    event-driven simulator (``"event"``, currently the two-phase
+    control/evaluate engine), or one of its explicit variants — the
+    batched two-phase engine (``"event-twophase"``), the per-segment
+    engine (``"event-segments"``) or the per-second reference loop
+    (``"event-reference"``).
     """
 
     name: str

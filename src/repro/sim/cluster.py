@@ -44,6 +44,9 @@ class Cluster:
             p.name: p for p in profiles
         }
         self._pools: Dict[str, List[Machine]] = {p.name: [] for p in profiles}
+        #: total machines ever materialised; pools only grow, so this is a
+        #: cheap change detector for cached pool-order machine lists.
+        self.n_machines = 0
         self._inventory = dict(inventory) if inventory is not None else None
         if self._inventory is not None:
             unknown = set(self._inventory) - set(self._profiles)
@@ -51,6 +54,11 @@ class Cluster:
                 raise ValueError(f"inventory for unknown architectures: {unknown}")
 
     # -- introspection -----------------------------------------------------
+    @property
+    def is_bounded(self) -> bool:
+        """Whether this cluster's machine pools have inventory limits."""
+        return self._inventory is not None
+
     @property
     def profiles(self) -> Dict[str, ArchitectureProfile]:
         return dict(self._profiles)
@@ -138,6 +146,7 @@ class Cluster:
         # Late joiners start metering from the current clock, not t=0.
         self.meter.set_power(machine.machine_id, 0.0, now)
         self._pools[arch].append(machine)
+        self.n_machines += 1
         return machine
 
     def boot(self, arch: str, count: int, now: float) -> List[Machine]:

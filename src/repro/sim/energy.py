@@ -143,7 +143,7 @@ class EnergyMeter:
     of every machine is recorded as (power, duration) and integrated
     exactly.
 
-    Two batch APIs serve the segment-compressed replay:
+    Three batch APIs serve the segment-compressed replays:
 
     * :meth:`record_series` — eager: one ``np.cumsum`` settle per call
       (PR 2's kernel, kept as the executable contract pinned by
@@ -155,6 +155,15 @@ class EnergyMeter:
       eliminating the per-machine-per-segment cumsum/concatenate cost.
       The buffered chain replays the exact ``record_series`` call
       sequence float-for-float, so totals stay bit-identical.
+    * :meth:`begin_batch` / :meth:`batch_mark` / :meth:`record_batch` —
+      the two-phase replay's journal: between ``begin_batch`` and
+      ``record_batch`` every ``set_power`` call is *journaled* instead of
+      settled, interleaved with window markers (:meth:`batch_mark`), so
+      the control pass touches no ledger math at all.  ``record_batch``
+      replays the journal in chronological order — transitions through
+      the real ``set_power``, markers resolved to the same
+      :meth:`record_gather` calls the segment engine would have made —
+      which makes batching trivially bit-identical to recording live.
     """
 
     _totals: Dict[str, float] = field(default_factory=dict)
@@ -165,11 +174,56 @@ class EnergyMeter:
     #: a ``(values, inverse, n_closed)`` tuple is a window's first
     #: ``n_closed`` per-second powers (``values[inverse]`` order).
     _pending: Dict[str, List] = field(default_factory=dict, repr=False)
+    #: Open journal (two-phase control pass), or ``None`` when live.  A
+    #: ``(machine_id, power, now)`` tuple is a journaled ``set_power``;
+    #: any other entry is an opaque window marker for ``record_batch``'s
+    #: resolver.
+    _batch: Optional[List] = field(default=None, repr=False)
+
+    # -- journal mode (two-phase replay) ------------------------------------
+    def begin_batch(self) -> None:
+        """Start journaling: ``set_power`` buffers instead of settling."""
+        if self._batch is not None:
+            raise RuntimeError("a batch journal is already open")
+        self._batch = []
+
+    def batch_mark(self, token) -> None:
+        """Append an opaque window marker to the open journal."""
+        if self._batch is None:
+            raise RuntimeError("no batch journal open")
+        self._batch.append(token)
+
+    def record_batch(self, emit) -> None:
+        """Close the journal and settle it in chronological order.
+
+        ``emit(token)`` is called for each :meth:`batch_mark` marker and
+        must write that window's deferred contributions back to this
+        meter — one :meth:`record_gather` call per serving machine (the
+        two-phase replay closes over its evaluated windows).  Because the
+        journal preserves the exact interleaving of transitions and
+        windows the control pass observed, replaying it performs the
+        same float operations, in the same order, as recording live
+        would have: each machine's full contribution stream still
+        settles through the deferred-ledger cumsum chain.
+        """
+        journal = self._batch
+        if journal is None:
+            raise RuntimeError("no batch journal open")
+        self._batch = None
+        set_power = self.set_power
+        for entry in journal:
+            if type(entry) is tuple:
+                set_power(*entry)
+            else:
+                emit(entry)
 
     def set_power(self, machine_id: str, power: float, now: float) -> None:
         """Machine ``machine_id`` draws ``power`` Watts from ``now`` on."""
         if power < 0:
             raise ValueError("power must be >= 0")
+        if self._batch is not None:
+            self._batch.append((machine_id, power, now))
+            return
         pieces = self._pending.get(machine_id)
         if pieces is None:
             self._scalar_settle(machine_id, now)

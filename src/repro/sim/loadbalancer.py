@@ -324,41 +324,7 @@ class ServingSetKernel:
         draws: List[Optional[np.ndarray]] = [None] * n
         if n:
             if self.strategy == "efficient":
-                remaining = served.copy()
-                active = served > 0
-                alive = bool(active.any())
-                first = True
-                last = self._order[-1]
-                zeros: Optional[np.ndarray] = None
-                for i in self._order:
-                    if alive:
-                        if first:
-                            # Inactive elements have remaining == 0.0, so
-                            # min(0, cap) is already the masked 0.0 — the
-                            # first fill needs no np.where.
-                            take = np.minimum(remaining, self._max_perfs[i])
-                            first = False
-                        else:
-                            take = np.where(
-                                active,
-                                np.minimum(remaining, self._max_perfs[i]),
-                                0.0,
-                            )
-                        loads[i] = take
-                        draws[i] = self._idles[i] + self._slopes[i] * take
-                        if i != last:
-                            remaining = remaining - take
-                            active = active & (remaining > 1e-12)
-                            alive = bool(active.any())
-                    else:
-                        # The scalar chain's take is 0.0 everywhere once
-                        # every element broke out, so load 0 and the exact
-                        # idle draw (idle + slope * 0.0 == idle) follow
-                        # without running the masked chain.
-                        if zeros is None:
-                            zeros = np.zeros(len(uniq))
-                        loads[i] = zeros
-                        draws[i] = np.full(len(uniq), self._idles[i])
+                loads, draws = self._evaluate_efficient(uniq, served, inverse)
             elif self.capacity > 0:  # proportional
                 frac = served / self.capacity
                 loads = [frac * mp for mp in self._max_perfs]
@@ -378,6 +344,160 @@ class ServingSetKernel:
             unserved=np.maximum(uniq - served, 0.0),
         )
 
+    def _evaluate_efficient(
+        self,
+        uniq: np.ndarray,
+        served: np.ndarray,
+        inverse: Optional[np.ndarray],
+    ) -> Tuple[List[np.ndarray], List[np.ndarray]]:
+        """The ``"efficient"`` fill chain with constant-column elision.
+
+        The masked per-machine chain (``take = where(active,
+        min(remaining, cap), 0)``; ``remaining -= take``; ``active &=
+        remaining > 1e-12``) is monotone non-decreasing in the input rate
+        at every step: ``min``, subtraction by a constant and the
+        ``> 1e-12`` threshold all preserve order, and while an element is
+        active it follows the pure chain.  Two consequences anchor the
+        shortcut below (both are exact statements about the float chain,
+        not approximations):
+
+        * while the **minimum**-rate element is still active, every
+          element is active and its ``remaining`` is bounded below by the
+          minimum element's — so if the minimum element's remainder
+          covers a machine's capacity, *every* element takes exactly
+          ``max_perf`` there and the whole column is one constant;
+        * once the **maximum**-rate element goes inactive, every element
+          is inactive — the machine (and all later ones in fill order)
+          takes exactly ``0.0`` and draws exactly ``idle``.
+
+        Only machines whose capacity boundary the window's rate band
+        actually straddles ("marginal" machines — typically one or two
+        per window) run the elementwise masked chain; constant columns
+        are emitted as zero-copy broadcast views.  Equal inputs get equal
+        outputs through identical float ops, so the result is
+        bit-identical to the full masked chain (pinned by the kernel and
+        replay property suites).
+        """
+        nu = len(uniq)
+        mps, slopes, idles = self._max_perfs, self._slopes, self._idles
+        n = len(self.machine_ids)
+        loads: List[Optional[np.ndarray]] = [None] * n
+        draws: List[Optional[np.ndarray]] = [None] * n
+        if nu:
+            # np.unique sorts, so a compressed window's extremes are its ends.
+            lo = float(uniq[0]) if inverse is not None else float(uniq.min())
+            hi = float(uniq[-1]) if inverse is not None else float(uniq.max())
+        else:
+            lo = hi = 0.0
+        cap = self.capacity
+        # Scalar mirrors of the chain at the two extreme rates.  These are
+        # real window elements, so each mirror is exact by construction.
+        r_lo = lo if lo < cap else cap
+        r_hi = hi if hi < cap else cap
+        act_lo = r_lo > 0 and nu > 0
+        act_hi = r_hi > 0 and nu > 0
+        last = self._order[-1]
+        pending: List[float] = []  # constant takes not yet applied to arrays
+        remaining: Optional[np.ndarray] = None  # materialised lazily
+        active: Optional[np.ndarray] = None  # None == "every element active"
+        zeros: Optional[np.ndarray] = None
+        for i in self._order:
+            c = mps[i]
+            if not act_hi:
+                # Max-rate element broke out => all elements broke out:
+                # the scalar chain's take is 0.0 everywhere, so load 0 and
+                # the exact idle draw (idle + slope * 0.0 == idle) follow
+                # without running the masked chain; no state updates occur.
+                if zeros is None:
+                    zeros = np.broadcast_to(np.float64(0.0), nu)
+                loads[i] = zeros
+                draws[i] = np.broadcast_to(np.float64(idles[i]), nu)
+                continue
+            if act_lo and r_lo >= c:
+                # Min-rate element still active with remainder >= capacity
+                # => every element is active with remainder >= capacity:
+                # take == max_perf exactly, one constant column.
+                loads[i] = np.broadcast_to(np.float64(c), nu)
+                draws[i] = np.broadcast_to(np.float64(idles[i] + slopes[i] * c), nu)
+                if i != last:
+                    if remaining is None:
+                        pending.append(c)
+                    else:
+                        remaining = remaining - c
+                        act_arr = remaining > 1e-12
+                        active = act_arr if active is None else active & act_arr
+                    r_lo -= c
+                    act_lo = r_lo > 1e-12
+                    r_hi -= c
+                    act_hi = r_hi > 1e-12
+                continue
+            # Marginal machine: the rate band straddles this capacity
+            # boundary (or the break threshold) — run the masked chain.
+            if remaining is None:
+                remaining = served.copy()
+                if pending:
+                    # Every element was provably active through each
+                    # pending full-capacity take, so only the last
+                    # subtraction can have dropped anyone from the mask.
+                    for pc in pending:
+                        remaining = remaining - pc
+                    pending.clear()
+                    if not act_lo:
+                        active = remaining > 1e-12
+                elif not act_lo:
+                    active = served > 0
+            if active is None:
+                # All elements active: where(all_true, x, 0) == x, and on
+                # the first fill inactive elements have remaining == 0.0
+                # so min(0, cap) is already the masked 0.0.
+                take = np.minimum(remaining, c)
+            else:
+                take = np.where(active, np.minimum(remaining, c), 0.0)
+            loads[i] = take
+            draws[i] = idles[i] + slopes[i] * take
+            if i != last:
+                remaining = remaining - take
+                act_arr = remaining > 1e-12
+                active = act_arr if active is None else active & act_arr
+                if act_lo:
+                    t = r_lo if r_lo < c else c
+                    r_lo -= t
+                    act_lo = r_lo > 1e-12
+                if act_hi:
+                    t = r_hi if r_hi < c else c
+                    r_hi -= t
+                    act_hi = r_hi > 1e-12
+        return loads, draws
+
+    def loads_at(self, rate: float) -> List[float]:
+        """Final per-machine loads of one scalar balance at ``rate``.
+
+        The exact float chain of :meth:`LoadBalancer.balance` (same stable
+        fill order, same running subtraction, same ``1e-12`` break) on the
+        kernel's cached constants, returned as a list aligned with
+        ``machine_ids`` — no sort, no dict, no Assignment.  The replay's
+        control pass uses this to refresh FSM-visible machine loads at
+        decision/handover boundaries.
+        """
+        if rate < 0:
+            raise ValueError("rate must be >= 0")
+        cap = self.capacity
+        served = rate if rate < cap else cap
+        shares = [0.0] * len(self.machine_ids)
+        if served > 0 and shares:
+            if self.strategy == "efficient":
+                remaining = served
+                for i in self._order:
+                    take = remaining if remaining < self._max_perfs[i] else self._max_perfs[i]
+                    shares[i] = take
+                    remaining -= take
+                    if remaining <= 1e-12:
+                        break
+            else:  # proportional
+                frac = served / cap
+                for i, mp in enumerate(self._max_perfs):
+                    shares[i] = frac * mp
+        return shares
 
     def evaluate_small(
         self, rates: np.ndarray

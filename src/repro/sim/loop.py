@@ -16,15 +16,15 @@ missing machines, hand over the serving set once the slowest boot
 completes (migrating instances off retiring machines), then shut the
 surplus machines down.  No decision is taken before the window completes.
 
-Two engines replay that rule:
+Three engines replay that rule:
 
 * ``engine="reference"`` — the original O(seconds x machines) Python loop:
   one load-balancer round, one ledger write per machine, and one cluster
   power scan per second.  Kept as the executable specification.
-* ``engine="segments"`` (default) — the segment-compressed engine.
-  Between events the serving set is piecewise-constant, so the replay
-  advances boundary to boundary (machine-state events, instance-ready
-  times, decision points found by scanning the predictor series against
+* ``engine="segments"`` — the PR 5 segment-compressed engine.  Between
+  events the serving set is piecewise-constant, so the replay advances
+  boundary to boundary (machine-state events, instance-ready times,
+  decision points found by scanning the predictor series against
   mixed-radix table row ids, exactly like the scheduler) and evaluates
   each steady segment with the memoised **serving-set kernel**
   (:func:`~repro.sim.loadbalancer.serving_set_kernel`): the exact
@@ -38,6 +38,24 @@ Two engines replay that rule:
   counters are **bit-identical** to the reference engine (pinned by
   ``tests/properties/test_prop_replay.py``), while day-scale replays
   run orders of magnitude faster.
+* ``engine="twophase"`` (default) — the two-phase control/evaluate
+  engine.  The **control pass** is the same boundary-to-boundary walk,
+  but pure and allocation-light: it runs the FSM/event bookkeeping and
+  emits one ``(serving set, window)`` descriptor per steady segment —
+  no kernel math, no energy settling (ledger transitions are journaled
+  by the meter's batch mode).  The **evaluate pass** then groups *all*
+  windows sharing a frozen serving set across the whole run — not just
+  consecutive ones — concatenates their rate windows and runs each
+  group through **one** kernel invocation, scattering results back
+  through a run-level gather plan; the journal is settled afterwards by
+  :meth:`~repro.sim.energy.EnergyMeter.record_batch`, so each machine's
+  full contribution stream collapses to a handful of ``np.cumsum``
+  passes over the whole run.  The kernel chain is elementwise over the
+  rate values, so evaluating a group's concatenation is bit-identical
+  to evaluating its windows one by one — the same property suite pins
+  all three engines against each other.  Per-segment cost drops from
+  O(serving machines) kernel work to emitting one descriptor, which is
+  what makes year-scale replays a seconds-scale operation.
 
 Reconfigurations themselves still run through the real FSM/event-queue
 machinery in both engines: booting, migration round-robin, shutdown victim
@@ -62,7 +80,7 @@ from .application import Application, ApplicationSpec
 from .cluster import Cluster
 from .energy import EnergyMeter
 from .events import EventQueue
-from .loadbalancer import LoadBalancer, serving_set_kernel
+from .loadbalancer import LoadBalancer, ServingSetKernel, serving_set_kernel
 from .machine import Machine, MachineState
 from .results import SimulationResult
 
@@ -71,12 +89,36 @@ __all__ = ["EventDrivenReplay", "ReplayStats"]
 
 @dataclass
 class ReplayStats:
-    """Machine-level counters the fast path cannot produce."""
+    """Machine-level counters the fast path cannot produce.
+
+    Engine-shape telemetry (segment, serving-set and batch counts) lives
+    in ``SimulationResult.meta`` instead: these counters are part of the
+    cross-engine bit-identity contract (``ref.stats == seg.stats``), and
+    the reference engine has no segments to count.
+    """
 
     boots: Dict[str, int] = field(default_factory=dict)
     shutdowns: Dict[str, int] = field(default_factory=dict)
     migrations: int = 0
     peak_machines_on: int = 0
+
+
+@dataclass
+class _ControlPlan:
+    """Everything the control pass emits for the evaluate pass.
+
+    ``descs[j] = (t, b, kernel_idx, plan_idx)`` describes steady segment
+    ``[t, b)`` served by ``kernels[kernel_idx]`` under power-accumulation
+    plan ``plans[plan_idx]`` (the ``(draw key | None, constant)`` pairs of
+    the segment engine, deduplicated by content).  The meter holds the
+    matching journal; descriptor ``j``'s marker is the integer ``j``.
+    """
+
+    descs: List[Tuple[int, int, int, int]]
+    kernels: List[object]
+    plans: List[Tuple[Tuple[Optional[str], float], ...]]
+    compress: bool
+    horizon: int
 
 
 class EventDrivenReplay:
@@ -108,6 +150,10 @@ class EventDrivenReplay:
         self._reconfig_until = 0
         self._current = Combination.empty()
         self._events: List[Reconfiguration] = []
+        self._twophase_plan: Optional[_ControlPlan] = None
+        #: time of the scheduled (not yet executed) hand-over, if any —
+        #: the only queued event kind whose callback reads machine loads.
+        self._pending_handover: Optional[float] = None
 
     # -- setup -----------------------------------------------------------
     def _materialise_initial(self, combo: Combination, now: float) -> None:
@@ -156,6 +202,7 @@ class EventDrivenReplay:
             # (the queue only drains at the next loop step).
             self._handover(float(t), target, stops, booted)
         else:
+            self._pending_handover = handover
             self.queue.schedule(handover, self._handover, handover, target, stops, booted)
         self._reconfig_until = handover + off_dur
         self._events.append(
@@ -184,6 +231,7 @@ class EventDrivenReplay:
         booted: List[Machine],
     ) -> None:
         """Hand the serving role to the target set; drain and stop surplus."""
+        self._pending_handover = None
         # Retire instances from victims and stop the machines.
         for name, cnt in stops.items():
             victims = self.cluster.pick_shutdown_victims(name, cnt)
@@ -215,6 +263,23 @@ class EventDrivenReplay:
         self._serving = serving
 
     # -- shared pieces ------------------------------------------------------
+    def _prediction_series(self, trace: LoadTrace) -> np.ndarray:
+        """The predictor's series, inventory-clamped like the planner's.
+
+        With bounded machine pools the scheduler clamps predictions to
+        the owned capacity and builds the table no larger (the shortfall
+        surfaces as unserved demand); the replay applies the same clamp,
+        so demand beyond the data center's capacity selects the table's
+        largest combination instead of raising an out-of-range lookup.
+        Unbounded clusters get the raw series — their table always
+        covers the trace peak, and a genuine overshoot should still
+        raise.
+        """
+        pred = self.predictor.series(trace)
+        if self.cluster.is_bounded:
+            pred = np.minimum(pred, self.table.max_rate)
+        return pred
+
     def _decision_ids(
         self, pred: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -268,14 +333,17 @@ class EventDrivenReplay:
         )
 
     # -- main loop ------------------------------------------------------------
-    def run(self, engine: str = "segments") -> SimulationResult:
+    def run(self, engine: str = "twophase") -> SimulationResult:
         """Replay the full trace; returns the same result type as the fast path.
 
-        ``engine="segments"`` (default) uses the segment-compressed numpy
-        engine; ``engine="reference"`` runs the original per-second Python
-        loop.  Both produce bit-identical results; a replay object is
-        single-use either way.
+        ``engine="twophase"`` (default) runs the two-phase
+        control/evaluate engine; ``engine="segments"`` the PR 5
+        segment-compressed engine; ``engine="reference"`` the original
+        per-second Python loop.  All three produce bit-identical results;
+        a replay object is single-use either way.
         """
+        if engine == "twophase":
+            return self._run_twophase()
         if engine == "segments":
             return self._run_segments()
         if engine == "reference":
@@ -286,7 +354,7 @@ class EventDrivenReplay:
         """The per-second FSM loop — the executable specification."""
         trace = self.trace
         horizon = len(trace)
-        pred = self.predictor.series(trace)
+        pred = self._prediction_series(trace)
         power = np.empty(horizon)
         unserved = np.zeros(horizon)
 
@@ -323,7 +391,7 @@ class EventDrivenReplay:
         """
         trace = self.trace
         horizon = len(trace)
-        pred = self.predictor.series(trace)
+        pred = self._prediction_series(trace)
         power = np.empty(horizon)
         unserved = np.zeros(horizon)
 
@@ -488,5 +556,332 @@ class EventDrivenReplay:
             t = b
         return self._finish(
             horizon, power, unserved,
-            {"engine": "segments", "segments": n_segments},
+            {
+                "engine": "segments",
+                "segments": n_segments,
+                "serving_sets": len(kernel_memo),
+                # one kernel invocation per segment — the count the
+                # two-phase engine collapses to one per serving set
+                "batches": n_segments,
+            },
+        )
+
+    # -- two-phase engine --------------------------------------------------
+    def _refresh_loads(
+        self,
+        ready: List[Machine],
+        rate: float,
+        kernel: Optional[ServingSetKernel] = None,
+    ) -> None:
+        """Leave ``ready`` machines holding the previous window's final load.
+
+        The evaluating engines assign loads as a side effect of every window;
+        the pure control pass only needs them where the FSM reads them
+        (shutdown-victim ordering, drain checks), so it runs one scalar
+        balance round there.  The scalar chain is bit-identical to the
+        kernel's final column (pinned by the windowed-balancer property),
+        and the clamp matches the segment engine's.  Loads are written
+        directly — the journal, not this refresh, is what the meter sees.
+        When the caller already holds the serving set's kernel, its cached
+        fill order is used (:meth:`ServingSetKernel.loads_at`) instead of
+        re-sorting machines on every refresh.
+        """
+        if not ready:
+            return
+        if kernel is not None:
+            for m, share in zip(ready, kernel.loads_at(rate)):
+                m.load = share if share <= m.profile.max_perf else m.profile.max_perf
+                if m.load < 0.0:
+                    m.load = 0.0
+            return
+        shares = self.balancer.balance(rate, ready).shares
+        for m in ready:
+            m.load = float(
+                min(max(shares[m.machine_id], 0.0), m.profile.max_perf)
+            )
+
+    def _control_pass(self) -> _ControlPlan:
+        """Phase 1: walk boundaries, emit descriptors, journal the meter.
+
+        The same boundary-to-boundary loop as ``_run_segments`` — events,
+        decision points, instance-ready ceilings, epoch-cached serving
+        pairs and accumulation plans — minus all evaluation: each steady
+        segment becomes one ``(t, b, kernel, plan)`` descriptor plus one
+        marker in the meter's journal, keeping the per-segment cost O(1)
+        and allocation-light.  Machine loads are only refreshed (one
+        scalar balance) at boundaries where an event fires or a decision
+        is due, because those are the only places the FSM reads them.
+        """
+        trace = self.trace
+        horizon = len(trace)
+        pred = self._prediction_series(trace)
+        values = trace.values
+        if np.any(values < 0):
+            raise ValueError("rate must be >= 0")
+        head = values[: min(len(values), 4096)]
+        compress = len(np.unique(head)) <= 0.75 * len(head)
+        initial = self.table.combination_for(float(pred[0]))
+        self.meter.begin_batch()
+        self._materialise_initial(initial, 0.0)
+
+        cid, changes, grid_idx = self._decision_ids(pred)
+        cur_id = int(cid[0])
+        descs: List[Tuple[int, int, int, int]] = []
+        kernels: List[object] = []
+        kernel_idx: Dict[Tuple[str, ...], int] = {}
+        plans: List[Tuple[Tuple[Optional[str], float], ...]] = []
+        plan_idx: Dict[Tuple[Tuple[Optional[str], float], ...], int] = {}
+        machine_list: List[Machine] = []
+        serving_pairs: List[Tuple[Machine, object]] = []
+        serving_src: Optional[List[Machine]] = None
+        n_mach_seen = -1
+        prev_ready: List[Machine] = []
+        prev_kernel: Optional[ServingSetKernel] = None
+        plan_key: Optional[Tuple[str, ...]] = None
+        p_idx = -1
+        t = 0
+        while t < horizon:
+            if t > 0:
+                # Loads are only read by the hand-over path (victim
+                # ordering, drain checks) and the decision that may start
+                # one — boot/shutdown completions never look at them, so
+                # those drains skip the refresh.
+                if (
+                    self._pending_handover is not None
+                    and self._pending_handover <= t
+                ) or (t >= self._reconfig_until and cid[t] != cur_id):
+                    self._refresh_loads(
+                        prev_ready, float(values[t - 1]), prev_kernel
+                    )
+            fired = self.queue.run_until(t)
+            state_changed = fired > 0 or t == 0
+            if t >= self._reconfig_until and cid[t] != cur_id:
+                if cid[t] == -1:
+                    self.table.combination_for(float(pred[t]))
+                target = self.table.combo_at(int(grid_idx[t]))
+                if target != self._current:
+                    self._start_reconfiguration(t, target)
+                    state_changed = True
+                cur_id = int(cid[t])
+
+            b = horizon
+            nxt = self.queue.peek_time()
+            if nxt is not None:
+                b = min(b, max(int(math.ceil(nxt - 1e-9)), t + 1))
+            d_from = self._reconfig_until if t < self._reconfig_until else t + 1
+            if d_from < b:
+                td = _next_decision(cid, changes, d_from, cur_id)
+                if td is not None:
+                    b = min(b, td)
+            if state_changed:
+                # The (machine, instance) pairing only changes when the
+                # serving list is replaced (hand-over / initial set) and
+                # the pool-order machine list only when a pool grows;
+                # boot/shutdown completions mutate machine *state*, which
+                # the per-segment ready filter re-reads anyway.
+                if serving_src is not self._serving:
+                    serving_src = self._serving
+                    serving_pairs = [
+                        (m, self.app.instance_on(m)) for m in serving_src
+                    ]
+                if n_mach_seen != self.cluster.n_machines:
+                    n_mach_seen = self.cluster.n_machines
+                    machine_list = self.cluster.machines()
+            for m, inst in serving_pairs:
+                if inst is not None and inst.ready_at > t:
+                    b = min(b, max(int(math.ceil(inst.ready_at - 1e-9)), t + 1))
+
+            ready = [
+                m
+                for m, inst in serving_pairs
+                if m.state is MachineState.ON
+                and inst is not None
+                and inst.is_ready(t)
+            ]
+            memo_key = (self.balancer.strategy, *(m.machine_id for m in ready))
+            k_idx = kernel_idx.get(memo_key)
+            if k_idx is None:
+                k_idx = kernel_idx[memo_key] = len(kernels)
+                kernels.append(
+                    serving_set_kernel(self.balancer.strategy, ready)
+                )
+            if state_changed or memo_key != plan_key:
+                # Ready machines contribute their kernel draw column; the
+                # constant slot is unused for them (0.0 keeps plans that
+                # differ only in stale ready-machine loads deduplicating).
+                # The same walk doubles as the ON census for the peak
+                # counter — no separate pool scan per state change.
+                ready_ids = frozenset(m.machine_id for m in ready)
+                n_on = 0
+                items = []
+                on_state = MachineState.ON
+                for m in machine_list:
+                    state = m.state
+                    if state is MachineState.OFF:
+                        continue
+                    if state is on_state:
+                        n_on += 1
+                    items.append(
+                        (m.machine_id, 0.0)
+                        if m.machine_id in ready_ids
+                        else (None, m.power_draw)
+                    )
+                acc_plan = tuple(items)
+                p_idx = plan_idx.get(acc_plan)
+                if p_idx is None:
+                    p_idx = plan_idx[acc_plan] = len(plans)
+                    plans.append(acc_plan)
+                plan_key = memo_key
+                if state_changed and n_on > self.stats.peak_machines_on:
+                    self.stats.peak_machines_on = n_on
+            self.meter.batch_mark(len(descs))
+            descs.append((t, b, k_idx, p_idx))
+            prev_ready = ready
+            prev_kernel = kernels[k_idx]
+            t = b
+        # Pending handovers may fire inside _finish's run_until and read
+        # loads; leave the final window's assignment in place first.
+        self._refresh_loads(prev_ready, float(values[horizon - 1]), prev_kernel)
+        self.queue.run_until(horizon)
+        return _ControlPlan(
+            descs=descs, kernels=kernels, plans=plans,
+            compress=compress, horizon=horizon,
+        )
+
+    def _evaluate_pass(self, plan: _ControlPlan, values: np.ndarray):
+        """Phase 2: one kernel invocation per serving set, run-level scatter.
+
+        All descriptors sharing a kernel are evaluated on the
+        concatenation of their rate windows; the kernel chain is
+        elementwise over rate values, so each concatenated column equals
+        the per-window evaluation bit for bit.  A run-level gather plan
+        (per-second trace indices built from segment starts/lengths)
+        scatters power and unserved mass back; per-(group, plan) power
+        accumulation reuses the segment engine's exact machine order.
+        Returns the series plus per-descriptor ``(window, offset,
+        length)`` views for the meter journal's resolver.
+        """
+        horizon = plan.horizon
+        descs = plan.descs
+        power = np.empty(horizon)
+        unserved = np.zeros(horizon)
+        groups: Dict[int, List[int]] = {}
+        for j, desc in enumerate(descs):
+            groups.setdefault(desc[2], []).append(j)
+        seg_eval: List[Optional[Tuple[object, int, int]]] = [None] * len(descs)
+        for k_idx, desc_ids in groups.items():
+            kernel = plan.kernels[k_idx]
+            n_segs = len(desc_ids)
+            starts = np.empty(n_segs, dtype=np.int64)
+            lengths = np.empty(n_segs, dtype=np.int64)
+            for pos, j in enumerate(desc_ids):
+                t, b = descs[j][0], descs[j][1]
+                starts[pos] = t
+                lengths[pos] = b - t
+            if n_segs == 1:
+                cat = values[descs[desc_ids[0]][0]:descs[desc_ids[0]][1]]
+            else:
+                cat = np.concatenate(
+                    [values[descs[j][0]:descs[j][1]] for j in desc_ids]
+                )
+            window = kernel.evaluate(
+                cat, pre_validated=True, compress=plan.compress
+            )
+            inverse = window.inverse
+            offs = np.zeros(n_segs, dtype=np.int64)
+            np.cumsum(lengths[:-1], out=offs[1:])
+            total = int(offs[-1] + lengths[-1])
+            # Run-level gather plan: concatenated position -> trace second.
+            tidx = np.arange(total, dtype=np.int64) + np.repeat(
+                starts - offs, lengths
+            )
+            if window.unserved.any():
+                unserved[tidx] = window.gather(window.unserved)
+            # else: max(rate - served, 0.0) is +0.0 everywhere — exactly
+            # the zeros the series was initialised with.
+            draw_of = dict(zip(kernel.machine_ids, window.draws))
+            by_plan: Dict[int, List[int]] = {}
+            for pos, j in enumerate(desc_ids):
+                by_plan.setdefault(descs[j][3], []).append(pos)
+            for p_idx, positions in by_plan.items():
+                # Same machine iteration (= float accumulation) order as
+                # Cluster.total_power, over the group's unique rates.
+                # Constant terms — plan constants and the kernel's elided
+                # constant columns — fold into a running scalar until the
+                # first varying column: the scalar chain performs the
+                # identical float adds each element would, so the fold
+                # never changes a bit.
+                acc: Optional[np.ndarray] = None
+                acc_scalar = 0.0
+                for draw_key, const in plan.plans[p_idx]:
+                    if draw_key is None:
+                        term = const
+                    else:
+                        d = draw_of[draw_key]
+                        if d.strides == (0,):  # broadcast constant column
+                            term = float(d[0]) if len(d) else 0.0
+                        else:
+                            term = d
+                    if acc is not None:
+                        acc += term
+                    elif isinstance(term, float):
+                        acc_scalar += term
+                    else:
+                        acc = acc_scalar + term
+                if len(by_plan) == 1:
+                    power[tidx] = (
+                        acc_scalar if acc is None else window.gather(acc)
+                    )
+                else:
+                    gsel = np.concatenate(
+                        [
+                            np.arange(offs[pos], offs[pos] + lengths[pos])
+                            for pos in positions
+                        ]
+                    )
+                    if acc is None:
+                        power[tidx[gsel]] = acc_scalar
+                    else:
+                        power[tidx[gsel]] = (
+                            acc[gsel] if inverse is None else acc[inverse[gsel]]
+                        )
+            for pos, j in enumerate(desc_ids):
+                seg_eval[j] = (window, int(offs[pos]), int(lengths[pos]))
+        return power, unserved, seg_eval, len(groups)
+
+    def _run_twophase(self) -> SimulationResult:
+        """Two-phase replay: pure control walk, then grouped evaluation."""
+        plan = self._control_pass()
+        self._twophase_plan = plan  # introspection (descriptor-purity test)
+        power, unserved, seg_eval, n_batches = self._evaluate_pass(
+            plan, self.trace.values
+        )
+        descs = plan.descs
+
+        record_gather = self.meter.record_gather
+
+        def emit(j: int) -> None:
+            """Write journal marker ``j``'s per-machine windows to the meter."""
+            t = descs[j][0]
+            window, off, n = seg_eval[j]
+            inverse = window.inverse
+            draws = window.draws
+            if inverse is None:
+                end = off + n
+                for i, mid in enumerate(window.kernel.machine_ids):
+                    record_gather(mid, draws[i][off:end], None, t)
+            else:
+                sel = inverse[off:off + n]
+                for i, mid in enumerate(window.kernel.machine_ids):
+                    record_gather(mid, draws[i], sel, t)
+
+        self.meter.record_batch(emit)
+        return self._finish(
+            plan.horizon, power, unserved,
+            {
+                "engine": "twophase",
+                "segments": len(descs),
+                "serving_sets": len(plan.kernels),
+                "batches": n_batches,
+            },
         )

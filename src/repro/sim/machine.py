@@ -64,6 +64,14 @@ class Machine:
     shutdowns: int = 0
 
     def __post_init__(self) -> None:
+        # The transition draws are pure profile constants; precomputing
+        # them keeps the replay's plan-building off the ceil/div path.
+        self._boot_draw = self.profile.on_energy / max(
+            _ceil_s(self.profile.on_time), 1
+        )
+        self._stop_draw = self.profile.off_energy / max(
+            _ceil_s(self.profile.off_time), 1
+        )
         self.meter.set_power(self.machine_id, 0.0, 0.0)
 
     # -- state queries ------------------------------------------------------
@@ -77,9 +85,9 @@ class Machine:
         if self.state is MachineState.OFF:
             return 0.0
         if self.state is MachineState.BOOTING:
-            return self.profile.on_energy / max(_ceil_s(self.profile.on_time), 1)
+            return self._boot_draw
         if self.state is MachineState.STOPPING:
-            return self.profile.off_energy / max(_ceil_s(self.profile.off_time), 1)
+            return self._stop_draw
         return self.profile.idle_power + self.profile.slope * self.load
 
     # -- transitions ----------------------------------------------------------

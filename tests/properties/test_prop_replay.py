@@ -9,16 +9,22 @@ meter totals, reconfiguration log and machine-level counters — including
 under nonzero instance start/stop times and both balancing strategies.
 """
 
+from functools import lru_cache
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.core.bml import design
 from repro.core.prediction import LookAheadMaxPredictor
+from repro.core.profiles import table_i_profiles
+from repro.core.scheduler import BMLScheduler
 from repro.sim.application import ApplicationSpec
 from repro.sim.energy import EnergyMeter
 from repro.sim.loadbalancer import LoadBalancer
 from repro.sim.loop import EventDrivenReplay
+from repro.sim.powercap import capped_profile
 from repro.workload.trace import LoadTrace
 
 #: The property suites pin the bit-identity contracts cheaply; they are
@@ -49,11 +55,15 @@ def stepped_trace(draw):
     return LoadTrace(np.maximum(values + jitter, 0.0))
 
 
+#: Every replay implementation; index 0 is the executable specification.
+ALL_ENGINES = ("reference", "segments", "twophase")
+
+
 def _run_pair(infra, trace, window, spec, strategy):
     table = infra.table(3000.0)
     results = []
     replays = []
-    for engine in ("reference", "segments"):
+    for engine in ALL_ENGINES:
         replay = EventDrivenReplay(
             table,
             trace,
@@ -66,6 +76,23 @@ def _run_pair(infra, trace, window, spec, strategy):
     return results, replays
 
 
+def _assert_identical(ref, other, ref_replay, other_replay):
+    """The full cross-engine bit-identity contract, one engine pair."""
+    assert np.array_equal(ref.power, other.power)
+    assert np.array_equal(ref.unserved, other.unserved)
+    assert ref.meta["meter_energy_j"] == other.meta["meter_energy_j"]
+    # per-machine ledgers, not just the total
+    assert ref_replay.meter._totals == other_replay.meter._totals
+    assert ref_replay.stats == other_replay.stats
+    assert len(ref.reconfigurations) == len(other.reconfigurations)
+    for a, b in zip(ref.reconfigurations, other.reconfigurations):
+        assert a.decided_at == b.decided_at
+        assert a.completes_at == b.completes_at
+        assert a.before == b.before and a.after == b.after
+        assert a.on_energy == b.on_energy
+        assert a.off_energy == b.off_energy
+
+
 class TestEngineEquivalence:
     @settings(max_examples=20, deadline=None)
     @given(
@@ -75,36 +102,28 @@ class TestEngineEquivalence:
         st.sampled_from(["efficient", "proportional"]),
     )
     def test_bit_identical_to_reference(self, infra, trace, window, times, strategy):
+        """Nonzero instance start/stop times included via ``times``."""
         stop, start = times
         spec = ApplicationSpec(stop_time=stop, start_time=start)
-        (ref, seg), (ref_replay, seg_replay) = _run_pair(
-            infra, trace, window, spec, strategy
-        )
-        assert np.array_equal(ref.power, seg.power)
-        assert np.array_equal(ref.unserved, seg.unserved)
-        assert ref.meta["meter_energy_j"] == seg.meta["meter_energy_j"]
-        # per-machine ledgers, not just the total
-        assert ref_replay.meter._totals == seg_replay.meter._totals
-        assert ref_replay.stats == seg_replay.stats
-        assert len(ref.reconfigurations) == len(seg.reconfigurations)
-        for a, b in zip(ref.reconfigurations, seg.reconfigurations):
-            assert a.decided_at == b.decided_at
-            assert a.completes_at == b.completes_at
-            assert a.before == b.before and a.after == b.after
-            assert a.on_energy == b.on_energy
-            assert a.off_energy == b.off_energy
+        results, replays = _run_pair(infra, trace, window, spec, strategy)
+        ref, ref_replay = results[0], replays[0]
+        for other, other_replay in zip(results[1:], replays[1:]):
+            _assert_identical(ref, other, ref_replay, other_replay)
 
-    def test_segment_engine_is_default(self, infra, short_trace):
+    def test_twophase_engine_is_default(self, infra, short_trace):
         replay = EventDrivenReplay(
             infra.table(3000.0),
             short_trace,
             predictor=LookAheadMaxPredictor(378),
         )
         result = replay.run()
-        assert result.engine == "segments"
+        assert result.engine == "twophase"
         assert result.n_segments is not None
         # far fewer segments than seconds is the whole point
         assert result.n_segments < len(short_trace) / 20
+        # batching groups the segments by frozen serving set
+        assert result.meta["batches"] <= result.meta["serving_sets"]
+        assert result.meta["serving_sets"] <= result.n_segments
 
     def test_meter_ledger_matches_power_integral(self, infra, short_trace):
         replay = EventDrivenReplay(
@@ -143,6 +162,104 @@ class TestEngineEquivalence:
         assert second.meta["meter_energy_j"] == reference.meta["meter_energy_j"]
         assert after["table_cache_hits"] > before["table_cache_hits"]
         assert after["table_cache_misses"] == before["table_cache_misses"]
+
+
+@lru_cache(maxsize=None)
+def _capped_infra(frac: float):
+    """BML infrastructure designed from power-capped Table I profiles.
+
+    Same cap formula as ``ScenarioSpec.build_profiles``: the cap sits at
+    ``idle + frac * (max - idle)`` of each machine's dynamic range.
+    """
+    profiles = [
+        capped_profile(
+            p, p.idle_power + frac * (p.max_power - p.idle_power)
+        )
+        for p in table_i_profiles()
+    ]
+    return design(profiles)
+
+
+class TestTwoPhaseScenarios:
+    """PR 6: the two-phase engine under the harder scenario shapes.
+
+    The base equivalence property covers nonzero instance start/stop
+    times; these pin the remaining ISSUE 6 scenario axes — power-capped
+    profiles and bounded machine inventories — plus the control pass's
+    purity (descriptor emission must not depend on evaluation running).
+    """
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stepped_trace(),
+        st.sampled_from([0.5, 0.7, 0.9]),
+        st.sampled_from(["efficient", "proportional"]),
+    )
+    def test_powercap_bit_identical(self, trace, frac, strategy):
+        infra = _capped_infra(frac)
+        results, replays = _run_pair(
+            infra, trace, 200,
+            ApplicationSpec(stop_time=0.0, start_time=0.0), strategy,
+        )
+        ref, ref_replay = results[0], replays[0]
+        for other, other_replay in zip(results[1:], replays[1:]):
+            _assert_identical(ref, other, ref_replay, other_replay)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        stepped_trace(),
+        st.sampled_from(
+            [
+                {"paravance": 1, "chromebook": 8, "raspberry": 8},
+                {"paravance": 0, "chromebook": 12, "raspberry": 20},
+            ]
+        ),
+    )
+    def test_constrained_nodes_bit_identical(self, infra, trace, inventory):
+        """Bounded inventory: clamped plans and unserved demand replay
+        identically on all three engines (runner's exact construction)."""
+        results = []
+        replays = []
+        for engine in ALL_ENGINES:
+            predictor = LookAheadMaxPredictor(200)
+            outcome = BMLScheduler(
+                infra, predictor=predictor, inventory=inventory
+            ).plan_detailed(trace)
+            replay = EventDrivenReplay(
+                outcome.table, trace,
+                predictor=predictor, inventory=inventory,
+            )
+            results.append(replay.run(engine=engine))
+            replays.append(replay)
+        ref, ref_replay = results[0], replays[0]
+        for other, other_replay in zip(results[1:], replays[1:]):
+            _assert_identical(ref, other, ref_replay, other_replay)
+
+    def test_control_pass_descriptors_independent_of_evaluation(
+        self, infra, short_trace
+    ):
+        """Control-pass purity: the descriptor stream is byte-for-byte
+        the same whether or not the evaluate pass (and meter settling)
+        runs afterwards — the phase split's core regression guard."""
+        def build():
+            return EventDrivenReplay(
+                infra.table(3000.0),
+                short_trace,
+                predictor=LookAheadMaxPredictor(378),
+            )
+
+        full = build()
+        full.run(engine="twophase")
+        evaluated = full._twophase_plan
+        control_only = build()
+        bare = control_only._control_pass()
+        assert bare.descs == evaluated.descs
+        assert bare.plans == evaluated.plans
+        assert bare.compress == evaluated.compress
+        assert bare.horizon == evaluated.horizon
+        assert [k.machine_ids for k in bare.kernels] == [
+            k.machine_ids for k in evaluated.kernels
+        ]
 
 
 class TestDeferredLedgerProperty:

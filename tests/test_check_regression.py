@@ -53,6 +53,24 @@ class TestMain:
         _artifact(cur, {"bench::x": 1.0, "bench::y": 1.1})
         assert check_regression.main([]) == 0
 
+    def test_new_benchmarks_never_fail(self, tmp_path, monkeypatch, capsys):
+        """Benchmarks absent from the older artifact are graced, not failed.
+
+        The PR 6 case: BENCH_PR6 adds the year-scale replay benchmark,
+        which has no baseline in BENCH_PR5 — however slow it is, only
+        *shared* benchmarks can regress.
+        """
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        _artifact(tmp_path / "BENCH_PR5.json", {"bench::x": 1.0})
+        _artifact(
+            tmp_path / "BENCH_PR6.json",
+            {"bench::x": 1.0, "bench::year": 900.0},
+        )
+        assert check_regression.main(["--no-retry"]) == 0
+        out = capsys.readouterr().out
+        assert "bench::year: new benchmark" in out
+        assert "1 new (no baseline, graced)" in out
+
     def test_no_previous_artifact_is_ok(self, tmp_path, monkeypatch):
         monkeypatch.setattr(check_regression, "ROOT", tmp_path)
         _artifact(tmp_path / "BENCH_PR1.json", {"bench::x": 1.0})

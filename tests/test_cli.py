@@ -341,3 +341,48 @@ class TestTrace:
     def test_unknown_format_rejected(self, tmp_path):
         with pytest.raises(SystemExit):
             main(["trace", str(tmp_path / "t.parquet"), "--days", "1"])
+
+
+@pytest.mark.quick
+class TestEngineFlag:
+    """PR 6: the two-phase engine and its stats exposed from the CLI."""
+
+    def test_simulate_engine_and_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "simulate", "--days", "1", "--engine", "twophase",
+                    "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "replay statistics" in out
+        assert "twophase" in out
+        assert "serving_sets" in out
+
+    def test_simulate_stats_without_engine_notes_fast_path(self, capsys):
+        assert main(["simulate", "--days", "1", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "fast plan executor" in out
+
+    def test_simulate_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--days", "1", "--engine", "warp"])
+
+    def test_scenario_run_engine_and_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "scenario", "run", "paper-bml", "paper-lower-bound",
+                    "--days", "1", "--engine", "segments", "--stats",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        # the baseline keeps its engine, with a notice
+        assert "unchanged: paper-lower-bound" in out
+        assert "replay statistics" in out
+        assert "segments" in out

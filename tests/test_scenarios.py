@@ -382,7 +382,8 @@ class TestPaperBitIdentity:
 
         params = list(inspect.signature(experiments.run_fig5).parameters)
         assert params == [
-            "trace", "infra", "predictor", "n_days", "seed", "method", "policy",
+            "trace", "infra", "predictor", "n_days", "seed", "method",
+            "policy", "engine",
         ]
 
 
@@ -449,3 +450,77 @@ class TestEngines:
         fast = scenarios.run_scenario(replace(spec, name="fastpath", engine="fast"))
         assert np.allclose(event.result.power, fast.result.power, atol=1e-9)
         assert event.result.n_reconfigurations == fast.result.n_reconfigurations
+
+    def test_event_alias_is_twophase_and_variants_are_bit_identical(self):
+        spec = scenarios.get("event-engine-day").with_days(1)
+        runs = {
+            engine: scenarios.run_scenario(replace(spec, engine=engine))
+            for engine in (
+                "event", "event-twophase", "event-segments", "event-reference",
+            )
+        }
+        assert runs["event"].result.meta["engine"] == "twophase"
+        assert runs["event-twophase"].result.meta["engine"] == "twophase"
+        assert runs["event-segments"].result.meta["engine"] == "segments"
+        assert runs["event-reference"].result.meta["engine"] == "reference"
+        ref = runs["event-reference"].result
+        for name, run in runs.items():
+            assert np.array_equal(run.result.power, ref.power), name
+            assert np.array_equal(run.result.unserved, ref.unserved), name
+            assert (
+                run.result.meta["meter_energy_j"] == ref.meta["meter_energy_j"]
+            ), name
+
+    def test_engine_names_validated(self):
+        with pytest.raises(ScenarioError):
+            replace(scenarios.get("event-engine-day"), engine="event-warp")
+
+
+class TestStartMethods:
+    """PR 6: warm-cache shipping is start-method aware.
+
+    Under ``fork`` workers inherit the parent's caches copy-on-write, so
+    no trace bytes travel through the pool pipes; under ``spawn`` the
+    prebuilt traces ship explicitly.  Both regimes must produce results
+    bit-identical to the sequential run.
+    """
+
+    SPECS = ("pattern-steady", "pattern-flashcrowd")
+
+    def _specs(self):
+        return [scenarios.get(n).with_days(1) for n in self.SPECS]
+
+    def _assert_matches_sequential(self, start_method):
+        specs = self._specs()
+        seq = scenarios.run_suite(specs, jobs=1)
+        # warm parent cache: the interesting shipping path on both methods
+        par = scenarios.run_suite(specs, jobs=2, start_method=start_method)
+        for a, b in zip(seq, par):
+            assert a.name == b.name
+            assert np.array_equal(a.result.power, b.result.power)
+            assert np.array_equal(a.result.unserved, b.result.unserved)
+            assert a.result.meta == b.result.meta
+
+    def test_fork_start_method(self):
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        self._assert_matches_sequential("fork")
+
+    def test_spawn_start_method(self):
+        self._assert_matches_sequential("spawn")
+
+    def test_fork_restores_worker_shared_global(self):
+        """The parent-side global the fork pool installs is transient."""
+        import multiprocessing
+
+        if "fork" not in multiprocessing.get_all_start_methods():
+            pytest.skip("platform has no fork start method")
+        from repro.scenarios import runner
+
+        before = dict(runner._WORKER_SHARED)
+        scenarios.run_suite(
+            self._specs(), jobs=2, start_method="fork"
+        )
+        assert runner._WORKER_SHARED == before
