@@ -57,15 +57,49 @@ def find_artifacts(root: Optional[Path] = None) -> List[Tuple[int, Path]]:
 
 
 def load_mins(path: Path) -> Dict[str, float]:
-    """``fullname -> min seconds`` for every benchmark in the artifact."""
-    data = json.loads(path.read_text())
+    """``fullname -> min seconds`` for every benchmark in the artifact.
+
+    Tolerant by design: a missing file, malformed JSON or a benchmark
+    entry without usable stats yields a printed warning and simply
+    contributes nothing — an incomplete recording must degrade into
+    "fewer shared benchmarks", never a crash of the checker itself.
+    """
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"warning: {path.name}: unreadable artifact ({exc}); "
+              "treating as empty")
+        return {}
     out: Dict[str, float] = {}
-    for bench in data.get("benchmarks", []):
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list):
+        print(f"warning: {path.name}: no benchmark list; treating as empty")
+        return {}
+    for bench in benchmarks:
+        if not isinstance(bench, dict):
+            continue
         name = bench.get("fullname") or bench.get("name")
-        stats = bench.get("stats", {})
-        if name and "min" in stats:
+        stats = bench.get("stats") or {}
+        if not name or "min" not in stats:
+            continue
+        try:
             out[name] = float(stats["min"])
+        except (TypeError, ValueError):
+            print(f"warning: {path.name}: {name}: non-numeric min "
+                  f"{stats['min']!r}; skipping entry")
     return out
+
+
+def missing_groups(
+    current: Dict[str, float], previous: Dict[str, float]
+) -> List[str]:
+    """Benchmark groups (the file part of ``file::test`` fullnames) that
+    the previous artifact recorded but the current one lost entirely —
+    e.g. a benchmark module that failed to collect."""
+    group = lambda name: name.split("::", 1)[0]  # noqa: E731
+    return sorted(
+        {group(n) for n in previous} - {group(n) for n in current}
+    )
 
 
 def compare(
@@ -208,6 +242,10 @@ def main(
     previous = load_mins(previous_path)
     print(f"comparing {current_path.name} against {previous_path.name} "
           f"(threshold {args.threshold:g}x on per-benchmark min)")
+    for group in missing_groups(current, previous):
+        print(f"warning: benchmark group {group} is missing from "
+              f"{current_path.name} (recorded in {previous_path.name}); "
+              "its benchmarks are not compared")
     lines, failures = compare(current, previous, args.threshold)
     for line in lines:
         print("  " + line)

@@ -9,9 +9,14 @@ most likely to catch a broken refactor while hacking.  Always finish with
 the full suite (or ``benchmarks/run_benchmarks.py``) before recording a
 PR.
 
+A fault-injection smoke rides along after the tests: a 3-spec suite with
+one transient injected failure must come back fully recovered through
+``run_suite``'s retry path (``--no-faults`` skips it).
+
 Usage::
 
-    python benchmarks/run_quick.py              # quick tests only
+    python benchmarks/run_quick.py              # quick tests + fault smoke
+    python benchmarks/run_quick.py --no-faults  # quick tests only
     python benchmarks/run_quick.py --perf       # + hot-path benchmarks
     python benchmarks/run_quick.py -- -k table  # extra pytest args
 """
@@ -26,6 +31,39 @@ from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
 
+#: In-process script proving the retry/keep_going recovery path end to
+#: end: one transiently poisoned spec out of three must still produce a
+#: full set of successful outcomes.
+FAULT_SMOKE = """\
+from dataclasses import replace
+from repro import faults, scenarios
+
+base = scenarios.get("pattern-steady").with_days(1)
+specs = [
+    replace(base, name=f"smoke-{k}", workload=replace(base.workload, seed=90 + k))
+    for k in range(3)
+]
+plan = faults.FaultPlan(
+    faults=(faults.Fault("spec-error", "smoke-1", fail_attempts=1),)
+)
+with faults.injected(plan):
+    out = scenarios.run_suite(
+        specs,
+        keep_going=True,
+        retry=scenarios.RetryPolicy(max_attempts=2, backoff_s=0.0),
+    )
+failed = [o for o in out if hasattr(o, "error_type")]
+assert not failed, f"fault smoke: unrecovered failures {failed}"
+assert len(out) == 3
+print("fault smoke: 3/3 scenarios recovered (1 transient fault retried)")
+"""
+
+
+def run_fault_smoke(env) -> int:
+    cmd = [sys.executable, "-c", FAULT_SMOKE]
+    print("$ fault-injection smoke (transient spec-error + retry)", flush=True)
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -33,6 +71,11 @@ def main(argv=None) -> int:
         "--perf",
         action="store_true",
         help="also run the hot-path benchmarks (writes BENCH_PERF_ONLY.json)",
+    )
+    parser.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the fault-injection smoke",
     )
     parser.add_argument(
         "pytest_args",
@@ -53,6 +96,8 @@ def main(argv=None) -> int:
     ]
     print(f"$ {' '.join(cmd)}", flush=True)
     status = subprocess.call(cmd, cwd=ROOT, env=env)
+    if not args.no_faults:
+        status = run_fault_smoke(env) or status
     if args.perf:
         from run_benchmarks import main as bench_main
 

@@ -166,7 +166,30 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--csv", type=Path, default=None, help="dump series to DIR")
     p_run.add_argument(
         "--save", type=Path, default=None,
-        help="persist every run into a run store at DIR (prints run ids)",
+        help="persist every run into a run store at DIR as it completes "
+             "(prints run ids)",
+    )
+    p_run.add_argument(
+        "--keep-going", action="store_true",
+        help="run every scenario even when some fail: survivors are "
+             "reported normally, failures go to stderr and the exit "
+             "code is 2",
+    )
+    p_run.add_argument(
+        "--resume", action="store_true",
+        help="skip scenarios whose results the --save store already "
+             "holds (checkpoint/resume; requires --save)",
+    )
+    p_run.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per scenario before it is declared failed "
+             "(default 1: no retry)",
+    )
+    p_run.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-chunk deadline in seconds with --jobs > 1 (hung "
+             "workers are detected, the pool resurrected, their work "
+             "retried)",
     )
     p_diff = scen_sub.add_parser(
         "diff", help="compare two persisted runs (metrics, series, spec)"
@@ -481,21 +504,56 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             else s
             for s in specs
         ]
-    runs = scenarios.run_suite(specs, jobs=args.jobs)
-    if args.stats:
-        _print_replay_stats([run.result for run in runs])
-        print()
     from .analysis.tables import render_suite
-    from .results import RunStore, SuiteReport
+    from .results import RunStore, ScenarioResult, SuiteReport
 
+    store = RunStore(args.save) if args.save else None
+    if args.resume and store is None:
+        raise SystemExit("scenario run: --resume requires --save DIR")
+    retry = None
+    if args.retries != 1 or args.timeout is not None:
+        try:
+            retry = scenarios.RetryPolicy(
+                max_attempts=args.retries, timeout_s=args.timeout
+            )
+        except scenarios.ScenarioError as exc:
+            raise SystemExit(f"scenario run: {exc}")
+    saved_before = {s.run_id for s in store.list()} if store else set()
+    try:
+        runs = scenarios.run_suite(
+            specs,
+            jobs=args.jobs,
+            keep_going=args.keep_going,
+            retry=retry,
+            store=store,
+            resume=args.resume,
+        )
+    except Exception as exc:
+        # Fatal: a failure run_suite could not degrade (keep_going off,
+        # or infrastructure trouble).  Exit 1 with the message, not a
+        # traceback.
+        print(
+            f"scenario run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if args.stats:
+        _print_replay_stats([r.result for r in runs if hasattr(r, "result")])
+        print()
     report = SuiteReport.from_runs(runs)
-    print(render_suite(report, title="scenario suite"))
-    if args.save:
-        store = RunStore(args.save)
-        for record in report.results:
-            run_id = store.save(record)
-            print(f"saved {run_id} -> {store.root / run_id}")
-    if args.csv:
+    if report.results:
+        print(render_suite(report, title="scenario suite"))
+    if args.resume:
+        resumed = [r.name for r in runs if isinstance(r, ScenarioResult)]
+        if resumed:
+            print(
+                "resumed from store (skipped): " + ", ".join(resumed)
+            )
+    if store:
+        for stored in store.list():
+            if stored.run_id not in saved_before:
+                print(f"saved {stored.run_id} -> {store.root / stored.run_id}")
+    if args.csv and report.results:
         from .analysis.figures import suite_series
 
         args.csv.mkdir(parents=True, exist_ok=True)
@@ -503,6 +561,15 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
         write_csv(args.csv / "scenario_daily_energy.csv", fig.rows())
         write_csv(args.csv / "scenario_summary.csv", report.rows())
         print(f"series written to {args.csv}")
+    if report.failures:
+        print(
+            render_table(
+                report.failure_rows(),
+                title=f"failures ({len(report.failures)})",
+            ),
+            file=sys.stderr,
+        )
+        return 2
     return 0
 
 

@@ -30,7 +30,13 @@ Quick start::
 from .diffing import MetricDelta, ResultDiff, diff
 from .record import HEADLINE_METRICS, ResultError, ScenarioResult
 from .report import SuiteReport
-from .store import RunStore, StoredRun, StoreError, load_run_dir
+from .store import (
+    QuarantinedRun,
+    RunStore,
+    StoredRun,
+    StoreError,
+    load_run_dir,
+)
 
 #: Alias for the root namespace (``repro.diff_results``): ``diff`` reads
 #: well inside the package but is too generic a name at top level.
@@ -43,6 +49,7 @@ __all__ = [
     "HEADLINE_METRICS",
     "RunStore",
     "StoredRun",
+    "QuarantinedRun",
     "StoreError",
     "load_run_dir",
     "SuiteReport",

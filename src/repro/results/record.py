@@ -178,6 +178,15 @@ class ScenarioResult:
         """The deterministic headline metrics (see ``HEADLINE_METRICS``)."""
         return {m: getattr(self, m) for m in HEADLINE_METRICS}
 
+    def spec_key(self) -> str:
+        """Canonical identity of the producing spec (see
+        :meth:`ScenarioSpec.spec_key <repro.scenarios.spec.ScenarioSpec.spec_key>`);
+        ``run_suite(..., resume=True)`` matches stored records to suite
+        specs on this key."""
+        import json
+
+        return json.dumps(self.spec, sort_keys=True, separators=(",", ":"))
+
     def summary_row(self) -> Dict[str, object]:
         """One report-table row (the suite/CLI summary shape)."""
         return {

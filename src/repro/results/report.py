@@ -30,14 +30,22 @@ class SuiteReport:
     (for the paper's Fig. 5 that is the over-provisioned
     ``paper-upper-global``); when set, ``rows()`` grows a
     ``saved_vs_baseline`` column and :meth:`savings` becomes available.
+
+    ``failures`` holds the suite's terminal
+    :class:`~repro.scenarios.runner.FailedRun` records (from
+    ``run_suite(..., keep_going=True)``): every aggregate — savings,
+    overheads, summary rows — is computed over the *survivors*, while
+    :meth:`failure_rows` and :meth:`render` keep the failures visible.
     """
 
     results: Tuple[ScenarioResult, ...]
     baseline: Optional[str] = None
+    failures: Tuple[object, ...] = ()
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "results", tuple(self.results))
-        if not self.results:
+        object.__setattr__(self, "failures", tuple(self.failures))
+        if not self.results and not self.failures:
             raise ResultError("a suite report needs at least one result")
         names = [r.name for r in self.results]
         if self.baseline is not None and self.baseline not in names:
@@ -49,15 +57,22 @@ class SuiteReport:
     def from_runs(
         cls, runs: Sequence, baseline: Optional[str] = None
     ) -> "SuiteReport":
-        """Build from runs or records (mixed inputs are fine)."""
+        """Build from runs, records and failures (mixed inputs are fine).
+
+        Failed runs are recognised by their ``error_type`` attribute
+        (duck-typed so this module needs no scenarios import) and land
+        in ``failures``; everything else is distilled into ``results``.
+        """
+        survivors = [r for r in runs if not hasattr(r, "error_type")]
         return cls(
             results=tuple(
                 r
                 if isinstance(r, ScenarioResult)
                 else ScenarioResult.from_run(r)
-                for r in runs
+                for r in survivors
             ),
             baseline=baseline,
+            failures=tuple(r for r in runs if hasattr(r, "error_type")),
         )
 
     # -- access ------------------------------------------------------------
@@ -104,8 +119,23 @@ class SuiteReport:
                 row["saved_vs_baseline"] = round(savings[row["scenario"]], 4)
         return rows
 
-    def render(self, title: str = "scenario suite") -> str:
-        """Aligned-table rendering (see ``analysis.tables.render_suite``)."""
-        from ..analysis.tables import render_suite
+    def failure_rows(self) -> List[Dict[str, object]]:
+        """Failures-table rows (``FailedRun.summary_row`` shapes)."""
+        return [f.summary_row() for f in self.failures]
 
-        return render_suite(self, title=title)
+    def render(self, title: str = "scenario suite") -> str:
+        """Aligned-table rendering (see ``analysis.tables.render_suite``);
+        a failures table follows the summary when any spec failed."""
+        from ..analysis.tables import render_suite, render_table
+
+        parts = []
+        if self.results:
+            parts.append(render_suite(self, title=title))
+        if self.failures:
+            parts.append(
+                render_table(
+                    self.failure_rows(),
+                    title=f"failures ({len(self.failures)})",
+                )
+            )
+        return "\n\n".join(parts)

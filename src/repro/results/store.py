@@ -17,6 +17,13 @@ no index file to corrupt; the directory *is* the database.  ``save`` →
 ``load`` reproduces every metric bit-identically (JSON floats round-trip
 exactly, series travel as float64 NPZ), which is what makes stored runs
 valid inputs for ``repro scenario diff`` and golden pinning.
+
+Corrupt or truncated run directories (a torn write, a copy that lost
+``series.npz``) are **quarantined**, not fatal: ``list()`` and
+``load_all()`` skip them and collect :class:`QuarantinedRun` entries —
+inspect them via :meth:`RunStore.skipped` — so one bad directory cannot
+take a whole checkpointed suite's history hostage.  ``prune`` ignores
+quarantined directories (it only ever deletes runs it can read).
 """
 
 from __future__ import annotations
@@ -29,9 +36,16 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
+from .. import faults
 from .record import ResultError, ScenarioResult
 
-__all__ = ["RunStore", "StoredRun", "StoreError", "load_run_dir"]
+__all__ = [
+    "RunStore",
+    "StoredRun",
+    "QuarantinedRun",
+    "StoreError",
+    "load_run_dir",
+]
 
 RESULT_FILE = "result.json"
 SERIES_FILE = "series.npz"
@@ -61,6 +75,20 @@ class StoredRun:
         return int(m.group(1)) if m else 0
 
 
+@dataclass(frozen=True)
+class QuarantinedRun:
+    """A run directory the store refused to read, and why.
+
+    Quarantine is passive: the directory stays on disk untouched (the
+    bytes may still be salvageable by hand) but it is invisible to
+    ``list``/``load_all``/``latest``/``prune``.
+    """
+
+    run_id: str
+    path: Path
+    reason: str
+
+
 def load_run_dir(path: Union[str, Path]) -> ScenarioResult:
     """Load the record stored in one run directory."""
     path = Path(path)
@@ -81,6 +109,7 @@ class RunStore:
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
+        self._skipped: List[QuarantinedRun] = []
 
     # -- writing -----------------------------------------------------------
     def save(self, run) -> str:
@@ -106,9 +135,10 @@ class RunStore:
             except FileExistsError:
                 continue
             break
-        (run_dir / RESULT_FILE).write_text(
-            json.dumps(record.to_json_dict(), indent=2) + "\n"
-        )
+        payload = json.dumps(record.to_json_dict(), indent=2) + "\n"
+        if faults.check("corrupt-result", record.name):
+            payload = payload[: len(payload) // 2]  # a torn write
+        (run_dir / RESULT_FILE).write_text(payload)
         np.savez_compressed(run_dir / SERIES_FILE, **record.series_arrays())
         return run_id
 
@@ -134,7 +164,12 @@ class RunStore:
         return load_run_dir(run_dir)
 
     def list(self) -> List[StoredRun]:
-        """All stored runs in save order (cheap: reads JSON headers only)."""
+        """All readable stored runs in save order (reads JSON headers only).
+
+        Corrupt or truncated directories are quarantined (skipped and
+        recorded, see :meth:`skipped`) rather than fatal.
+        """
+        self._skipped = []
         if not self.root.is_dir():
             return []
         out: List[StoredRun] = []
@@ -143,10 +178,11 @@ class RunStore:
                 continue
             result_path = p / RESULT_FILE
             if not result_path.exists():
+                self._quarantine(p, f"missing {RESULT_FILE}")
                 continue
-            data = json.loads(result_path.read_text())
-            out.append(
-                StoredRun(
+            try:
+                data = json.loads(result_path.read_text())
+                stored = StoredRun(
                     run_id=p.name,
                     name=data.get("name", ""),
                     label=data.get("label", ""),
@@ -158,13 +194,44 @@ class RunStore:
                     / 3.6e6,
                     path=p,
                 )
-            )
+            except (OSError, ValueError, TypeError, AttributeError) as exc:
+                self._quarantine(
+                    p, f"unreadable {RESULT_FILE}: {type(exc).__name__}: {exc}"
+                )
+                continue
+            out.append(stored)
         out.sort(key=lambda s: s.seq)
         return out
 
-    def load_all(self) -> List[ScenarioResult]:
-        """Load every stored run in save order."""
-        return [load_run_dir(s.path) for s in self.list()]
+    def load_all(self, strict: bool = False) -> List[ScenarioResult]:
+        """Load every readable stored run in save order.
+
+        Runs whose full payload fails to load (a corrupt ``series.npz``
+        behind a healthy header) join the quarantine report; with
+        ``strict=True`` the first such run raises instead.
+        """
+        out: List[ScenarioResult] = []
+        for stored in self.list():
+            try:
+                out.append(load_run_dir(stored.path))
+            except Exception as exc:
+                if strict:
+                    raise
+                self._quarantine(
+                    stored.path,
+                    f"unloadable run: {type(exc).__name__}: {exc}",
+                )
+        return out
+
+    def skipped(self) -> List[QuarantinedRun]:
+        """The directories quarantined by the most recent scan
+        (``list``/``load_all``/anything built on them), with reasons."""
+        return list(self._skipped)
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        self._skipped.append(
+            QuarantinedRun(run_id=path.name, path=path, reason=reason)
+        )
 
     # -- retention ---------------------------------------------------------
     def prune(self, keep_last: int) -> List[str]:
@@ -175,7 +242,9 @@ class RunStore:
         than ``keep_last`` stored runs, the oldest surplus run
         directories are removed.  ``keep_last=0`` empties the store.
         Surviving runs are untouched on disk — loads stay bit-identical
-        — and returned ids are in deletion (save) order.
+        — and returned ids are in deletion (save) order.  Quarantined
+        directories are never deleted: retention only counts (and only
+        removes) runs the store can actually read.
         """
         if keep_last < 0:
             raise StoreError("keep_last must be >= 0")

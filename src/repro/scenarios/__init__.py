@@ -19,7 +19,10 @@ Quick start::
 
 from .registry import PAPER_SCENARIOS, by_tag, get, names, register, specs
 from .runner import (
+    FailedRun,
+    RetryPolicy,
     ScenarioRun,
+    SuiteExecutionError,
     chunk_specs,
     clear_caches,
     infra_cache_stats,
@@ -40,6 +43,9 @@ __all__ = [
     "SchedulerSpec",
     "ScenarioError",
     "ScenarioRun",
+    "FailedRun",
+    "RetryPolicy",
+    "SuiteExecutionError",
     "FIG5_DAYS_ENV",
     "PAPER_SCENARIOS",
     "register",

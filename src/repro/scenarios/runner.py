@@ -16,15 +16,29 @@ same worker, and traces the parent already built ship to exactly that
 worker, so the pool starts warm instead of rebuilding every cache after
 the fork.  Parallel results are bit-identical to sequential ones —
 pinned by ``tests/test_scenarios.py``.
+
+Fault tolerance (PR 7): the pool path is an ``apply_async`` dispatcher,
+not a blind ``pool.map``.  Each chunk carries a deadline, crashed
+workers are detected and the pool resurrected, failed work retries with
+exponential backoff under a :class:`RetryPolicy` (multi-spec chunks are
+split on retry so one poisoned spec cannot condemn its chunk-mates), and
+``keep_going=True`` turns the first-error-aborts contract into per-spec
+outcomes (:class:`ScenarioRun` or :class:`FailedRun`, in input order).
+``store=``/``resume=`` checkpoint every completed result through a
+:class:`~repro.results.store.RunStore` as it lands and skip
+already-stored specs on restart.  All recovery paths are provable via
+:mod:`repro.faults` — see ``tests/faults/``.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
+import traceback as _traceback
+from collections import OrderedDict, deque
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from .. import faults
 from ..core.adaptive import TransitionAwareScheduler
 from ..core.baselines import global_upper_bound_plan, per_day_upper_bound_plan
 from ..core.bml import BMLInfrastructure, design
@@ -37,6 +51,9 @@ from .spec import ScenarioError, ScenarioSpec, WorkloadSpec
 
 __all__ = [
     "ScenarioRun",
+    "FailedRun",
+    "RetryPolicy",
+    "SuiteExecutionError",
     "run_scenario",
     "run_suite",
     "chunk_specs",
@@ -162,6 +179,107 @@ class ScenarioRun:
 
 
 # ---------------------------------------------------------------------------
+# Failure model
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FailedRun:
+    """Terminal failure of one scenario after its retry budget.
+
+    The graceful-degradation counterpart of :class:`ScenarioRun`:
+    ``run_suite(..., keep_going=True)`` returns one of these per spec
+    that kept failing, instead of aborting the suite on the first error.
+    ``error_type`` is the exception class name — or ``"WorkerCrashed"``
+    / ``"ChunkTimeout"`` when the worker process died or blew through
+    the chunk deadline, cases where no Python exception ever surfaced.
+    """
+
+    spec: ScenarioSpec
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+    elapsed_s: float
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def summary_row(self) -> Dict[str, object]:
+        """One failures-table row (kept narrow; tracebacks stay off it)."""
+        message = self.message.replace("\n", " ")
+        if len(message) > 60:
+            message = message[:57] + "..."
+        return {
+            "scenario": self.name,
+            "error": self.error_type,
+            "message": message,
+            "attempts": self.attempts,
+            "elapsed_s": round(self.elapsed_s, 2),
+        }
+
+
+class SuiteExecutionError(ScenarioError):
+    """Raised by ``run_suite`` (without ``keep_going``) for failures that
+    carry no re-raisable exception — crashed workers, chunk deadlines."""
+
+    def __init__(self, failures: Sequence[FailedRun]):
+        self.failures = tuple(failures)
+        detail = "; ".join(
+            f"{f.name}: {f.error_type} after {f.attempts} attempt(s) "
+            f"({f.message})"
+            for f in self.failures
+        )
+        super().__init__(f"{len(self.failures)} scenario(s) failed: {detail}")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard ``run_suite`` fights for each scenario.
+
+    ``max_attempts`` bounds tries per spec (1 = no retry);
+    ``timeout_s`` is the per-chunk deadline measured from dispatch (it
+    must cover worker start-up under ``spawn``); retries back off
+    exponentially (``backoff_s * backoff_factor**(retry - 1)``).
+    ``poll_interval_s`` paces the dispatcher's completion/liveness scan.
+    """
+
+    max_attempts: int = 3
+    timeout_s: Optional[float] = None
+    backoff_s: float = 0.05
+    backoff_factor: float = 2.0
+    poll_interval_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ScenarioError("max_attempts must be >= 1")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ScenarioError("timeout_s must be > 0")
+        if self.backoff_s < 0:
+            raise ScenarioError("backoff_s must be >= 0")
+        if self.backoff_factor < 1:
+            raise ScenarioError("backoff_factor must be >= 1")
+        if self.poll_interval_s <= 0:
+            raise ScenarioError("poll_interval_s must be > 0")
+
+    def delay(self, retry: int) -> float:
+        """Seconds to back off before retry number ``retry`` (1-based)."""
+        if retry <= 0:
+            return 0.0
+        return self.backoff_s * self.backoff_factor ** (retry - 1)
+
+
+#: Legacy semantics for ``run_suite(retry=None)``: one attempt, no
+#: deadline — failures surface immediately, nothing silently re-runs.
+_NO_RETRY = RetryPolicy(max_attempts=1, backoff_s=0.0)
+
+#: The outcomes ``run_suite`` can place at a spec's slot: a live run, a
+#: stored record (resumed from a checkpoint), or a terminal failure.
+SuiteOutcome = Union[ScenarioRun, "ScenarioResult", FailedRun]  # noqa: F821
+
+
+# ---------------------------------------------------------------------------
 # The facade
 # ---------------------------------------------------------------------------
 
@@ -264,10 +382,14 @@ _WORKER_SHARED: Dict[str, object] = {}
 
 
 def _init_worker(
-    trace: Optional[LoadTrace], infra: Optional[BMLInfrastructure]
+    trace: Optional[LoadTrace],
+    infra: Optional[BMLInfrastructure],
+    fault_plan: Optional[faults.FaultPlan] = None,
 ) -> None:
     _WORKER_SHARED["trace"] = trace
     _WORKER_SHARED["infra"] = infra
+    if fault_plan is not None:
+        faults.install(fault_plan)
 
 
 def _run_worker(spec: ScenarioSpec) -> ScenarioRun:
@@ -317,28 +439,78 @@ def chunk_specs(
     return sorted(pieces, key=lambda idxs: (-len(idxs), idxs[0]))
 
 
-def _run_chunk(payload) -> List[Tuple[int, ScenarioRun]]:
+def _spec_outcome(
+    spec: ScenarioSpec,
+    attempt: int,
+    trace: Optional[LoadTrace],
+    infra: Optional[BMLInfrastructure],
+) -> Tuple[str, object]:
+    """Run one spec, degrading exceptions into a portable failure payload.
+
+    Returns ``("ok", ScenarioRun)`` or ``("error", payload)`` where the
+    payload carries the exception's type/message/traceback — and the
+    exception object itself when it pickles, so ``keep_going=False``
+    callers can re-raise the original error across the pool boundary.
+    """
+    t0 = time.perf_counter()
+    try:
+        faults.fire("spec-error", spec.name, attempt)
+        run = run_scenario(spec, trace=trace, infra=infra)
+        return ("ok", run)
+    except Exception as exc:
+        import pickle
+
+        try:
+            # Full round trip: an exception that *dumps* but fails to
+            # *load* (mismatched __init__ signature) would kill the
+            # pool's result-handler thread on arrival and hang the
+            # suite, so it must be degraded to strings right here.
+            pickle.loads(pickle.dumps(exc))
+            carried: Optional[BaseException] = exc
+        except Exception:
+            carried = None
+        return (
+            "error",
+            {
+                "error_type": type(exc).__name__,
+                "message": str(exc),
+                "traceback": _traceback.format_exc(),
+                "exception": carried,
+                "elapsed_s": time.perf_counter() - t0,
+            },
+        )
+
+
+def _run_chunk_guarded(payload) -> List[Tuple[int, Tuple[str, object]]]:
     """Pool worker for one chunk: pre-warm caches, run specs in order.
 
-    ``payload`` is ``(pairs, prebuilt)``: the chunk's ``(index, spec)``
-    pairs plus any traces the parent had already built for the chunk's
-    workloads — seeded into this worker's ``_TRACE_CACHE`` so the fork
-    starts warm instead of rebuilding them from scratch.
+    ``payload`` is ``(pairs, prebuilt, attempt)``: the chunk's
+    ``(index, spec)`` pairs, any traces the parent had already built for
+    the chunk's workloads (seeded into this worker's ``_TRACE_CACHE`` so
+    the fork starts warm), and the chunk's attempt number — which drives
+    deterministic fault injection.  Per-spec exceptions are captured
+    (``_spec_outcome``), so one bad spec never takes down its
+    chunk-mates' finished results.
     """
-    pairs, prebuilt = payload
+    pairs, prebuilt, attempt = payload
     for key, built in prebuilt.items():
         _TRACE_CACHE[key] = built
-    return [
-        (
-            i,
-            run_scenario(
-                spec,
-                trace=_WORKER_SHARED.get("trace"),
-                infra=_WORKER_SHARED.get("infra"),
-            ),
+    out: List[Tuple[int, Tuple[str, object]]] = []
+    for i, spec in pairs:
+        faults.fire("worker-crash", spec.name, attempt)
+        faults.fire("worker-hang", spec.name, attempt)
+        out.append(
+            (
+                i,
+                _spec_outcome(
+                    spec,
+                    attempt,
+                    _WORKER_SHARED.get("trace"),
+                    _WORKER_SHARED.get("infra"),
+                ),
+            )
         )
-        for i, spec in pairs
-    ]
+    return out
 
 
 def _make_pool(ctx, processes, trace, infra):
@@ -357,7 +529,7 @@ def _make_pool(ctx, processes, trace, infra):
     """
     if ctx.get_start_method() == "fork":
         saved = dict(_WORKER_SHARED)
-        _init_worker(trace, infra)
+        _init_worker(trace, infra)  # the fault plan is inherited as-is
 
         def cleanup():
             _WORKER_SHARED.clear()
@@ -368,10 +540,329 @@ def _make_pool(ctx, processes, trace, infra):
         ctx.Pool(
             processes=processes,
             initializer=_init_worker,
-            initargs=(trace, infra),
+            initargs=(trace, infra, faults.active()),
         ),
         lambda: None,
     )
+
+
+class _Task:
+    """One dispatchable unit of work: spec indices + attempt bookkeeping.
+
+    ``isolate`` marks a crash suspect: it runs with the pool otherwise
+    empty, so a repeat crash is unambiguously attributable to it.
+    """
+
+    __slots__ = ("indices", "attempt", "not_before", "isolate")
+
+    def __init__(
+        self,
+        indices: Sequence[int],
+        attempt: int = 0,
+        not_before: float = 0.0,
+        isolate: bool = False,
+    ):
+        self.indices = list(indices)
+        self.attempt = attempt
+        self.not_before = not_before
+        self.isolate = isolate
+
+
+def _pool_pids(pool) -> set:
+    try:
+        return {p.pid for p in pool._pool}
+    except Exception:  # pragma: no cover - defensive around private API
+        return set()
+
+
+def _pool_impaired(pool, pids: set) -> bool:
+    """Has any worker died since ``pids`` was snapshotted?
+
+    ``multiprocessing.Pool`` silently respawns a dead worker — the task
+    it held is simply lost and its ``AsyncResult`` never completes — so
+    liveness must be observed from outside: a recorded exitcode or a
+    pid-set change (the respawn may land before this scan runs).  Reads
+    the pool's private worker list defensively; an unreadable pool
+    counts as impaired.
+    """
+    try:
+        procs = list(pool._pool)
+    except Exception:  # pragma: no cover - defensive around private API
+        return True
+    if any(p.exitcode is not None for p in procs):
+        return True
+    return {p.pid for p in procs} != pids
+
+
+def _resume_index(store) -> Dict[str, object]:
+    """Latest stored record per spec key (quarantined dirs are skipped)."""
+    index: Dict[str, object] = {}
+    for record in store.load_all():  # sequence order: latest save wins
+        index[record.spec_key()] = record
+    return index
+
+
+def _run_one_sequential(
+    spec: ScenarioSpec,
+    policy: RetryPolicy,
+    trace: Optional[LoadTrace],
+    infra: Optional[BMLInfrastructure],
+) -> Tuple[str, object, Optional[BaseException]]:
+    """In-process attempt loop with backoff.
+
+    Returns ``("ok", ScenarioRun, None)`` or ``("failed", FailedRun,
+    last_exception)`` — the exception rides along so fail-fast callers
+    re-raise the original error, not a wrapper.
+    """
+    t0 = time.perf_counter()
+    last_exc: Optional[BaseException] = None
+    last_tb = ""
+    for attempt in range(policy.max_attempts):
+        if attempt:
+            delay = policy.delay(attempt)
+            if delay:
+                time.sleep(delay)
+        try:
+            faults.fire("spec-error", spec.name, attempt)
+            return ("ok", run_scenario(spec, trace=trace, infra=infra), None)
+        except Exception as exc:
+            last_exc = exc
+            last_tb = _traceback.format_exc()
+    failed = FailedRun(
+        spec=spec,
+        error_type=type(last_exc).__name__,
+        message=str(last_exc),
+        traceback=last_tb,
+        attempts=policy.max_attempts,
+        elapsed_s=time.perf_counter() - t0,
+    )
+    return ("failed", failed, last_exc)
+
+
+def _dispatch_chunks(
+    specs: Sequence[ScenarioSpec],
+    chunks: Sequence[Sequence[int]],
+    pool_size: int,
+    ctx,
+    trace: Optional[LoadTrace],
+    infra: Optional[BMLInfrastructure],
+    policy: RetryPolicy,
+    keep_going: bool,
+    store,
+    outcomes: List[Optional[SuiteOutcome]],
+) -> List[Tuple[int, FailedRun, Optional[BaseException]]]:
+    """The ``apply_async`` dispatcher behind the pool path of
+    :func:`run_suite`.
+
+    Successes are written into ``outcomes`` (and checkpointed through
+    ``store``) as they land; the return value is the terminal failures
+    as ``(spec_index, FailedRun, carried_exception)``.
+
+    Recovery policy:
+
+    * **Per-spec errors** come back inside a completed chunk
+      (``_spec_outcome`` payloads); only the failing spec is charged and
+      requeued as a singleton with exponential backoff.
+    * **Chunk deadline exceeded** (``policy.timeout_s``): the hung
+      worker holds a pool slot, so the pool is terminated and
+      resurrected.  The expired chunk is charged and *split in half* —
+      a poisoned spec cannot keep condemning its chunk-mates — while the
+      innocent inflight chunks are requeued at the front, uncharged.
+    * **Dead worker** (pid change / exitcode): the pool is resurrected;
+      attribution is by *isolation*.  With exactly one chunk inflight
+      the culprit is known and charged.  With several, nobody is
+      charged: every suspect is requeued marked ``isolate`` and replayed
+      with the pool otherwise empty, so innocents complete untouched and
+      a repeat crasher crashes alone — unambiguously attributed, then
+      charged (and split) on its own budget.  Exactly the poisoned specs
+      fail; no innocent ever burns an attempt on a neighbour's crash.
+    """
+    fork = ctx.get_start_method() == "fork"
+    ship = trace is None and not fork
+    pending = deque(_Task(chunk) for chunk in chunks)
+    inflight: List[list] = []  # [task, async_result, deadline]
+    first_seen: Dict[int, float] = {}
+    failures: List[Tuple[int, FailedRun, Optional[BaseException]]] = []
+
+    def payload_for(task: _Task):
+        # Warm-cache shipping: traces the parent already built travel to
+        # exactly the worker that needs them.  Under "fork" the children
+        # inherit the parent's cache copy-on-write, so payloads stay
+        # empty rather than duplicating the bytes through a pipe.
+        prebuilt = {}
+        if ship:  # a shared trace override supersedes per-spec traces
+            for i in task.indices:
+                key = _workload_key(specs[i])
+                built = _TRACE_CACHE.get(key)
+                if built is not None:
+                    prebuilt[key] = built
+        return ([(i, specs[i]) for i in task.indices], prebuilt, task.attempt)
+
+    def charge(
+        task: _Task,
+        now: float,
+        error_type: str,
+        message: str,
+        tb: str = "",
+        exc: Optional[BaseException] = None,
+    ) -> None:
+        """Charge one attempt to every spec of ``task``: requeue with
+        backoff (splitting multi-spec tasks) or mint ``FailedRun``s."""
+        next_attempt = task.attempt + 1
+        if next_attempt >= policy.max_attempts:
+            for i in task.indices:
+                failures.append(
+                    (
+                        i,
+                        FailedRun(
+                            spec=specs[i],
+                            error_type=error_type,
+                            message=message,
+                            traceback=tb,
+                            attempts=next_attempt,
+                            elapsed_s=now - first_seen.get(i, now),
+                        ),
+                        exc,
+                    )
+                )
+            return
+        mid = len(task.indices) // 2
+        halves = (
+            [task.indices]
+            if len(task.indices) == 1
+            else [task.indices[:mid], task.indices[mid:]]
+        )
+        not_before = now + policy.delay(next_attempt)
+        for half in halves:
+            pending.append(
+                _Task(half, next_attempt, not_before, isolate=task.isolate)
+            )
+
+    def record_success(i: int, run: ScenarioRun) -> None:
+        if store is not None:
+            store.save(run.to_record())
+        outcomes[i] = run
+
+    def harvest(now: float) -> bool:
+        """Collect every ready inflight result; True if any landed."""
+        done = [entry for entry in inflight if entry[1].ready()]
+        for entry in done:
+            inflight.remove(entry)
+            task = entry[0]
+            try:
+                results = entry[1].get()
+            except Exception as exc:
+                # The chunk died as a whole (e.g. its result failed to
+                # unpickle) without per-spec attribution.
+                charge(
+                    task, now, "ChunkError", f"{type(exc).__name__}: {exc}"
+                )
+                continue
+            for i, (status, payload) in results:
+                if status == "ok":
+                    record_success(i, payload)
+                else:
+                    charge(
+                        _Task([i], task.attempt),
+                        now,
+                        str(payload["error_type"]),
+                        str(payload["message"]),
+                        str(payload["traceback"]),
+                        payload.get("exception"),
+                    )
+        return bool(done)
+
+    pool, cleanup = _make_pool(ctx, pool_size, trace, infra)
+    pids = _pool_pids(pool)
+
+    def reset_pool() -> None:
+        nonlocal pool, cleanup, pids
+        pool.terminate()
+        pool.join()
+        cleanup()
+        pool, cleanup = _make_pool(ctx, pool_size, trace, infra)
+        pids = _pool_pids(pool)
+
+    try:
+        while pending or inflight:
+            now = time.monotonic()
+            for _ in range(len(pending)):
+                if len(inflight) >= pool_size:
+                    break
+                if any(entry[0].isolate for entry in inflight):
+                    break  # an isolation round runs alone
+                task = pending.popleft()
+                if task.not_before > now:  # still backing off: rotate
+                    pending.append(task)
+                    continue
+                if task.isolate and inflight:
+                    pending.appendleft(task)  # wait for the pool to drain
+                    break
+                for i in task.indices:
+                    first_seen.setdefault(i, now)
+                handle = pool.apply_async(
+                    _run_chunk_guarded, (payload_for(task),)
+                )
+                deadline = (
+                    None
+                    if policy.timeout_s is None
+                    else now + policy.timeout_s
+                )
+                inflight.append([task, handle, deadline])
+            now = time.monotonic()
+            progressed = harvest(now)
+            if failures and not keep_going:
+                break
+            expired = [
+                entry
+                for entry in inflight
+                if entry[2] is not None and now > entry[2]
+            ]
+            if expired:
+                expired_ids = {id(entry) for entry in expired}
+                innocents = [
+                    entry for entry in inflight if id(entry) not in expired_ids
+                ]
+                inflight.clear()
+                for entry in expired:
+                    charge(
+                        entry[0],
+                        now,
+                        "ChunkTimeout",
+                        f"chunk exceeded the {policy.timeout_s:g}s deadline",
+                    )
+                for entry in reversed(innocents):
+                    pending.appendleft(entry[0])
+                reset_pool()
+                if failures and not keep_going:
+                    break
+                continue
+            if inflight and _pool_impaired(pool, pids):
+                if len(inflight) == 1:  # unambiguous: charge the culprit
+                    charge(
+                        inflight[0][0],
+                        now,
+                        "WorkerCrashed",
+                        "worker process died mid-chunk",
+                    )
+                else:
+                    # Ambiguous: replay every suspect uncharged, one at a
+                    # time, so the next crash identifies its task alone.
+                    for entry in reversed(inflight):
+                        entry[0].isolate = True
+                        pending.appendleft(entry[0])
+                inflight.clear()
+                reset_pool()
+                if failures and not keep_going:
+                    break
+                continue
+            if not progressed and (pending or inflight):
+                time.sleep(policy.poll_interval_s)
+    finally:
+        pool.terminate()
+        pool.join()
+        cleanup()
+    return failures
 
 
 def run_suite(
@@ -381,7 +872,11 @@ def run_suite(
     infra: Optional[BMLInfrastructure] = None,
     chunked: bool = True,
     start_method: Optional[str] = None,
-) -> List[ScenarioRun]:
+    keep_going: bool = False,
+    retry: Optional[RetryPolicy] = None,
+    store=None,
+    resume: bool = False,
+) -> List[SuiteOutcome]:
     """Run many scenarios, optionally fanned out over worker processes.
 
     ``jobs=1`` runs in-process (sharing this process's caches);
@@ -392,7 +887,8 @@ def run_suite(
     any trace the parent already holds in its cache ships to exactly the
     worker that needs it.  ``chunked=False`` keeps the PR 3 per-spec task
     scheduling — retained as the fan-out reference the ``perf-suite``
-    benchmark group measures against.  Results come back in input order
+    benchmark group measures against (it does not support the
+    fault-tolerance options below).  Results come back in input order
     and are bit-identical across all modes: scenarios are independent,
     and every worker runs the same deterministic code path.
     ``trace``/``infra`` are shared overrides applied to *every* scenario
@@ -400,55 +896,94 @@ def run_suite(
     paying a rebuild per scenario or per worker).  ``start_method``
     overrides the platform's multiprocessing start method (tests pin
     ``"fork"``/``"spawn"`` to cover both shipping regimes).
+
+    Fault tolerance:
+
+    * ``retry`` (:class:`RetryPolicy`) arms per-chunk deadlines and
+      exponential-backoff retries; the default (``None``) keeps the
+      legacy single-attempt, no-deadline semantics.
+    * ``keep_going=True`` degrades gracefully: instead of the first
+      error aborting the suite, each spec's slot holds its outcome — a
+      :class:`ScenarioRun`, a resumed
+      :class:`~repro.results.record.ScenarioResult`, or a
+      :class:`FailedRun` after the retry budget.  With
+      ``keep_going=False`` the first terminal failure re-raises the
+      original exception when it crossed the process boundary intact,
+      else a :class:`SuiteExecutionError`.
+    * ``store`` (a :class:`~repro.results.store.RunStore`) checkpoints
+      every completed result the moment it lands; ``resume=True`` skips
+      specs whose results the store already holds (matched by
+      ``spec_key()``, latest save wins) and returns the stored records
+      in their slots.
     """
     specs = list(specs)
     if jobs < 1:
         raise ScenarioError("jobs must be >= 1")
-    if jobs == 1 or len(specs) <= 1:
-        return [run_scenario(s, trace=trace, infra=infra) for s in specs]
+    if resume and store is None:
+        raise ScenarioError("resume=True requires a store")
+    if not chunked and (keep_going or retry is not None or store is not None):
+        raise ScenarioError(
+            "chunked=False (the per-spec reference path) does not support "
+            "keep_going/retry/store"
+        )
+    policy = retry if retry is not None else _NO_RETRY
+    outcomes: List[Optional[SuiteOutcome]] = [None] * len(specs)
+    if resume:
+        index = _resume_index(store)
+        for i, spec in enumerate(specs):
+            record = index.get(spec.spec_key())
+            if record is not None:
+                outcomes[i] = record
+    todo = [i for i, done in enumerate(outcomes) if done is None]
+
+    if jobs == 1 or len(todo) <= 1:
+        for i in todo:
+            status, outcome, exc = _run_one_sequential(
+                specs[i], policy, trace, infra
+            )
+            if status == "ok":
+                if store is not None:
+                    store.save(outcome.to_record())
+            elif not keep_going:
+                if exc is not None:
+                    raise exc
+                raise SuiteExecutionError([outcome])
+            outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]
+
     import multiprocessing
 
-    jobs = min(jobs, len(specs))
     ctx = multiprocessing.get_context(start_method)
-    fork = ctx.get_start_method() == "fork"
     if not chunked:
-        pool, cleanup = _make_pool(ctx, jobs, trace, infra)
+        pool, cleanup = _make_pool(ctx, min(jobs, len(specs)), trace, infra)
         try:
             with pool:
                 return pool.map(_run_worker, specs)
         finally:
             cleanup()
-    chunks = chunk_specs(specs, jobs)
-    # Warm-cache shipping: traces the parent already built travel to
-    # exactly the worker that needs them.  Under the "fork" start method
-    # the children inherit the parent's cache copy-on-write anyway, so
-    # shipping would only duplicate the bytes through a pipe — the
-    # method is detected once here and fork payloads stay empty.
-    ship = trace is None and not fork
-    payloads = []
-    for chunk in chunks:
-        prebuilt = {}
-        if ship:  # a shared trace override supersedes per-spec traces
-            for i in chunk:
-                key = _workload_key(specs[i])
-                built = _TRACE_CACHE.get(key)
-                if built is not None:
-                    prebuilt[key] = built
-        payloads.append(([(i, specs[i]) for i in chunk], prebuilt))
-    pool, cleanup = _make_pool(ctx, min(jobs, len(chunks)), trace, infra)
-    try:
-        with pool:
-            # chunksize=1: each workload piece is dispatched to the next
-            # free worker, so stragglers don't serialise behind a static
-            # split.
-            indexed = [
-                pair
-                for out in pool.map(_run_chunk, payloads, chunksize=1)
-                for pair in out
-            ]
-    finally:
-        cleanup()
-    runs: List[Optional[ScenarioRun]] = [None] * len(specs)
-    for i, run in indexed:
-        runs[i] = run
-    return runs  # type: ignore[return-value]
+
+    sub = [specs[i] for i in todo]
+    jobs = min(jobs, len(todo))
+    local_chunks = chunk_specs(sub, jobs)
+    chunks = [[todo[j] for j in local] for local in local_chunks]
+    pool_size = max(1, min(jobs, len(chunks)))
+    failures = _dispatch_chunks(
+        specs,
+        chunks,
+        pool_size,
+        ctx,
+        trace,
+        infra,
+        policy,
+        keep_going,
+        store,
+        outcomes,
+    )
+    if failures and not keep_going:
+        for _, _, exc in failures:
+            if exc is not None:
+                raise exc
+        raise SuiteExecutionError([failed for _, failed, _ in failures])
+    for i, failed, _ in failures:
+        outcomes[i] = failed
+    return outcomes  # type: ignore[return-value]

@@ -494,3 +494,17 @@ class ScenarioSpec:
         if "tags" in kwargs:
             kwargs["tags"] = tuple(kwargs["tags"])
         return cls(**kwargs)
+
+    def spec_key(self) -> str:
+        """Canonical string identity of this spec.
+
+        The sorted, whitespace-free JSON encoding of :meth:`to_dict` —
+        stable across processes and save/load cycles (``to_dict`` only
+        emits non-default fields, so adding spec fields later does not
+        change the keys of old specs).  ``run_suite(..., resume=True)``
+        uses it to match suite specs against stored
+        :class:`~repro.results.record.ScenarioResult` records.
+        """
+        import json
+
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

@@ -10,13 +10,14 @@ look-ahead predictor is built on (:mod:`~repro.workload.sliding`).
 """
 
 from .sliding import lookahead_max, lookahead_max_reference, trailing_max
-from .trace import SECONDS_PER_DAY, LoadTrace, TraceError
+from .trace import SECONDS_PER_DAY, LoadTrace, TraceError, TraceIngestError
 from .wc98format import read_records, read_trace, records_to_trace, write_records
 from .worldcup import PAPER_DAYS, MatchEvent, WorldCupSynthesizer, synthesize
 
 __all__ = [
     "LoadTrace",
     "TraceError",
+    "TraceIngestError",
     "SECONDS_PER_DAY",
     "lookahead_max",
     "lookahead_max_reference",

@@ -18,13 +18,23 @@ from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["LoadTrace", "TraceError", "SECONDS_PER_DAY"]
+__all__ = ["LoadTrace", "TraceError", "TraceIngestError", "SECONDS_PER_DAY"]
 
 SECONDS_PER_DAY = 86_400
 
 
 class TraceError(ValueError):
     """Raised for malformed traces or out-of-range accesses."""
+
+
+class TraceIngestError(TraceError):
+    """Raised when reading a trace from disk fails.
+
+    The one typed error every ingestion path (CSV, NPZ, WC98 archives)
+    raises for bad input bytes — always carrying the file and the
+    offending line/sample/byte offset, never a leaked numpy, zipfile or
+    struct internal.
+    """
 
 
 @dataclass(frozen=True)
@@ -247,23 +257,36 @@ class LoadTrace:
     def from_csv(
         cls, path: Union[str, Path], name: Optional[str] = None
     ) -> "LoadTrace":
-        """Read a trace written by :meth:`to_csv` (or any ``t,v`` CSV)."""
+        """Read a trace written by :meth:`to_csv` (or any ``t,v`` CSV).
+
+        Non-finite or negative rates raise :class:`TraceIngestError`
+        naming the file and line, instead of the container's generic
+        whole-trace validation error.
+        """
         path = Path(path)
         times: List[float] = []
         vals: List[float] = []
         with path.open() as fh:
             reader = csv.reader(fh)
-            for row in reader:
+            for lineno, row in enumerate(reader, start=1):
                 if not row:
                     continue
                 try:
                     t, v = float(row[0]), float(row[1])
                 except (ValueError, IndexError):
                     continue  # header or comment
+                if not math.isfinite(v):
+                    raise TraceIngestError(
+                        f"{path}: line {lineno}: non-finite load {row[1]!r}"
+                    )
+                if v < 0:
+                    raise TraceIngestError(
+                        f"{path}: line {lineno}: negative load {v:g}"
+                    )
                 times.append(t)
                 vals.append(v)
         if len(vals) < 1:
-            raise TraceError(f"no samples found in {path}")
+            raise TraceIngestError(f"no samples found in {path}")
         step = times[1] - times[0] if len(times) > 1 else 1.0
         return cls(np.asarray(vals), step, name or path.stem, times[0])
 
@@ -279,11 +302,31 @@ class LoadTrace:
 
     @classmethod
     def from_npz(cls, path: Union[str, Path]) -> "LoadTrace":
-        """Load a trace written by :meth:`to_npz`."""
-        with np.load(Path(path), allow_pickle=False) as data:
-            return cls(
-                data["values"],
-                float(data["timestep"]),
-                str(data["name"]),
-                float(data["t0"]),
-            )
+        """Load a trace written by :meth:`to_npz`.
+
+        Truncated/corrupt archives and invalid rates raise
+        :class:`TraceIngestError` with file and sample context instead
+        of leaking numpy/zipfile internals.
+        """
+        import zipfile
+
+        path = Path(path)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                values = np.asarray(data["values"], dtype=float)
+                timestep = float(data["timestep"])
+                name = str(data["name"])
+                t0 = float(data["t0"])
+        except (OSError, KeyError, ValueError, zipfile.BadZipFile) as exc:
+            raise TraceIngestError(
+                f"{path}: unreadable trace archive: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
+        if values.ndim == 1 and values.size:
+            bad = np.flatnonzero(~np.isfinite(values) | (values < 0))
+            if bad.size:
+                i = int(bad[0])
+                raise TraceIngestError(
+                    f"{path}: sample {i}: invalid load {values[i]!r}"
+                )
+        return cls(values, timestep, name, t0)

@@ -33,7 +33,8 @@ from typing import BinaryIO, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from .trace import LoadTrace
+from .. import faults
+from .trace import LoadTrace, TraceIngestError
 
 __all__ = [
     "WC98_RECORD_DTYPE",
@@ -66,13 +67,29 @@ def _open(path: Union[str, Path]) -> BinaryIO:
 
 
 def read_records(path: Union[str, Path]) -> np.ndarray:
-    """Decode one log file (plain or ``.gz``) into a structured array."""
-    with _open(path) as fh:
-        raw = fh.read()
-    if len(raw) % WC98_RECORD_DTYPE.itemsize:
-        raise ValueError(
-            f"{path}: size {len(raw)} is not a multiple of the "
-            f"{WC98_RECORD_DTYPE.itemsize}-byte record"
+    """Decode one log file (plain or ``.gz``) into a structured array.
+
+    Unreadable or truncated archives raise
+    :class:`~repro.workload.trace.TraceIngestError` naming the file and
+    the byte offset where the data stops making sense — gzip/OS errors
+    never leak through raw.
+    """
+    path = Path(path)
+    faults.fire("trace-read", str(path))
+    try:
+        with _open(path) as fh:
+            raw = fh.read()
+    except (OSError, EOFError) as exc:
+        raise TraceIngestError(
+            f"{path}: unreadable WC98 archive: {type(exc).__name__}: {exc}"
+        ) from exc
+    itemsize = WC98_RECORD_DTYPE.itemsize
+    fragment = len(raw) % itemsize
+    if fragment:
+        raise TraceIngestError(
+            f"{path}: truncated WC98 archive: {len(raw)} bytes is not a "
+            f"multiple of the {itemsize}-byte record ({fragment} trailing "
+            f"bytes at offset {len(raw) - fragment})"
         )
     return np.frombuffer(raw, dtype=WC98_RECORD_DTYPE)
 

@@ -193,3 +193,77 @@ class TestPrune:
         # the survivor had seq 3; the next save continues past it
         assert new_id.startswith("0004-")
         assert [s.seq for s in store.list()] == [3, 4]
+
+
+class TestQuarantine:
+    """PR 7: corrupt run directories are skipped with a report, not fatal."""
+
+    def _corrupt_store(self, tmp_path, bml_run, variant_run):
+        store = RunStore(tmp_path)
+        ids = [store.save(bml_run), store.save(variant_run), store.save(bml_run)]
+        return store, ids
+
+    def test_truncated_result_json_is_quarantined(
+        self, tmp_path, bml_run, variant_run
+    ):
+        store, ids = self._corrupt_store(tmp_path, bml_run, variant_run)
+        victim = tmp_path / ids[1] / "result.json"
+        victim.write_text(victim.read_text()[:40])  # torn write
+        stored = store.list()
+        assert [s.run_id for s in stored] == [ids[0], ids[2]]
+        skipped = store.skipped()
+        assert [q.run_id for q in skipped] == [ids[1]]
+        assert "unreadable result.json" in skipped[0].reason
+
+    def test_missing_result_json_is_quarantined(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        run_id = store.save(bml_run)
+        (tmp_path / run_id / "result.json").unlink()
+        assert store.list() == []
+        assert [q.run_id for q in store.skipped()] == [run_id]
+        assert "missing result.json" in store.skipped()[0].reason
+
+    def test_corrupt_series_quarantined_by_load_all(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        good = store.save(bml_run)
+        bad = store.save(bml_run)
+        (tmp_path / bad / "series.npz").write_bytes(b"not an npz")
+        # list() only reads headers, so both look fine ...
+        assert [s.run_id for s in store.list()] == [good, bad]
+        # ... but the full load quarantines the one with the bad series
+        records = store.load_all()
+        assert len(records) == 1
+        assert [q.run_id for q in store.skipped()] == [bad]
+        assert "unloadable run" in store.skipped()[0].reason
+
+    def test_load_all_strict_raises(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        bad = store.save(bml_run)
+        (tmp_path / bad / "series.npz").write_bytes(b"not an npz")
+        with pytest.raises(Exception):
+            store.load_all(strict=True)
+
+    def test_prune_never_touches_quarantined_dirs(
+        self, tmp_path, bml_run
+    ):
+        store = RunStore(tmp_path)
+        ids = [store.save(bml_run) for _ in range(3)]
+        victim = tmp_path / ids[0] / "result.json"
+        victim.write_text("{ not json")
+        removed = store.prune(keep_last=1)
+        # only the readable surplus run goes; the quarantined dir stays
+        assert removed == [ids[1]]
+        assert (tmp_path / ids[0]).is_dir()
+        assert victim.read_text() == "{ not json"
+
+    def test_skipped_resets_per_scan(self, tmp_path, bml_run):
+        store = RunStore(tmp_path)
+        run_id = store.save(bml_run)
+        victim = tmp_path / run_id / "result.json"
+        original = victim.read_text()
+        victim.write_text(original[:30])
+        store.list()
+        assert len(store.skipped()) == 1
+        victim.write_text(original)  # repaired by hand
+        store.list()
+        assert store.skipped() == []

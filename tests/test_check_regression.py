@@ -259,3 +259,83 @@ class TestSamePrRerunGuard:
         )
         assert run_benchmarks.main([]) == 0
         assert any("BENCH_PR3.json" in arg for call in calls for arg in call)
+
+
+class TestTolerantLoading:
+    """PR 7: partial or damaged artifacts degrade with warnings, never crash."""
+
+    def test_missing_file_warns_and_reads_empty(self, tmp_path, capsys):
+        mins = check_regression.load_mins(tmp_path / "nope.json")
+        assert mins == {}
+        assert "unreadable artifact" in capsys.readouterr().out
+
+    def test_malformed_json_warns_and_reads_empty(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_PR9.json"
+        path.write_text("{ torn write")
+        assert check_regression.load_mins(path) == {}
+        assert "unreadable artifact" in capsys.readouterr().out
+
+    def test_missing_benchmark_list_warns(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_PR9.json"
+        path.write_text(json.dumps({"machine_info": {}}))
+        assert check_regression.load_mins(path) == {}
+        assert "no benchmark list" in capsys.readouterr().out
+
+    def test_partial_entries_are_skipped_not_fatal(self, tmp_path, capsys):
+        path = tmp_path / "BENCH_PR9.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "benchmarks": [
+                        {"fullname": "bench::ok", "stats": {"min": 0.5}},
+                        {"fullname": "bench::no-stats"},
+                        "not-a-dict",
+                        {"fullname": "bench::bad", "stats": {"min": "oops"}},
+                    ]
+                }
+            )
+        )
+        mins = check_regression.load_mins(path)
+        assert mins == {"bench::ok": 0.5}
+        assert "non-numeric min" in capsys.readouterr().out
+
+    def test_unreadable_current_artifact_passes_with_warning(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        _artifact(tmp_path / "BENCH_PR1.json", {"bench::x": 1.0})
+        (tmp_path / "BENCH_PR2.json").write_text("garbage")
+        assert check_regression.main([]) == 0
+        out = capsys.readouterr().out
+        assert "unreadable artifact" in out
+        assert "missing from BENCH_PR2.json" in out
+
+
+class TestMissingGroups:
+    def test_lost_group_is_named(self):
+        groups = check_regression.missing_groups(
+            current={"a.py::x": 1.0},
+            previous={"a.py::x": 1.0, "b.py::y": 1.0, "b.py::z": 2.0},
+        )
+        assert groups == ["b.py"]
+
+    def test_no_warning_when_groups_survive(self):
+        assert (
+            check_regression.missing_groups(
+                current={"a.py::x": 1.0, "b.py::y": 5.0},
+                previous={"a.py::x": 1.0, "b.py::z": 2.0},
+            )
+            == []
+        )
+
+    def test_main_warns_about_lost_group(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.setattr(check_regression, "ROOT", tmp_path)
+        _artifact(
+            tmp_path / "BENCH_PR1.json",
+            {"bench_a.py::x": 1.0, "bench_b.py::y": 1.0},
+        )
+        _artifact(tmp_path / "BENCH_PR2.json", {"bench_a.py::x": 1.0})
+        assert check_regression.main([]) == 0
+        out = capsys.readouterr().out
+        assert "benchmark group bench_b.py is missing from BENCH_PR2.json" in out
+        assert "not compared" in out

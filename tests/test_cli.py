@@ -386,3 +386,114 @@ class TestEngineFlag:
         assert "unchanged: paper-lower-bound" in out
         assert "replay statistics" in out
         assert "segments" in out
+
+
+class TestScenarioRunFaultTolerance:
+    """PR 7: exit codes 0/2/1 and the failure/resume surfaces."""
+
+    def _persistent(self, name):
+        from repro import faults
+
+        return faults.FaultPlan(
+            faults=(
+                faults.Fault("spec-error", name, fail_attempts=faults.ALWAYS),
+            )
+        )
+
+    def test_keep_going_exits_2_with_failures_on_stderr(self, capsys):
+        from repro import faults
+
+        with faults.injected(self._persistent("pattern-steady")):
+            code = main(
+                [
+                    "scenario", "run", "pattern-steady", "pattern-flashcrowd",
+                    "--days", "1", "--keep-going",
+                ]
+            )
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "pattern-flashcrowd" in captured.out  # survivor reported
+        assert "failures (1)" in captured.err
+        assert "InjectedFault" in captured.err
+        assert "pattern-steady" in captured.err
+
+    def test_fatal_failure_exits_1(self, capsys):
+        from repro import faults
+
+        with faults.injected(self._persistent("pattern-steady")):
+            code = main(
+                ["scenario", "run", "pattern-steady", "--days", "1"]
+            )
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "scenario run failed: InjectedFault" in captured.err
+
+    def test_all_clean_exits_0(self, capsys):
+        assert (
+            main(["scenario", "run", "pattern-steady", "--days", "1"]) == 0
+        )
+        captured = capsys.readouterr()
+        assert "failures" not in captured.err
+
+    def test_retries_recover_a_transient_failure(self, capsys):
+        from repro import faults
+
+        plan = faults.FaultPlan(
+            faults=(
+                faults.Fault("spec-error", "pattern-steady", fail_attempts=1),
+            )
+        )
+        with faults.injected(plan):
+            code = main(
+                [
+                    "scenario", "run", "pattern-steady",
+                    "--days", "1", "--retries", "2",
+                ]
+            )
+        assert code == 0
+        assert "pattern-steady" in capsys.readouterr().out
+
+    def test_invalid_retries_rejected(self):
+        with pytest.raises(SystemExit, match="max_attempts"):
+            main(
+                [
+                    "scenario", "run", "pattern-steady",
+                    "--days", "1", "--retries", "0",
+                ]
+            )
+
+    def test_resume_requires_save(self):
+        with pytest.raises(SystemExit, match="--resume requires --save"):
+            main(
+                ["scenario", "run", "pattern-steady", "--days", "1", "--resume"]
+            )
+
+    def test_resume_skips_stored_and_reruns_failures(self, capsys, tmp_path):
+        from repro import faults
+
+        store = tmp_path / "runs"
+        with faults.injected(self._persistent("pattern-flashcrowd")):
+            code = main(
+                [
+                    "scenario", "run", "pattern-steady", "pattern-flashcrowd",
+                    "--days", "1", "--keep-going", "--save", str(store),
+                ]
+            )
+        assert code == 2
+        first = capsys.readouterr()
+        assert "saved 0001-pattern-steady" in first.out
+        assert (store / "0001-pattern-steady" / "result.json").exists()
+        assert not (store / "0002-pattern-flashcrowd").exists()
+
+        # fault cleared: resume re-runs only the failed scenario
+        code = main(
+            [
+                "scenario", "run", "pattern-steady", "pattern-flashcrowd",
+                "--days", "1", "--save", str(store), "--resume",
+            ]
+        )
+        assert code == 0
+        second = capsys.readouterr()
+        assert "resumed from store (skipped): pattern-steady" in second.out
+        assert "saved 0002-pattern-flashcrowd" in second.out
+        assert "saved 0001-pattern-steady" not in second.out

@@ -186,3 +186,62 @@ class TestIO:
         back = LoadTrace.from_npz(path)
         assert np.array_equal(back.values, t.values)
         assert (back.timestep, back.t0, back.name) == (5.0, 3.0, "x")
+
+
+class TestIngestErrors:
+    """PR 7: malformed trace files raise one typed error with context."""
+
+    def test_csv_nan_load_names_file_and_line(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "bad.csv"
+        path.write_text("time_s,load\n0,1.0\n1,nan\n")
+        with pytest.raises(TraceIngestError, match=r"line 3: non-finite"):
+            LoadTrace.from_csv(path)
+        with pytest.raises(TraceIngestError, match="bad.csv"):
+            LoadTrace.from_csv(path)
+
+    def test_csv_negative_load_names_file_and_line(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "neg.csv"
+        path.write_text("time_s,load\n0,1.0\n1,-2.5\n")
+        with pytest.raises(TraceIngestError, match=r"line 3: negative load"):
+            LoadTrace.from_csv(path)
+
+    def test_csv_empty_raises_ingest_error(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "empty.csv"
+        path.write_text("time,load\n")
+        with pytest.raises(TraceIngestError, match="no samples"):
+            LoadTrace.from_csv(path)
+
+    def test_npz_truncated_archive_is_typed(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        t = trace_of([1.0, 2.0, 3.0])
+        path = tmp_path / "t.npz"
+        t.to_npz(path)
+        path.write_bytes(path.read_bytes()[:20])  # torn copy
+        with pytest.raises(TraceIngestError, match="unreadable trace archive"):
+            LoadTrace.from_npz(path)
+
+    def test_npz_invalid_sample_named_by_index(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(
+            path,
+            values=np.array([1.0, np.nan, 2.0]),
+            timestep=1.0,
+            t0=0.0,
+            name=np.asarray("x"),
+        )
+        with pytest.raises(TraceIngestError, match="sample 1"):
+            LoadTrace.from_npz(path)
+
+    def test_ingest_error_is_a_trace_error(self):
+        from repro.workload import TraceIngestError
+
+        assert issubclass(TraceIngestError, TraceError)

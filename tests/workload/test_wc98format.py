@@ -130,3 +130,30 @@ class TestMultiFile:
         res = execute_plan(BMLScheduler(infra).plan(trace), trace)
         assert res.total_energy > 0
         assert res.qos(trace).served_fraction > 0.999
+
+
+class TestIngestErrors:
+    """PR 7: broken archives raise TraceIngestError with byte context."""
+
+    def test_truncated_names_offset_and_fragment(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "torn.log"
+        path.write_bytes(b"\x00" * 47)  # 2 records + 7 trailing bytes
+        with pytest.raises(
+            TraceIngestError,
+            match=r"truncated WC98 archive: 47 bytes .*"
+            r"\(7 trailing bytes at offset 40\)",
+        ):
+            read_records(path)
+
+    def test_corrupt_gzip_is_typed(self, tmp_path):
+        from repro.workload.trace import TraceIngestError
+
+        path = tmp_path / "bad.gz"
+        with gzip.open(path, "wb") as fh:
+            fh.write(b"\x00" * 40)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])  # torn download
+        with pytest.raises(TraceIngestError, match="unreadable WC98 archive"):
+            read_records(path)
