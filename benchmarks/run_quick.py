@@ -13,10 +13,16 @@ A fault-injection smoke rides along after the tests: a 3-spec suite with
 one transient injected failure must come back fully recovered through
 ``run_suite``'s retry path (``--no-faults`` skips it).
 
+A sweep smoke follows: the registered ``grid-smoke`` sweep (2x2x2 x 1
+day) expands and runs through the spawn pool with shared-memory trace
+distribution, then the leak check fails if any ``repro``-prefixed
+``/dev/shm`` segment survived the suite (``--no-sweep`` skips it).
+
 Usage::
 
-    python benchmarks/run_quick.py              # quick tests + fault smoke
-    python benchmarks/run_quick.py --no-faults  # quick tests only
+    python benchmarks/run_quick.py              # quick tests + smokes
+    python benchmarks/run_quick.py --no-faults  # skip the fault smoke
+    python benchmarks/run_quick.py --no-sweep   # skip the sweep smoke
     python benchmarks/run_quick.py --perf       # + hot-path benchmarks
     python benchmarks/run_quick.py -- -k table  # extra pytest args
 """
@@ -59,9 +65,45 @@ print("fault smoke: 3/3 scenarios recovered (1 transient fault retried)")
 """
 
 
+#: In-process script proving the PR 8 sweep path end to end: the
+#: registered smoke grid expands, fans out over a spawn pool with
+#: shared-memory trace distribution, and leaves ``/dev/shm`` clean.
+SWEEP_SMOKE = """\
+import glob
+from repro import scenarios
+from repro.workload.trace import SHM_PREFIX, shm_stats
+
+sweep = scenarios.get_sweep("grid-smoke")
+specs = sweep.expand()
+assert len(specs) == sweep.size == 8
+out = scenarios.run_suite(
+    specs, jobs=2, start_method="spawn", chunk_size=1
+)
+assert [o.name for o in out] == [s.name for s in specs]
+stats = scenarios.fanout_stats()
+assert stats["segments_shared"] >= 1, stats  # the pool path really ran
+assert shm_stats()["segments_live"] == 0, shm_stats()
+leaked = glob.glob(f"/dev/shm/{SHM_PREFIX}*")
+assert not leaked, f"leaked shared-memory segments: {leaked}"
+print(
+    f"sweep smoke: {len(out)}/8 grid points ran "
+    f"({stats['segments_shared']} segments shared, 0 leaked)"
+)
+"""
+
+
 def run_fault_smoke(env) -> int:
     cmd = [sys.executable, "-c", FAULT_SMOKE]
     print("$ fault-injection smoke (transient spec-error + retry)", flush=True)
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
+
+def run_sweep_smoke(env) -> int:
+    cmd = [sys.executable, "-c", SWEEP_SMOKE]
+    print(
+        "$ sweep smoke (grid-smoke over spawn pool + shm leak check)",
+        flush=True,
+    )
     return subprocess.call(cmd, cwd=ROOT, env=env)
 
 
@@ -76,6 +118,11 @@ def main(argv=None) -> int:
         "--no-faults",
         action="store_true",
         help="skip the fault-injection smoke",
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the sweep + shared-memory leak smoke",
     )
     parser.add_argument(
         "pytest_args",
@@ -98,6 +145,8 @@ def main(argv=None) -> int:
     status = subprocess.call(cmd, cwd=ROOT, env=env)
     if not args.no_faults:
         status = run_fault_smoke(env) or status
+    if not args.no_sweep:
+        status = run_sweep_smoke(env) or status
     if args.perf:
         from run_benchmarks import main as bench_main
 

@@ -28,15 +28,25 @@ Commands
     Compare two persisted runs (run ids in the store, or paths to run
     directories): headline metric deltas, per-day energy deltas and spec
     field changes.
-``repro scenario report [NAME ...] [--store DIR] [--baseline NAME]
-[--prune N]``
+``repro scenario report [NAME ...] [--store DIR ...] [--baseline NAME]
+[--prune N] [--facet AXIS]``
     Aggregate the latest stored run of each scenario into a suite report
     (summary table, savings vs a baseline); ``--prune N`` first applies
     the store's retention policy (keep each scenario's newest N runs).
+    ``--store`` repeats to federate several stores (newest record per
+    scenario wins — the half-sweep-per-host case); ``--facet AXIS``
+    adds per-axis aggregate tables for sweep-minted runs.
+``repro sweep list|show|expand|run``
+    Parametric scenario grids: list the registered sweeps, show one as
+    JSON, expand one into its minted scenario specs, or run the whole
+    grid through the suite runner (same fan-out, checkpoint and
+    fault-tolerance options as ``scenario run``).
 ``repro cache-stats [--json]``
     Surface every process-level cache's telemetry in one view: the
     memoised infrastructures' combination-table counters, the
-    breakpoint-table LRU and the serving-set kernel LRU.
+    breakpoint-table LRU, the serving-set kernel LRU, and the
+    shared-memory trace fan-out counters (segments, bytes shipped vs
+    pickled).
 """
 
 from __future__ import annotations
@@ -191,6 +201,16 @@ def build_parser() -> argparse.ArgumentParser:
              "workers are detected, the pool resurrected, their work "
              "retried)",
     )
+    p_run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="cap fan-out chunks at N scenarios (finer dispatch/retry "
+             "granularity; shared-memory traces keep it cheap)",
+    )
+    p_run.add_argument(
+        "--no-shm", action="store_true",
+        help="disable shared-memory trace distribution (ship traces "
+             "by value per chunk instead)",
+    )
     p_diff = scen_sub.add_parser(
         "diff", help="compare two persisted runs (metrics, series, spec)"
     )
@@ -216,8 +236,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="scenario names to include (default: every stored scenario)",
     )
     p_report.add_argument(
-        "--store", type=Path, default=Path("runs"),
-        help="run store directory (default: runs/)",
+        "--store", type=Path, action="append", default=None,
+        help="run store directory (default: runs/); repeat to federate "
+             "several stores — the newest record per scenario wins",
     )
     p_report.add_argument(
         "--baseline", default=None,
@@ -228,7 +249,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_report.add_argument(
         "--prune", type=int, default=None, metavar="N",
-        help="first prune the store to each scenario's newest N runs",
+        help="first prune the store to each scenario's newest N runs "
+             "(single --store only)",
+    )
+    p_report.add_argument(
+        "--facet", action="append", default=None, metavar="AXIS",
+        help="add an aggregate table grouped by this sweep axis "
+             "(repeatable; see 'repro sweep list')",
+    )
+
+    p_sweep = sub.add_parser("sweep", help="parametric scenario grids")
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+    sw_list = sweep_sub.add_parser("list", help="show registered sweeps")
+    sw_list.add_argument("--tag", default=None, help="only sweeps with TAG")
+    sw_show = sweep_sub.add_parser("show", help="print one sweep as JSON")
+    sw_show.add_argument("name")
+    sw_expand = sweep_sub.add_parser(
+        "expand", help="mint a sweep's scenario specs"
+    )
+    sw_expand.add_argument("name")
+    sw_expand.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the first N grid points",
+    )
+    sw_expand.add_argument(
+        "--json", action="store_true",
+        help="print the minted specs as a JSON list (from_dict-compatible)",
+    )
+    sw_run = sweep_sub.add_parser(
+        "run", help="run a whole grid through the suite runner"
+    )
+    sw_run.add_argument("name")
+    sw_run.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="only the first N grid points",
+    )
+    sw_run.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (1 = in-process)"
+    )
+    sw_run.add_argument(
+        "--save", type=Path, default=None,
+        help="persist every run into a run store at DIR as it completes",
+    )
+    sw_run.add_argument(
+        "--resume", action="store_true",
+        help="skip grid points the --save store already holds",
+    )
+    sw_run.add_argument(
+        "--keep-going", action="store_true",
+        help="run every grid point even when some fail (exit code 2)",
+    )
+    sw_run.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per scenario before it is declared failed",
+    )
+    sw_run.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-chunk deadline in seconds with --jobs > 1",
+    )
+    sw_run.add_argument(
+        "--chunk-size", type=int, default=None, metavar="N",
+        help="cap fan-out chunks at N scenarios",
+    )
+    sw_run.add_argument(
+        "--no-shm", action="store_true",
+        help="disable shared-memory trace distribution",
+    )
+    sw_run.add_argument(
+        "--baseline", default=None,
+        help="grid-point name to compute savings against",
+    )
+    sw_run.add_argument(
+        "--facet", action="append", default=None, metavar="AXIS",
+        help="add an aggregate table grouped by this sweep axis "
+             "(repeatable)",
     )
 
     p_cache = sub.add_parser(
@@ -527,6 +621,8 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             retry=retry,
             store=store,
             resume=args.resume,
+            chunk_size=args.chunk_size,
+            share_memory=not args.no_shm,
         )
     except Exception as exc:
         # Fatal: a failure run_suite could not degrade (keep_going off,
@@ -634,45 +730,80 @@ def _cmd_scenario_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_facets(report, facets) -> None:
+    """Render one aggregate table per requested sweep axis."""
+    for axis in facets:
+        try:
+            rows = report.facet_rows(axis)
+        except ValueError as exc:
+            raise SystemExit(f"--facet {axis}: {exc}")
+        print()
+        print(render_table(rows, title=f"facet: {axis}"))
+
+
 def _cmd_scenario_report(args: argparse.Namespace) -> int:
     from .analysis.tables import render_suite
     from .results import RunStore, SuiteReport
 
-    from .results import load_run_dir
+    from .results import load_run_dir, merged_results
 
-    store = RunStore(args.store)
+    stores = [RunStore(p) for p in (args.store or [Path("runs")])]
     if args.prune is not None:
+        if len(stores) > 1:
+            raise SystemExit(
+                "scenario report: --prune mutates a store and is "
+                "ambiguous across several --store directories; prune "
+                "them one at a time"
+            )
         if args.prune < 1:
             raise SystemExit(
                 "scenario report: --prune keeps each scenario's newest N "
                 "runs; N must be >= 1"
             )
-        removed = store.prune(keep_last=args.prune)
+        removed = stores[0].prune(keep_last=args.prune)
         if removed:
             print(
                 f"pruned {len(removed)} run(s) past keep-last={args.prune}: "
                 + ", ".join(removed)
             )
-    stored = store.list()
-    if not stored:
-        raise SystemExit(f"no stored runs in {store.root}")
-    # one directory scan: stored is in save order, so the last entry per
-    # name is that scenario's latest run
-    latest = {s.name: s for s in stored}
-    names = args.names or list(dict.fromkeys(s.name for s in stored))
-    missing = [name for name in names if name not in latest]
-    if missing:
-        raise SystemExit(
-            f"no stored run for {missing[0]!r} in {store.root} "
-            f"(stored: {', '.join(sorted(latest))})"
-        )
-    try:
+    roots = ", ".join(str(s.root) for s in stores)
+    if len(stores) == 1:
+        store = stores[0]
+        stored = store.list()
+        if not stored:
+            raise SystemExit(f"no stored runs in {store.root}")
+        # one directory scan: stored is in save order, so the last entry
+        # per name is that scenario's latest run
+        latest = {s.name: s for s in stored}
+        names = args.names or list(dict.fromkeys(s.name for s in stored))
+        missing = [name for name in names if name not in latest]
+        if missing:
+            raise SystemExit(
+                f"no stored run for {missing[0]!r} in {store.root} "
+                f"(stored: {', '.join(sorted(latest))})"
+            )
         records = [load_run_dir(latest[name].path) for name in names]
+    else:
+        # federated view: newest record per scenario across all stores
+        merged = {r.name: r for r in merged_results(stores)}
+        if not merged:
+            raise SystemExit(f"no stored runs in any of: {roots}")
+        names = args.names or list(merged)
+        missing = [name for name in names if name not in merged]
+        if missing:
+            raise SystemExit(
+                f"no stored run for {missing[0]!r} in any of: {roots} "
+                f"(stored: {', '.join(sorted(merged))})"
+            )
+        records = [merged[name] for name in names]
+    try:
         report = SuiteReport(tuple(records), baseline=args.baseline)
     except ValueError as exc:
         raise SystemExit(str(exc))
-    title = f"suite report ({store.root}, latest run per scenario)"
+    title = f"suite report ({roots}, latest run per scenario)"
     print(render_suite(report, title=title))
+    if args.facet:
+        _print_facets(report, args.facet)
     if args.baseline:
         base = report.get(args.baseline)
         print()
@@ -688,23 +819,143 @@ def _cmd_scenario_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from . import scenarios
+
+    if args.sweep_command == "list":
+        rows = []
+        for sweep in scenarios.sweeps():
+            if args.tag and args.tag not in sweep.tags:
+                continue
+            rows.append(
+                {
+                    "name": sweep.name,
+                    "base": sweep.base,
+                    "size": sweep.size,
+                    "axes": sweep.axes_summary(),
+                    "tags": ",".join(sweep.tags),
+                }
+            )
+        print(render_table(rows, title="sweep registry"))
+        return 0
+    try:
+        sweep = scenarios.get_sweep(args.name)
+    except scenarios.ScenarioError as exc:
+        raise SystemExit(str(exc))
+    if args.sweep_command == "show":
+        print(json.dumps(sweep.to_dict(), indent=2))
+        return 0
+    try:
+        specs = sweep.expand()
+    except scenarios.ScenarioError as exc:
+        raise SystemExit(str(exc))
+    if args.limit is not None:
+        if args.limit < 1:
+            raise SystemExit(f"sweep {args.sweep_command}: --limit must be >= 1")
+        specs = specs[: args.limit]
+    if args.sweep_command == "expand":
+        if args.json:
+            print(json.dumps([s.to_dict() for s in specs], indent=2))
+            return 0
+        rows = [
+            {
+                "name": s.name,
+                "policy": s.scheduler.policy,
+                "workload": s.workload.source,
+                "days": s.workload.days,
+                "peak": s.workload.peak_rate,
+                "seed": s.workload.seed,
+            }
+            for s in specs
+        ]
+        print(
+            render_table(
+                rows, title=f"sweep {sweep.name} ({len(specs)}/{sweep.size} points)"
+            )
+        )
+        return 0
+    # run: the same execution/checkpoint path as `scenario run`
+    from .analysis.tables import render_suite
+    from .results import RunStore, SuiteReport
+
+    store = RunStore(args.save) if args.save else None
+    if args.resume and store is None:
+        raise SystemExit("sweep run: --resume requires --save DIR")
+    retry = None
+    if args.retries != 1 or args.timeout is not None:
+        try:
+            retry = scenarios.RetryPolicy(
+                max_attempts=args.retries, timeout_s=args.timeout
+            )
+        except scenarios.ScenarioError as exc:
+            raise SystemExit(f"sweep run: {exc}")
+    saved_before = {s.run_id for s in store.list()} if store else set()
+    try:
+        runs = scenarios.run_suite(
+            specs,
+            jobs=args.jobs,
+            keep_going=args.keep_going,
+            retry=retry,
+            store=store,
+            resume=args.resume,
+            chunk_size=args.chunk_size,
+            share_memory=not args.no_shm,
+        )
+    except Exception as exc:
+        print(
+            f"sweep run failed: {type(exc).__name__}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    try:
+        report = SuiteReport.from_runs(runs, baseline=args.baseline)
+    except ValueError as exc:
+        raise SystemExit(f"sweep run: {exc}")
+    if report.results:
+        print(render_suite(report, title=f"sweep {sweep.name}"))
+    if args.facet:
+        _print_facets(report, args.facet)
+    if store:
+        saved = [
+            s.run_id for s in store.list() if s.run_id not in saved_before
+        ]
+        if saved:
+            print(f"saved {len(saved)} run(s) into {store.root}")
+    if report.failures:
+        print(
+            render_table(
+                report.failure_rows(),
+                title=f"failures ({len(report.failures)})",
+            ),
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
 def collect_cache_stats() -> dict:
     """Every process-level cache's telemetry in one mapping.
 
     Sections: one ``infrastructure[<key>]`` entry per memoised
     :class:`~repro.core.bml.BMLInfrastructure` (the combination-table
-    cache counters), the breakpoint-table LRU of :mod:`repro.sim.energy`
-    and the serving-set kernel LRU of :mod:`repro.sim.loadbalancer`.
+    cache counters), the breakpoint-table LRU of :mod:`repro.sim.energy`,
+    the serving-set kernel LRU of :mod:`repro.sim.loadbalancer`, and the
+    ``shared_memory`` trace fan-out counters (segments live/peak, bytes
+    attached zero-copy vs bytes that would otherwise have been pickled).
     Exposed as a function (not just a CLI command) so tests and
     long-running drivers can snapshot it programmatically.
     """
-    from .scenarios.runner import infra_cache_stats
+    from .scenarios.runner import fanout_stats, infra_cache_stats
     from .sim import breakpoint_cache_stats, serving_kernel_cache_stats
+    from .workload.trace import shm_stats
 
     return {
         "infrastructure": infra_cache_stats(),
         "breakpoint_tables": breakpoint_cache_stats(),
         "serving_set_kernels": serving_kernel_cache_stats(),
+        "shared_memory": {**shm_stats(), **fanout_stats()},
     }
 
 
@@ -720,22 +971,30 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
         rows.append({"cache": f"infrastructure[{label}]", **counters})
     for section in ("breakpoint_tables", "serving_set_kernels"):
         rows.append({"cache": section, **stats[section]})
-    if not rows:
-        print("no caches populated in this process")
-        return 0
-    print(
-        render_table(
-            rows,
-            columns=[
-                "cache",
-                "table_cache_hits",
-                "table_cache_misses",
-                "table_cache_size",
-                "table_cache_maxsize",
-            ],
-            title="cache telemetry (this process)",
+    if rows:
+        print(
+            render_table(
+                rows,
+                columns=[
+                    "cache",
+                    "table_cache_hits",
+                    "table_cache_misses",
+                    "table_cache_size",
+                    "table_cache_maxsize",
+                ],
+                title="cache telemetry (this process)",
+            )
         )
-    )
+    else:
+        print("no caches populated in this process")
+    # The shm counters have their own shape (bytes, segment lifecycle),
+    # so they get their own key/value table rather than blank columns.
+    shm_rows = [
+        {"counter": key, "value": value}
+        for key, value in stats["shared_memory"].items()
+    ]
+    print()
+    print(render_table(shm_rows, title="shared-memory trace fan-out"))
     return 0
 
 
@@ -750,6 +1009,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "trace": _cmd_trace,
         "experiment": _cmd_experiment,
         "scenario": _cmd_scenario,
+        "sweep": _cmd_sweep,
         "cache-stats": _cmd_cache_stats,
     }
     return handlers[args.command](args)

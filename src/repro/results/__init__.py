@@ -36,6 +36,7 @@ from .store import (
     StoredRun,
     StoreError,
     load_run_dir,
+    merged_results,
 )
 
 #: Alias for the root namespace (``repro.diff_results``): ``diff`` reads
@@ -52,6 +53,7 @@ __all__ = [
     "QuarantinedRun",
     "StoreError",
     "load_run_dir",
+    "merged_results",
     "SuiteReport",
     "MetricDelta",
     "ResultDiff",

@@ -5,7 +5,9 @@ suite run (or one store query) and answers the cross-scenario questions
 the paper's evaluation asks: the summary table, savings vs a baseline
 scenario (``energy_savings``), and per-day overhead statistics vs a
 reference (``overhead_stats`` — the "+32 % average over the lower
-bound" headline).  Rendering goes through
+bound" headline).  Suites minted from a sweep additionally answer grid
+questions: :meth:`SuiteReport.facet_rows` aggregates along any axis the
+records carry in ``spec["axes"]``.  Rendering goes through
 :func:`repro.analysis.tables.render_suite` and
 :func:`repro.analysis.figures.suite_series` so tables and figures keep a
 single source of truth for suite output.
@@ -108,6 +110,58 @@ class SuiteReport:
             self.get(name).per_day_energy(),
             self.get(reference).per_day_energy(),
         )
+
+    # -- sweep facets ------------------------------------------------------
+    def facet_axes(self) -> List[str]:
+        """Grid axes present in this suite's records, first-seen order.
+
+        Specs minted by a :class:`~repro.scenarios.sweep.SweepSpec`
+        carry their grid coordinates in ``spec["axes"]``; hand-written
+        scenarios carry none and contribute nothing here.
+        """
+        axes: List[str] = []
+        for r in self.results:
+            for axis in r.spec.get("axes") or {}:
+                if axis not in axes:
+                    axes.append(axis)
+        return axes
+
+    def facet_rows(self, axis: str) -> List[Dict[str, object]]:
+        """Aggregate rows grouped by one grid axis, first-seen order.
+
+        Answers the sweep question "how does energy move along this
+        axis?" without exporting anything: each row covers the records
+        sharing one value of ``axis`` (records without the axis group
+        under ``-``) with count, mean/min/max energy and the served
+        fraction of total demand.
+        """
+        groups: Dict[object, List[ScenarioResult]] = {}
+        for r in self.results:
+            value = (r.spec.get("axes") or {}).get(axis, "-")
+            groups.setdefault(value, []).append(r)
+        if set(groups) == {"-"}:
+            raise ResultError(
+                f"no record carries sweep axis {axis!r} "
+                f"(axes present: {self.facet_axes() or 'none'})"
+            )
+        rows: List[Dict[str, object]] = []
+        for value, records in groups.items():
+            kwh = [r.total_energy_j / 3.6e6 for r in records]
+            demand = sum(r.total_demand for r in records)
+            unserved = sum(r.unserved_demand for r in records)
+            rows.append(
+                {
+                    axis: value,
+                    "n": len(records),
+                    "mean_kwh": round(sum(kwh) / len(kwh), 4),
+                    "min_kwh": round(min(kwh), 4),
+                    "max_kwh": round(max(kwh), 4),
+                    "served": round(
+                        1.0 - unserved / demand if demand else 1.0, 6
+                    ),
+                }
+            )
+        return rows
 
     # -- rendering ---------------------------------------------------------
     def rows(self) -> List[Dict[str, object]]:

@@ -24,6 +24,15 @@ Corrupt or truncated run directories (a torn write, a copy that lost
 inspect them via :meth:`RunStore.skipped` — so one bad directory cannot
 take a whole checkpointed suite's history hostage.  ``prune`` ignores
 quarantined directories (it only ever deletes runs it can read).
+
+Stores **federate** (PR 8): a sweep split across hosts produces one
+store per host, and either :meth:`RunStore.merge` folds them into a
+single store (conflict policy for duplicate spec keys: newest wins, or
+error) or :func:`merged_results` reads several stores side by side
+without copying anything — the view ``repro scenario report --store A
+--store B`` consumes.  Because records carry their own ``created_at``
+and round-trip bit-exactly, a merged store reports identically to the
+store a single host would have produced.
 """
 
 from __future__ import annotations
@@ -45,6 +54,7 @@ __all__ = [
     "QuarantinedRun",
     "StoreError",
     "load_run_dir",
+    "merged_results",
 ]
 
 RESULT_FILE = "result.json"
@@ -272,3 +282,103 @@ class RunStore:
                 else f"store {self.root} is empty"
             )
         return load_run_dir(stored[-1].path)
+
+    # -- federation --------------------------------------------------------
+    def merge(self, *sources, on_conflict: str = "newest") -> List[str]:
+        """Fold other stores' runs into this one; returns the new run ids.
+
+        Each source (a :class:`RunStore` or a path) contributes its
+        newest run per spec key — re-runs *within* one store are normal
+        history, not conflicts.  A spec key seen in **several** stores
+        (this one included) is a conflict, resolved by policy:
+
+        - ``"newest"`` — the record with the latest ``created_at`` wins
+          (ties go to the later-listed source); a source record older
+          than what this store already holds is simply skipped, so the
+          merged store's latest-per-name view is the newest view.
+        - ``"error"`` — raise :class:`StoreError` naming the colliding
+          spec keys; nothing is written (the check runs up front).
+
+        Records are re-saved byte-faithfully (``created_at`` and every
+        metric travel inside the record), so reports over the merged
+        store match reports over the federated view exactly.  Source
+        quarantines fold into this store's :meth:`skipped` report.
+        """
+        if on_conflict not in ("newest", "error"):
+            raise StoreError(
+                f"unknown on_conflict policy {on_conflict!r} "
+                "(choose 'newest' or 'error')"
+            )
+        stores = [
+            src if isinstance(src, RunStore) else RunStore(src)
+            for src in sources
+        ]
+        # Newest record per spec key, per store (dest first = index 0).
+        per_store: List[Dict[str, ScenarioResult]] = []
+        quarantined: List[QuarantinedRun] = []
+        for store in [self] + stores:
+            newest: Dict[str, ScenarioResult] = {}
+            for record in store.load_all():  # save order: later wins
+                newest[record.spec_key()] = record
+            per_store.append(newest)
+            quarantined.extend(store.skipped())
+        if on_conflict == "error":
+            collisions = {}
+            for idx, newest in enumerate(per_store):
+                for key, record in newest.items():
+                    collisions.setdefault(key, []).append(
+                        (idx, record.name)
+                    )
+            dupes = {k: v for k, v in collisions.items() if len(v) > 1}
+            if dupes:
+                names = sorted({name for v in dupes.values() for _, name in v})
+                raise StoreError(
+                    f"merge conflict: {len(dupes)} spec key(s) present in "
+                    f"several stores (scenarios: {', '.join(names)}); "
+                    "re-run with on_conflict='newest' to keep the newest"
+                )
+        dest_newest = per_store[0]
+        winners: Dict[str, ScenarioResult] = {}
+        for newest in per_store[1:]:  # later sources win created_at ties
+            for key, record in newest.items():
+                held = winners.get(key)
+                if held is None or record.created_at >= held.created_at:
+                    winners[key] = record
+        saved: List[str] = []
+        for key, record in winners.items():
+            held = dest_newest.get(key)
+            if held is not None and held.created_at >= record.created_at:
+                continue  # this store already holds the newest
+            saved.append(self.save(record))
+        # Surface every participating store's quarantine in one place.
+        self._skipped = quarantined
+        return saved
+
+
+def merged_results(
+    stores: List[Union[RunStore, str, Path]], strict: bool = False
+) -> List[ScenarioResult]:
+    """The federated latest-per-scenario view over several stores.
+
+    Each scenario name's winner is the record with the newest
+    ``created_at`` across all stores (ties go to the later-listed store,
+    then to save order within it) — exactly the record
+    :meth:`RunStore.merge` would have kept.  Winners are returned in
+    first-seen order, so a report over ``[half_a, half_b]`` lists
+    scenarios in the order the original suite ran them.  With
+    ``strict=True`` any unloadable run raises instead of being skipped.
+    """
+    opened = [
+        src if isinstance(src, RunStore) else RunStore(src) for src in stores
+    ]
+    order: List[str] = []
+    winner: Dict[str, ScenarioResult] = {}
+    for store in opened:
+        for record in store.load_all(strict=strict):
+            held = winner.get(record.name)
+            if held is None:
+                order.append(record.name)
+                winner[record.name] = record
+            elif record.created_at >= held.created_at:
+                winner[record.name] = record
+    return [winner[name] for name in order]

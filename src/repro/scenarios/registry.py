@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from .spec import ScenarioError, ScenarioSpec, SchedulerSpec, WorkloadSpec
+from .sweep import SweepSpec
 
 __all__ = [
     "PAPER_SCENARIOS",
@@ -29,6 +30,10 @@ __all__ = [
     "names",
     "specs",
     "by_tag",
+    "register_sweep",
+    "get_sweep",
+    "sweep_names",
+    "sweeps",
 ]
 
 #: The four Fig. 5 scenarios, in the paper's presentation order.
@@ -72,6 +77,40 @@ def specs() -> List[ScenarioSpec]:
 def by_tag(tag: str) -> List[ScenarioSpec]:
     """Scenarios carrying ``tag``."""
     return [s for s in _REGISTRY.values() if tag in s.tags]
+
+
+# ---------------------------------------------------------------------------
+# Sweep registry
+# ---------------------------------------------------------------------------
+
+_SWEEPS: Dict[str, SweepSpec] = {}
+
+
+def register_sweep(sweep: SweepSpec, replace: bool = False) -> SweepSpec:
+    """Add a sweep to the registry (``replace=True`` to overwrite)."""
+    if not replace and sweep.name in _SWEEPS:
+        raise ScenarioError(f"sweep {sweep.name!r} is already registered")
+    _SWEEPS[sweep.name] = sweep
+    return sweep
+
+
+def get_sweep(name: str) -> SweepSpec:
+    """Look a sweep up by name."""
+    try:
+        return _SWEEPS[name]
+    except KeyError:
+        known = ", ".join(sorted(_SWEEPS))
+        raise ScenarioError(f"unknown sweep {name!r} (known: {known})") from None
+
+
+def sweep_names() -> List[str]:
+    """All registered sweep names (registration order)."""
+    return list(_SWEEPS)
+
+
+def sweeps() -> List[SweepSpec]:
+    """All registered sweeps (registration order)."""
+    return list(_SWEEPS.values())
 
 
 # ---------------------------------------------------------------------------
@@ -291,4 +330,66 @@ register(ScenarioSpec(
     scheduler=SchedulerSpec(policy="bml"),
     engine="event",
     tags=("engine",),
+))
+
+# ---------------------------------------------------------------------------
+# Seeded sweeps
+# ---------------------------------------------------------------------------
+# Parametric grids over the catalogue (:mod:`repro.scenarios.sweep`):
+# ``repro sweep list|show|expand|run``.  Registered sweeps are
+# *declarations* — nothing is expanded or built at import time, so even
+# a thousand-point grid costs nothing to carry here.
+
+register_sweep(SweepSpec(
+    name="grid-smoke",
+    description="2x2x2 day-long grid: the smallest sweep that exercises "
+                "every layer (expansion, pool fan-out, shared-memory "
+                "trace distribution) — the CI smoke grid.",
+    base="paper-bml",
+    axes=(
+        ("policy", ("bml", "upper-global")),
+        ("seed", (3, 5)),
+        ("peak_rate", (2000.0, 3000.0)),
+        ("days", (1,)),
+    ),
+    tags=("smoke",),
+))
+
+register_sweep(SweepSpec(
+    name="fig5-grid",
+    description="The paper's Fig. 5 comparison as a grid: all four "
+                "policies crossed with trace seed and peak rate "
+                "(scheduler x workload x max_rate), two days per point.",
+    base="paper-bml",
+    axes=(
+        ("policy", (
+            "upper-global", "upper-per-day", "bml", "lower-bound",
+        )),
+        ("seed", (1998, 7)),
+        ("peak_rate", (2500.0, 5000.0, 7500.0)),
+        ("days", (2,)),
+    ),
+    tags=("paper", "fig5"),
+))
+
+register_sweep(SweepSpec(
+    name="fleet-grid",
+    description="A 288-point fleet study over the BML scheduler: "
+                "inventory x power cap x prediction error x trace seed "
+                "x days x look-ahead window (the ISSUE's fleet-scale "
+                "sweep shape).",
+    base="paper-bml",
+    axes=(
+        ("inventory", (
+            ("full", None),
+            ("small-dc", {"chromebook": 20, "paravance": 2, "raspberry": 10}),
+            ("no-medium", {"chromebook": 0, "paravance": 6, "raspberry": 600}),
+        )),
+        ("powercap", (None, 0.7)),
+        ("noise_sigma", (0.0, 0.15)),
+        ("seed", (7, 11, 13, 17)),
+        ("days", (1, 2)),
+        ("window", (189, 378, 756)),
+    ),
+    tags=("fleet",),
 ))

@@ -11,11 +11,14 @@ it on the requested engine, and wraps everything in a
 :func:`run_suite` fans a list of specs out over a ``multiprocessing``
 pool (``jobs`` worker processes; ``jobs=1`` stays in-process), returning
 the per-scenario results in input order.  Fan-out is **chunked by
-workload** (:func:`chunk_specs`): scenarios sharing a trace land on the
-same worker, and traces the parent already built ship to exactly that
-worker, so the pool starts warm instead of rebuilding every cache after
-the fork.  Parallel results are bit-identical to sequential ones —
-pinned by ``tests/test_scenarios.py``.
+workload** (:func:`chunk_specs`), and trace distribution is
+**zero-copy** (PR 8): each workload spanning several chunks is built
+once by the dispatcher, published as a named
+``multiprocessing.shared_memory`` segment
+(:mod:`repro.workload.trace`), and mapped read-only by every worker —
+instead of being pickled per chunk or rebuilt per worker.  Parallel
+results are bit-identical to sequential ones — pinned by
+``tests/test_scenarios.py``.
 
 Fault tolerance (PR 7): the pool path is an ``apply_async`` dispatcher,
 not a blind ``pool.map``.  Each chunk carries a deadline, crashed
@@ -46,7 +49,13 @@ from ..core.prediction import Predictor
 from ..core.scheduler import BMLScheduler
 from ..sim.datacenter import execute_plan, lower_bound_result
 from ..sim.results import QoSReport, SimulationResult
-from ..workload.trace import LoadTrace
+from ..workload.trace import (
+    LoadTrace,
+    SharedTraceHandle,
+    attach_trace,
+    release_segment,
+    share_trace,
+)
 from .spec import ScenarioError, ScenarioSpec, WorkloadSpec
 
 __all__ = [
@@ -59,6 +68,7 @@ __all__ = [
     "chunk_specs",
     "clear_caches",
     "infra_cache_stats",
+    "fanout_stats",
 ]
 
 
@@ -74,6 +84,25 @@ _INFRA_CACHE: Dict[Tuple[str, Optional[float]], BMLInfrastructure] = {}
 #: 87-day 1 Hz trace is ~60 MB, so only the most recent few stay alive.
 _TRACE_CACHE: "OrderedDict[Tuple[WorkloadSpec, int], LoadTrace]" = OrderedDict()
 _TRACE_CACHE_MAX = 4
+
+
+#: Trace-distribution telemetry (cumulative, this process).  The
+#: ``worker_trace_builds`` counter aggregates the builds pool workers
+#: reported back — the figure the shared-memory path drives to zero for
+#: every workload the dispatcher published.
+_FANOUT_STATS: Dict[str, int] = {
+    "trace_builds": 0,
+    "worker_trace_builds": 0,
+    "segments_shared": 0,
+    "handles_shipped": 0,
+    "bytes_shipped": 0,
+    "bytes_pickle_avoided": 0,
+}
+
+
+def fanout_stats() -> Dict[str, int]:
+    """Snapshot of the suite fan-out telemetry (``repro cache-stats``)."""
+    return dict(_FANOUT_STATS)
 
 
 def clear_caches() -> None:
@@ -114,6 +143,7 @@ def _trace_for(workload: WorkloadSpec) -> LoadTrace:
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         trace = workload.build()
+        _FANOUT_STATS["trace_builds"] += 1
         _TRACE_CACHE[key] = trace
         while len(_TRACE_CACHE) > _TRACE_CACHE_MAX:
             _TRACE_CACHE.popitem(last=False)
@@ -382,10 +412,12 @@ _WORKER_SHARED: Dict[str, object] = {}
 
 
 def _init_worker(
-    trace: Optional[LoadTrace],
+    trace: Optional[Union[LoadTrace, SharedTraceHandle]],
     infra: Optional[BMLInfrastructure],
     fault_plan: Optional[faults.FaultPlan] = None,
 ) -> None:
+    if isinstance(trace, SharedTraceHandle):
+        trace = attach_trace(trace)
     _WORKER_SHARED["trace"] = trace
     _WORKER_SHARED["infra"] = infra
     if fault_plan is not None:
@@ -407,7 +439,9 @@ def _workload_key(spec: ScenarioSpec) -> Tuple[WorkloadSpec, int]:
 
 
 def chunk_specs(
-    specs: Sequence[ScenarioSpec], jobs: int
+    specs: Sequence[ScenarioSpec],
+    jobs: int,
+    chunk_size: Optional[int] = None,
 ) -> List[List[int]]:
     """Partition spec indices into workload-coalesced pool tasks.
 
@@ -416,7 +450,12 @@ def chunk_specs(
     trace construction across the pool.  A group bigger than one
     worker's fair share (``ceil(n / jobs)``) is split into fair-share
     pieces first: a catalogue dominated by one workload still
-    parallelises, at the cost of one extra trace build per piece.
+    parallelises.  ``chunk_size`` caps the piece size below the fair
+    share for finer dispatch granularity — smaller chunks mean finer
+    retry/timeout units and better straggler balance, and since the
+    dispatcher distributes each workload's trace *once* via shared
+    memory (not once per piece, see :func:`run_suite`), fine-grained
+    pieces no longer pay a per-piece trace cost.
 
     Each chunk stays **one pool task** (no merging down to exactly
     ``jobs`` chunks): per-scenario runtimes vary wildly, so the pool's
@@ -428,14 +467,18 @@ def chunk_specs(
     """
     if jobs < 1:
         raise ScenarioError("jobs must be >= 1")
+    if chunk_size is not None and chunk_size < 1:
+        raise ScenarioError("chunk_size must be >= 1")
     groups: "OrderedDict[Tuple[WorkloadSpec, int], List[int]]" = OrderedDict()
     for i, spec in enumerate(specs):
         groups.setdefault(_workload_key(spec), []).append(i)
-    fair_share = -(-len(specs) // jobs)  # ceil
+    size = -(-len(specs) // jobs)  # ceil: one worker's fair share
+    if chunk_size is not None:
+        size = min(size, chunk_size)
     pieces: List[List[int]] = []
     for idxs in groups.values():
-        for k in range(0, len(idxs), fair_share):
-            pieces.append(idxs[k : k + fair_share])
+        for k in range(0, len(idxs), size):
+            pieces.append(idxs[k : k + size])
     return sorted(pieces, key=lambda idxs: (-len(idxs), idxs[0]))
 
 
@@ -481,20 +524,30 @@ def _spec_outcome(
         )
 
 
-def _run_chunk_guarded(payload) -> List[Tuple[int, Tuple[str, object]]]:
+def _run_chunk_guarded(payload):
     """Pool worker for one chunk: pre-warm caches, run specs in order.
 
     ``payload`` is ``(pairs, prebuilt, attempt)``: the chunk's
-    ``(index, spec)`` pairs, any traces the parent had already built for
-    the chunk's workloads (seeded into this worker's ``_TRACE_CACHE`` so
-    the fork starts warm), and the chunk's attempt number — which drives
-    deterministic fault injection.  Per-spec exceptions are captured
+    ``(index, spec)`` pairs, the traces the dispatcher distributed for
+    the chunk's workloads — each either a :class:`SharedTraceHandle`
+    (attached here, zero-copy) or a pickled :class:`LoadTrace` — seeded
+    into this worker's ``_TRACE_CACHE`` so the chunk never rebuilds
+    them, and the chunk's attempt number, which drives deterministic
+    fault injection.  Per-spec exceptions are captured
     (``_spec_outcome``), so one bad spec never takes down its
     chunk-mates' finished results.
+
+    Returns ``(results, stats)``: the per-spec outcomes plus this
+    chunk's worker-side telemetry (``trace_builds`` — the number of
+    traces this worker had to build itself, which the dispatcher
+    aggregates into ``fanout_stats()["worker_trace_builds"]``).
     """
     pairs, prebuilt, attempt = payload
     for key, built in prebuilt.items():
+        if isinstance(built, SharedTraceHandle):
+            built = attach_trace(built)
         _TRACE_CACHE[key] = built
+    builds_before = _FANOUT_STATS["trace_builds"]
     out: List[Tuple[int, Tuple[str, object]]] = []
     for i, spec in pairs:
         faults.fire("worker-crash", spec.name, attempt)
@@ -510,10 +563,11 @@ def _run_chunk_guarded(payload) -> List[Tuple[int, Tuple[str, object]]]:
                 ),
             )
         )
-    return out
+    stats = {"trace_builds": _FANOUT_STATS["trace_builds"] - builds_before}
+    return out, stats
 
 
-def _make_pool(ctx, processes, trace, infra):
+def _make_pool(ctx, processes, trace, infra, share_memory=True):
     """A worker pool with the shared overrides installed fork-aware.
 
     Under the ``fork`` start method the children inherit the parent's
@@ -522,10 +576,14 @@ def _make_pool(ctx, processes, trace, infra):
     Instead the overrides are installed into the parent's module global
     *before* the fork and restored after — the children keep their
     inherited copy.  ``spawn``/``forkserver`` children start from a
-    fresh interpreter and genuinely need the pickled initargs.
+    fresh interpreter; with ``share_memory`` a trace override is
+    published once in a shared-memory segment and only the handle rides
+    the initargs pipe (each worker maps the same pages), otherwise the
+    trace is pickled per worker.
 
     Returns ``(pool, cleanup)``; callers must run ``cleanup()`` after
-    closing the pool (it undoes the parent-side global mutation).
+    closing the pool (it undoes the parent-side global mutation and
+    releases the initargs segment).
     """
     if ctx.get_start_method() == "fork":
         saved = dict(_WORKER_SHARED)
@@ -536,14 +594,35 @@ def _make_pool(ctx, processes, trace, infra):
             _WORKER_SHARED.update(saved)
 
         return ctx.Pool(processes=processes), cleanup
-    return (
-        ctx.Pool(
-            processes=processes,
-            initializer=_init_worker,
-            initargs=(trace, infra, faults.active()),
-        ),
-        lambda: None,
+    handle = None
+    shipped = trace
+    if trace is not None:
+        if share_memory:
+            try:
+                handle = share_trace(trace)
+                shipped = handle
+                _FANOUT_STATS["segments_shared"] += 1
+                # without the segment every spawned worker would have
+                # received its own pickled copy through initargs
+                _FANOUT_STATS["bytes_pickle_avoided"] += (
+                    trace.values.nbytes * processes
+                )
+            except OSError:  # no usable /dev/shm: fall back to pickling
+                handle = None
+                shipped = trace
+        if handle is None:
+            _FANOUT_STATS["bytes_shipped"] += trace.values.nbytes * processes
+    pool = ctx.Pool(
+        processes=processes,
+        initializer=_init_worker,
+        initargs=(shipped, infra, faults.active()),
     )
+
+    def cleanup():
+        if handle is not None:
+            release_segment(handle)
+
+    return pool, cleanup
 
 
 class _Task:
@@ -650,6 +729,7 @@ def _dispatch_chunks(
     keep_going: bool,
     store,
     outcomes: List[Optional[SuiteOutcome]],
+    share_memory: bool = True,
 ) -> List[Tuple[int, FailedRun, Optional[BaseException]]]:
     """The ``apply_async`` dispatcher behind the pool path of
     :func:`run_suite`.
@@ -657,6 +737,19 @@ def _dispatch_chunks(
     Successes are written into ``outcomes`` (and checkpointed through
     ``store``) as they land; the return value is the terminal failures
     as ``(spec_index, FailedRun, carried_exception)``.
+
+    Trace distribution (``share_memory``, the default): any workload
+    split across several chunks — or already built in the parent — is
+    built **once**, published in a shared-memory segment
+    (:func:`repro.workload.trace.share_trace`), and referenced by handle
+    in every chunk payload; workers map the same physical pages instead
+    of unpickling or rebuilding the arrays.  Workloads confined to one
+    chunk are left for their worker to build (still exactly one build).
+    Segments are owned by this process and released in the ``finally``
+    below — they survive pool resurrection (retried chunks re-ship the
+    same handle) but never survive the dispatcher, even on error.
+    ``share_memory=False`` keeps the per-chunk by-value shipping path
+    (the ``perf-sweep`` benchmark's reference).
 
     Recovery policy:
 
@@ -678,24 +771,64 @@ def _dispatch_chunks(
       fail; no innocent ever burns an attempt on a neighbour's crash.
     """
     fork = ctx.get_start_method() == "fork"
-    ship = trace is None and not fork
+    share = share_memory and trace is None
+    ship = trace is None and not fork and not share
     pending = deque(_Task(chunk) for chunk in chunks)
     inflight: List[list] = []  # [task, async_result, deadline]
     first_seen: Dict[int, float] = {}
     failures: List[Tuple[int, FailedRun, Optional[BaseException]]] = []
+    #: Workload key -> live SharedTraceHandle published by this dispatcher.
+    shared_handles: Dict[Tuple[WorkloadSpec, int], SharedTraceHandle] = {}
+    #: How many chunks touch each workload: a workload split across
+    #: several pieces is worth a parent build + segment; a single-piece
+    #: workload is left to its worker (one build either way).
+    pieces_per_key: Dict[Tuple[WorkloadSpec, int], int] = {}
+    for chunk in chunks:
+        for key in {_workload_key(specs[i]) for i in chunk}:
+            pieces_per_key[key] = pieces_per_key.get(key, 0) + 1
+    #: Keys forked children inherited copy-on-write at pool creation —
+    #: publishing a segment for those would be a pure extra copy.
+    inherited: set = set()
 
     def payload_for(task: _Task):
-        # Warm-cache shipping: traces the parent already built travel to
-        # exactly the worker that needs them.  Under "fork" the children
-        # inherit the parent's cache copy-on-write, so payloads stay
-        # empty rather than duplicating the bytes through a pipe.
+        # Trace distribution: each workload travels at most once per
+        # host.  ``share`` publishes it as a named segment and ships the
+        # handle with every chunk; ``ship`` (legacy) pickles any parent-
+        # built trace into the payload; under plain ``fork`` the
+        # children inherit the parent's cache copy-on-write.
         prebuilt = {}
-        if ship:  # a shared trace override supersedes per-spec traces
+        if trace is None:  # a shared override supersedes per-spec traces
             for i in task.indices:
                 key = _workload_key(specs[i])
-                built = _TRACE_CACHE.get(key)
-                if built is not None:
-                    prebuilt[key] = built
+                if key in prebuilt:
+                    continue
+                if share:
+                    if key in inherited:
+                        continue
+                    handle = shared_handles.get(key)
+                    if handle is None and (
+                        pieces_per_key.get(key, 0) > 1 or key in _TRACE_CACHE
+                    ):
+                        built = _trace_for(specs[i].workload)
+                        try:
+                            handle = share_trace(built)
+                        except OSError:  # no /dev/shm: ship by value
+                            prebuilt[key] = built
+                            _FANOUT_STATS["bytes_shipped"] += (
+                                built.values.nbytes
+                            )
+                            continue
+                        shared_handles[key] = handle
+                        _FANOUT_STATS["segments_shared"] += 1
+                    if handle is not None:
+                        prebuilt[key] = handle
+                        _FANOUT_STATS["handles_shipped"] += 1
+                        _FANOUT_STATS["bytes_pickle_avoided"] += handle.nbytes
+                elif ship:
+                    built = _TRACE_CACHE.get(key)
+                    if built is not None:
+                        prebuilt[key] = built
+                        _FANOUT_STATS["bytes_shipped"] += built.values.nbytes
         return ([(i, specs[i]) for i in task.indices], prebuilt, task.attempt)
 
     def charge(
@@ -750,7 +883,7 @@ def _dispatch_chunks(
             inflight.remove(entry)
             task = entry[0]
             try:
-                results = entry[1].get()
+                results, wstats = entry[1].get()
             except Exception as exc:
                 # The chunk died as a whole (e.g. its result failed to
                 # unpickle) without per-spec attribution.
@@ -758,6 +891,9 @@ def _dispatch_chunks(
                     task, now, "ChunkError", f"{type(exc).__name__}: {exc}"
                 )
                 continue
+            _FANOUT_STATS["worker_trace_builds"] += int(
+                wstats.get("trace_builds", 0)
+            )
             for i, (status, payload) in results:
                 if status == "ok":
                     record_success(i, payload)
@@ -772,16 +908,20 @@ def _dispatch_chunks(
                     )
         return bool(done)
 
-    pool, cleanup = _make_pool(ctx, pool_size, trace, infra)
+    pool, cleanup = _make_pool(ctx, pool_size, trace, infra, share_memory)
     pids = _pool_pids(pool)
+    if fork:
+        inherited = set(_TRACE_CACHE)
 
     def reset_pool() -> None:
-        nonlocal pool, cleanup, pids
+        nonlocal pool, cleanup, pids, inherited
         pool.terminate()
         pool.join()
         cleanup()
-        pool, cleanup = _make_pool(ctx, pool_size, trace, infra)
+        pool, cleanup = _make_pool(ctx, pool_size, trace, infra, share_memory)
         pids = _pool_pids(pool)
+        if fork:
+            inherited = set(_TRACE_CACHE)
 
     try:
         while pending or inflight:
@@ -862,6 +1002,11 @@ def _dispatch_chunks(
         pool.terminate()
         pool.join()
         cleanup()
+        # Segments outlive pool resurrections but never the dispatcher:
+        # releasing after the pool is down means no worker still maps
+        # them, and /dev/shm is clean even when the suite aborted.
+        for handle in shared_handles.values():
+            release_segment(handle)
     return failures
 
 
@@ -876,26 +1021,35 @@ def run_suite(
     retry: Optional[RetryPolicy] = None,
     store=None,
     resume: bool = False,
+    chunk_size: Optional[int] = None,
+    share_memory: bool = True,
 ) -> List[SuiteOutcome]:
     """Run many scenarios, optionally fanned out over worker processes.
 
     ``jobs=1`` runs in-process (sharing this process's caches);
     ``jobs>1`` uses a ``multiprocessing`` pool.  With ``chunked=True``
     (default) the specs are partitioned by workload (:func:`chunk_specs`)
-    into one task per workload piece: scenarios sharing a trace run in
-    the same process (each trace built once across the whole pool) and
-    any trace the parent already holds in its cache ships to exactly the
-    worker that needs it.  ``chunked=False`` keeps the PR 3 per-spec task
-    scheduling — retained as the fan-out reference the ``perf-suite``
-    benchmark group measures against (it does not support the
-    fault-tolerance options below).  Results come back in input order
-    and are bit-identical across all modes: scenarios are independent,
-    and every worker runs the same deterministic code path.
-    ``trace``/``infra`` are shared overrides applied to *every* scenario
-    (callers that already built the workload pass it here instead of
-    paying a rebuild per scenario or per worker).  ``start_method``
-    overrides the platform's multiprocessing start method (tests pin
-    ``"fork"``/``"spawn"`` to cover both shipping regimes).
+    into one task per workload piece (``chunk_size`` caps the piece size
+    for finer dispatch/retry granularity), and each workload's trace is
+    distributed **at most once per host**: with ``share_memory`` (the
+    default) any workload spanning several chunks is built once by the
+    dispatcher, published as a ``multiprocessing.shared_memory``
+    segment, and mapped zero-copy by every worker that needs it —
+    fan-out cost no longer scales with worker or chunk count.
+    ``share_memory=False`` keeps the by-value path (traces pickled per
+    chunk payload under ``spawn``) — the reference the ``perf-sweep``
+    benchmark group measures against.  ``chunked=False`` keeps the PR 3
+    per-spec task scheduling — the ``perf-suite`` reference (it does not
+    support the fault-tolerance options below).  Results come back in
+    input order and are bit-identical across all modes: scenarios are
+    independent, every worker runs the same deterministic code path,
+    and a shared-memory attach yields the same float64 arrays a local
+    build would.  ``trace``/``infra`` are shared overrides applied to
+    *every* scenario (callers that already built the workload pass it
+    here instead of paying a rebuild per scenario or per worker).
+    ``start_method`` overrides the platform's multiprocessing start
+    method (tests pin ``"fork"``/``"spawn"`` to cover both shipping
+    regimes).
 
     Fault tolerance:
 
@@ -926,6 +1080,10 @@ def run_suite(
             "chunked=False (the per-spec reference path) does not support "
             "keep_going/retry/store"
         )
+    if not chunked and chunk_size is not None:
+        raise ScenarioError(
+            "chunk_size only applies to the chunked dispatcher"
+        )
     policy = retry if retry is not None else _NO_RETRY
     outcomes: List[Optional[SuiteOutcome]] = [None] * len(specs)
     if resume:
@@ -955,7 +1113,9 @@ def run_suite(
 
     ctx = multiprocessing.get_context(start_method)
     if not chunked:
-        pool, cleanup = _make_pool(ctx, min(jobs, len(specs)), trace, infra)
+        pool, cleanup = _make_pool(
+            ctx, min(jobs, len(specs)), trace, infra, share_memory=False
+        )
         try:
             with pool:
                 return pool.map(_run_worker, specs)
@@ -964,7 +1124,7 @@ def run_suite(
 
     sub = [specs[i] for i in todo]
     jobs = min(jobs, len(todo))
-    local_chunks = chunk_specs(sub, jobs)
+    local_chunks = chunk_specs(sub, jobs, chunk_size)
     chunks = [[todo[j] for j in local] for local in local_chunks]
     pool_size = max(1, min(jobs, len(chunks)))
     failures = _dispatch_chunks(
@@ -978,6 +1138,7 @@ def run_suite(
         keep_going,
         store,
         outcomes,
+        share_memory=share_memory,
     )
     if failures and not keep_going:
         for _, _, exc in failures:

@@ -420,10 +420,22 @@ class ScenarioSpec:
     scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
     engine: str = "fast"
     tags: Tuple[str, ...] = ()
+    #: Sweep provenance: the grid coordinates this spec was minted at,
+    #: as ``(axis, value)`` pairs of JSON scalars (see
+    #: :mod:`repro.scenarios.sweep`).  Reports facet on these.
+    axes: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
             raise ScenarioError("scenario name must be non-empty")
+        frozen_axes = _freeze(self.axes) or ()
+        for axis, value in frozen_axes:
+            if value is not None and not isinstance(value, (str, int, float, bool)):
+                raise ScenarioError(
+                    f"axis {axis!r} value {value!r} is not a JSON scalar "
+                    "(sweep axes must round-trip through to_dict)"
+                )
+        object.__setattr__(self, "axes", frozen_axes)
         if self.profiles not in PROFILE_SOURCES:
             raise ScenarioError(
                 f"unknown profile source {self.profiles!r} "
@@ -482,6 +494,8 @@ class ScenarioSpec:
         out["scheduler"] = self.scheduler.to_dict()
         if "tags" in out:
             out["tags"] = list(self.tags)
+        if "axes" in out:
+            out["axes"] = dict(self.axes)
         return out
 
     @classmethod
@@ -493,6 +507,8 @@ class ScenarioSpec:
             kwargs["scheduler"] = SchedulerSpec.from_dict(kwargs["scheduler"])
         if "tags" in kwargs:
             kwargs["tags"] = tuple(kwargs["tags"])
+        if "axes" in kwargs:
+            kwargs["axes"] = _freeze(kwargs["axes"])
         return cls(**kwargs)
 
     def spec_key(self) -> str:

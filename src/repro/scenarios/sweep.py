@@ -1,0 +1,343 @@
+"""Parametric sweeps: scenario grids declared as data.
+
+The paper's headline artefact is a *grid* — Fig. 5 sweeps scheduler x
+workload x peak rate over the World Cup trace — and fleet-scale studies
+multiply that by inventories, power caps and prediction error.  Hand-
+registering hundreds of near-identical scenarios does not scale; a
+:class:`SweepSpec` declares the axes once and **mints** the cross
+product as deterministic, canonically named
+:class:`~repro.scenarios.spec.ScenarioSpec` lists.
+
+A sweep is a base scenario plus axes::
+
+    SweepSpec(
+        name="fig5-grid",
+        base="paper-bml",
+        axes=(
+            ("policy", ("bml", "upper-global")),
+            ("peak_rate", (2500.0, 5000.0)),
+            ("days", (2,)),
+        ),
+    )
+
+``expand()`` yields one spec per grid point, named
+``fig5-grid+policy=bml+peak_rate=2500+days=2`` and so on — names are a
+pure function of the declaration, so two hosts expanding the same sweep
+mint byte-identical spec lists (the federated-store merge in
+:mod:`repro.results.store` depends on that).  Every minted spec carries
+its grid coordinates in ``ScenarioSpec.axes`` so suite reports can facet
+by axis, plus the tags ``("sweep", "sweep:<name>")``.
+
+Axis targets are resolved by field name: scheduler knobs (``policy``,
+``window``, ``noise_sigma``, ...), workload knobs (``seed``,
+``peak_rate``, ``days`` — day counts are *pinned*, immune to the
+``REPRO_FIG5_DAYS`` override), and scenario knobs (``powercap``,
+``profiles``, ``engine``).  Three axes take **labelled** values —
+``(label, payload)`` pairs — because their payloads are mappings, not
+scalars: ``inventory`` (per-architecture machine limits or ``None``),
+``params`` (workload source overrides) and ``workload`` (a whole
+``WorkloadSpec`` dict; field axes declared alongside still win).
+
+Like :class:`ScenarioSpec`, sweeps JSON round-trip:
+``SweepSpec.from_dict(sweep.to_dict()) == sweep``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, replace
+from itertools import product
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .spec import ScenarioError, ScenarioSpec, WorkloadSpec
+
+__all__ = ["SweepSpec", "SCALAR_AXES", "LABELLED_AXES"]
+
+#: Axes applied to ``ScenarioSpec`` fields.
+_SPEC_AXES = ("profiles", "powercap", "engine")
+#: Axes applied to ``WorkloadSpec`` fields.
+_WORKLOAD_AXES = ("source", "days", "seed", "peak_rate", "pattern", "path")
+#: Axes applied to ``SchedulerSpec`` fields.
+_SCHEDULER_AXES = (
+    "policy",
+    "method",
+    "predictor",
+    "window",
+    "noise_sigma",
+    "noise_bias",
+    "noise_seed",
+    "alpha",
+    "headroom",
+    "min_instances",
+    "max_instances",
+)
+#: Every axis taking plain JSON-scalar values.
+SCALAR_AXES = _SPEC_AXES + _WORKLOAD_AXES + _SCHEDULER_AXES
+#: Axes taking ``(label, payload)`` values (payloads are mappings).
+LABELLED_AXES = ("inventory", "params", "workload")
+
+_NAME_RE = re.compile(r"^[A-Za-z0-9._-]+$")
+_TOKEN_BAD = re.compile(r"[^A-Za-z0-9._-]")
+
+
+def _token(value) -> str:
+    """A grid-point value as a name fragment (filesystem/run-id safe)."""
+    if value is None:
+        return "none"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        s = format(value, "g")
+    else:
+        s = str(value)
+    return _TOKEN_BAD.sub("-", s)
+
+
+def _canon(payload) -> Optional[str]:
+    """A labelled-axis payload in canonical JSON (hashable, comparable)."""
+    if payload is None:
+        return None
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A parametric grid over a base scenario.
+
+    ``axes`` is an ordered tuple of ``(axis, values)`` pairs; expansion
+    order is the cross product with the *last* axis varying fastest
+    (``itertools.product`` order), and minted names list the axes in
+    declaration order.  Axis order is therefore part of the sweep's
+    identity — it changes names, not physics.
+    """
+
+    name: str
+    description: str = ""
+    base: str = "paper-bml"
+    axes: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name or not _NAME_RE.match(self.name):
+            raise ScenarioError(
+                f"sweep name {self.name!r} must be non-empty and use only "
+                "[A-Za-z0-9._-] (it prefixes minted scenario names)"
+            )
+        seen = set()
+        norm: List[Tuple[str, Tuple[object, ...]]] = []
+        for axis, values in self.axes:
+            axis = str(axis)
+            if axis in seen:
+                raise ScenarioError(f"duplicate sweep axis {axis!r}")
+            seen.add(axis)
+            values = tuple(values)
+            if not values:
+                raise ScenarioError(f"sweep axis {axis!r} has no values")
+            if axis in LABELLED_AXES:
+                values = tuple(self._norm_labelled(axis, v) for v in values)
+            elif axis in SCALAR_AXES:
+                for v in values:
+                    if v is not None and not isinstance(
+                        v, (str, int, float, bool)
+                    ):
+                        raise ScenarioError(
+                            f"axis {axis!r} value {v!r} is not a JSON "
+                            f"scalar (use the labelled axes {LABELLED_AXES} "
+                            "for structured values)"
+                        )
+            else:
+                raise ScenarioError(
+                    f"unknown sweep axis {axis!r} (scalar axes: "
+                    f"{SCALAR_AXES}; labelled axes: {LABELLED_AXES})"
+                )
+            tokens = [
+                v[0] if axis in LABELLED_AXES else _token(v) for v in values
+            ]
+            if len(set(tokens)) != len(tokens):
+                raise ScenarioError(
+                    f"axis {axis!r} values collapse to duplicate name "
+                    f"tokens {tokens!r}"
+                )
+            norm.append((axis, values))
+        object.__setattr__(self, "axes", tuple(norm))
+        object.__setattr__(self, "tags", tuple(self.tags))
+
+    @staticmethod
+    def _norm_labelled(axis: str, value) -> Tuple[str, Optional[str]]:
+        """``(label, payload)`` -> ``(label, canonical-json-or-None)``."""
+        try:
+            label, payload = value
+        except (TypeError, ValueError):
+            raise ScenarioError(
+                f"axis {axis!r} takes (label, payload) pairs, got {value!r}"
+            ) from None
+        label = str(label)
+        if not label or not _NAME_RE.match(label):
+            raise ScenarioError(
+                f"axis {axis!r} label {label!r} must use only [A-Za-z0-9._-]"
+            )
+        if payload is None:
+            if axis != "inventory":
+                raise ScenarioError(f"axis {axis!r} payload cannot be None")
+            return (label, None)
+        if isinstance(payload, str):  # already canonical (round trip)
+            payload = json.loads(payload)
+        if not isinstance(payload, Mapping):
+            raise ScenarioError(
+                f"axis {axis!r} payload for {label!r} must be a mapping, "
+                f"got {type(payload).__name__}"
+            )
+        return (label, _canon(dict(payload)))
+
+    # -- shape -----------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of grid points ``expand()`` mints."""
+        n = 1
+        for _, values in self.axes:
+            n *= len(values)
+        return n
+
+    def axes_summary(self) -> str:
+        """Compact ``axis x count`` listing for tables."""
+        return " * ".join(f"{axis}[{len(vals)}]" for axis, vals in self.axes)
+
+    # -- expansion -------------------------------------------------------
+    def expand(self) -> List[ScenarioSpec]:
+        """Mint the full grid as concrete, validated scenario specs.
+
+        Deterministic: same sweep, same spec list (names, keys, order) —
+        on every host.  Invalid grid points (e.g. a baseline policy
+        crossed with an event engine) raise :class:`ScenarioError`
+        naming the offending point.
+        """
+        from .registry import get as _get_scenario
+
+        base = _get_scenario(self.base)
+        axis_names = [axis for axis, _ in self.axes]
+        out: List[ScenarioSpec] = []
+        for combo in product(*(values for _, values in self.axes)):
+            out.append(self._mint(base, axis_names, combo))
+        return out
+
+    def point_names(self) -> List[str]:
+        """The minted names without building the specs (cheap preview)."""
+        axis_names = [axis for axis, _ in self.axes]
+        out = []
+        for combo in product(*(values for _, values in self.axes)):
+            parts = [
+                f"{axis}={value[0] if axis in LABELLED_AXES else _token(value)}"
+                for axis, value in zip(axis_names, combo)
+            ]
+            out.append("+".join([self.name] + parts))
+        return out
+
+    def _mint(
+        self, base: ScenarioSpec, axis_names: Sequence[str], combo
+    ) -> ScenarioSpec:
+        from .spec import _freeze
+
+        workload = base.workload
+        wl_kw: Dict[str, object] = {}
+        sched_kw: Dict[str, object] = {}
+        spec_kw: Dict[str, object] = {}
+        parts: List[str] = []
+        coords: List[Tuple[str, object]] = []
+        for axis, value in zip(axis_names, combo):
+            if axis in LABELLED_AXES:
+                label, canon = value
+                payload = None if canon is None else json.loads(canon)
+                if axis == "inventory":
+                    sched_kw["inventory"] = (
+                        None if payload is None else _freeze(payload)
+                    )
+                elif axis == "params":
+                    wl_kw["params"] = _freeze(payload)
+                else:  # a whole-workload replacement; field axes still win
+                    workload = WorkloadSpec.from_dict(payload)
+                token = label
+                coords.append((axis, label))
+            else:
+                token = _token(value)
+                coords.append((axis, value))
+                if axis in _WORKLOAD_AXES:
+                    wl_kw[axis] = value
+                    if axis == "days":
+                        wl_kw["pin_days"] = True
+                elif axis in _SCHEDULER_AXES:
+                    sched_kw[axis] = value
+                else:
+                    spec_kw[axis] = value
+            parts.append(f"{axis}={token}")
+        name = "+".join([self.name] + parts)
+        try:
+            if wl_kw:
+                workload = replace(workload, **wl_kw)
+            scheduler = (
+                replace(base.scheduler, **sched_kw)
+                if sched_kw
+                else base.scheduler
+            )
+            return replace(
+                base,
+                name=name,
+                label=None,
+                description=f"{self.name} grid point ({', '.join(parts)})",
+                workload=workload,
+                scheduler=scheduler,
+                tags=tuple(self.tags) + ("sweep", f"sweep:{self.name}"),
+                axes=tuple(coords),
+                **spec_kw,
+            )
+        except ScenarioError as exc:
+            raise ScenarioError(
+                f"sweep {self.name!r}: invalid grid point {name!r}: {exc}"
+            ) from exc
+
+    # -- round trip ------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"name": self.name, "base": self.base}
+        if self.description:
+            out["description"] = self.description
+        axes_out = []
+        for axis, values in self.axes:
+            if axis in LABELLED_AXES:
+                vals: List[object] = [
+                    {
+                        "label": label,
+                        "value": None if canon is None else json.loads(canon),
+                    }
+                    for label, canon in values
+                ]
+            else:
+                vals = list(values)
+            axes_out.append([axis, vals])
+        out["axes"] = axes_out
+        if self.tags:
+            out["tags"] = list(self.tags)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "SweepSpec":
+        kwargs = dict(data)
+        if "axes" in kwargs:
+            axes = []
+            for axis, vals in kwargs["axes"]:
+                conv: List[object] = []
+                for v in vals:
+                    if isinstance(v, Mapping) and "label" in v:
+                        conv.append((v["label"], v.get("value")))
+                    else:
+                        conv.append(v)
+                axes.append((axis, tuple(conv)))
+            kwargs["axes"] = tuple(axes)
+        if "tags" in kwargs:
+            kwargs["tags"] = tuple(kwargs["tags"])
+        return cls(**kwargs)
+
+    def sweep_key(self) -> str:
+        """Canonical JSON identity (the sweep analogue of
+        ``ScenarioSpec.spec_key``); golden pinning hashes this plus the
+        minted spec keys."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))

@@ -12,13 +12,26 @@ from __future__ import annotations
 import csv
 import io
 import math
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-__all__ = ["LoadTrace", "TraceError", "TraceIngestError", "SECONDS_PER_DAY"]
+__all__ = [
+    "LoadTrace",
+    "TraceError",
+    "TraceIngestError",
+    "SECONDS_PER_DAY",
+    "SHM_PREFIX",
+    "SharedTraceHandle",
+    "share_trace",
+    "attach_trace",
+    "release_segment",
+    "release_all_shared",
+    "shm_stats",
+]
 
 SECONDS_PER_DAY = 86_400
 
@@ -71,8 +84,16 @@ class LoadTrace:
             raise TraceError("trace contains negative load")
         if self.timestep <= 0:
             raise TraceError("timestep must be > 0")
-        arr = arr.copy()
-        arr.flags.writeable = False
+        if (
+            arr.flags.writeable
+            or arr.dtype != np.float64
+            or not arr.flags.c_contiguous
+        ):
+            arr = np.array(arr, dtype=np.float64)  # always a fresh copy
+            arr.flags.writeable = False
+        # An already-read-only float64 array is adopted as-is: shared-
+        # memory traces hand workers a read-only view of the segment, and
+        # a defensive copy here would silently undo the zero-copy attach.
         object.__setattr__(self, "values", arr)
 
     # -- basics ----------------------------------------------------------
@@ -330,3 +351,217 @@ class LoadTrace:
                     f"{path}: sample {i}: invalid load {values[i]!r}"
                 )
         return cls(values, timestep, name, t0)
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory trace distribution
+# ---------------------------------------------------------------------------
+#
+# A suite fanned out over a process pool used to ship its traces by
+# value: pickled through ``initargs`` under ``spawn`` (one 60 MB copy per
+# worker for the 87-day trace) or rebuilt from scratch by each worker.
+# These helpers put the rate array in a named ``multiprocessing``
+# shared-memory segment instead: the dispatcher publishes it once per
+# (host, workload) with :func:`share_trace`, ships only the tiny
+# :class:`SharedTraceHandle`, and every worker maps the same physical
+# pages with :func:`attach_trace` — zero copies, zero rebuilds,
+# distribution cost independent of worker count.
+#
+# Lifecycle: the *creating* process owns the segment and must
+# ``release_segment`` (unlink) it; attachers only hold mappings, which
+# die with their process.  :func:`release_all_shared` is registered via
+# ``atexit`` in any process that created a segment, so even an aborted
+# dispatcher leaves ``/dev/shm`` clean.  Segment names carry
+# :data:`SHM_PREFIX` so leak checks can find strays by name.
+
+#: Every segment this module creates is named ``repro-trace-<pid>-<n>``.
+SHM_PREFIX = "repro-trace-"
+
+#: Segments created (and owned) by this process: name -> SharedMemory.
+_OWNED: dict = {}
+
+#: Foreign segments this process has mapped: name -> SharedMemory.
+_ATTACHED: dict = {}
+
+#: Attach memo: segment name -> the LoadTrace view handed out, so
+#: repeated attaches of the same segment share one array object.
+_ATTACH_MEMO: dict = {}
+
+_SHM_STATS = {
+    "segments_created": 0,
+    "segments_unlinked": 0,
+    "segments_peak": 0,
+    "bytes_shared": 0,
+    "attaches": 0,
+    "bytes_attached": 0,
+}
+
+_SHM_SEQ = 0
+_ATEXIT_ARMED = False
+
+
+@dataclass(frozen=True)
+class SharedTraceHandle:
+    """A by-name reference to a trace published in shared memory.
+
+    Pickles in ~100 bytes regardless of trace length — this is what
+    travels through pool ``initargs``/task payloads instead of the rate
+    array itself.  ``attach_trace`` turns it back into a
+    :class:`LoadTrace` whose values are a read-only view of the segment.
+    """
+
+    segment: str
+    samples: int
+    timestep: float
+    name: str
+    t0: float
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of rate data the handle stands in for (float64)."""
+        return self.samples * 8
+
+
+def _arm_atexit() -> None:
+    global _ATEXIT_ARMED
+    if not _ATEXIT_ARMED:
+        import atexit
+
+        atexit.register(release_all_shared)
+        _ATEXIT_ARMED = True
+
+
+def share_trace(trace: LoadTrace) -> SharedTraceHandle:
+    """Publish ``trace``'s rate array in a named shared-memory segment.
+
+    The calling process becomes the segment's owner (responsible for
+    :func:`release_segment`; an ``atexit`` hook backstops it).  Raises
+    ``OSError`` when shared memory is unavailable — callers fall back to
+    by-value shipping.
+    """
+    from multiprocessing import shared_memory
+
+    global _SHM_SEQ
+    _arm_atexit()
+    values = trace.values
+    while True:
+        _SHM_SEQ += 1
+        name = f"{SHM_PREFIX}{os.getpid()}-{_SHM_SEQ}"
+        try:
+            shm = shared_memory.SharedMemory(
+                name=name, create=True, size=values.nbytes
+            )
+            break
+        except FileExistsError:  # stale segment from a recycled pid
+            continue
+    buf = np.ndarray(values.shape, dtype=np.float64, buffer=shm.buf)
+    buf[:] = values
+    del buf  # no exported buffer may outlive close()
+    _OWNED[name] = shm
+    _SHM_STATS["segments_created"] += 1
+    _SHM_STATS["bytes_shared"] += values.nbytes
+    _SHM_STATS["segments_peak"] = max(
+        _SHM_STATS["segments_peak"], len(_OWNED)
+    )
+    return SharedTraceHandle(
+        segment=name,
+        samples=int(values.size),
+        timestep=trace.timestep,
+        name=trace.name,
+        t0=trace.t0,
+    )
+
+
+def attach_trace(handle: SharedTraceHandle) -> LoadTrace:
+    """Materialise a :class:`LoadTrace` over the handle's segment.
+
+    The values array is a *read-only view* of the shared pages — no
+    copy, and :class:`LoadTrace` adopts it as-is.  Attaches are memoised
+    per segment, so a worker replaying many chunks of one workload maps
+    it once.  The mapping lives until :func:`release_segment` or process
+    exit; the segment itself belongs to its creator.
+    """
+    from multiprocessing import shared_memory
+
+    memo = _ATTACH_MEMO.get(handle.segment)
+    if memo is not None:
+        _SHM_STATS["attaches"] += 1
+        return memo
+    shm = _OWNED.get(handle.segment) or _ATTACHED.get(handle.segment)
+    if shm is None:
+        try:
+            shm = shared_memory.SharedMemory(name=handle.segment)
+        except FileNotFoundError:
+            raise TraceError(
+                f"shared trace segment {handle.segment!r} no longer "
+                "exists (was it released by its owner?)"
+            ) from None
+        # Python 3.11's ``SharedMemory`` registers attachments with the
+        # resource tracker too (no ``track=`` parameter yet).  Pool
+        # workers *share* the parent's tracker (the fd travels in the
+        # spawn preparation data), whose cache is a set — so a worker's
+        # duplicate register is a no-op and the owner's ``unlink``
+        # performs the single balanced unregister.  Unregistering here
+        # as well would make that unlink-time unregister a noisy
+        # KeyError inside the tracker process.
+        _ATTACHED[handle.segment] = shm
+        _arm_atexit()
+    arr = np.ndarray((handle.samples,), dtype=np.float64, buffer=shm.buf)
+    arr.flags.writeable = False
+    trace = LoadTrace(arr, handle.timestep, handle.name, handle.t0)
+    _ATTACH_MEMO[handle.segment] = trace
+    _SHM_STATS["attaches"] += 1
+    _SHM_STATS["bytes_attached"] += handle.nbytes
+    return trace
+
+
+def _close_quietly(shm) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # A LoadTrace view of the buffer is still alive somewhere; the
+        # mapping then simply lives until process exit.  The *name* is
+        # already gone for owned segments (unlink precedes close), so
+        # nothing leaks in /dev/shm either way.
+        pass
+
+
+def release_segment(handle_or_name) -> None:
+    """Release one segment: unlink if this process owns it, unmap if it
+    merely attached.  Idempotent — releasing twice (or releasing a
+    segment someone else already unlinked) is a no-op."""
+    name = getattr(handle_or_name, "segment", handle_or_name)
+    _ATTACH_MEMO.pop(name, None)
+    shm = _OWNED.pop(name, None)
+    if shm is not None:
+        try:
+            shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already gone
+            pass
+        _close_quietly(shm)
+        _SHM_STATS["segments_unlinked"] += 1
+        return
+    shm = _ATTACHED.pop(name, None)
+    if shm is not None:
+        _close_quietly(shm)
+
+
+def release_all_shared() -> None:
+    """Release every segment this process owns or has attached (the
+    ``atexit`` backstop; safe to call any time)."""
+    for name in list(_OWNED) + list(_ATTACHED):
+        release_segment(name)
+
+
+def shm_stats() -> dict:
+    """Shared-memory telemetry for ``repro cache-stats``.
+
+    Cumulative counters plus the live picture: ``segments_live`` are
+    segments this process currently owns, ``segments_attached`` foreign
+    segments it has mapped.
+    """
+    return {
+        **_SHM_STATS,
+        "segments_live": len(_OWNED),
+        "segments_attached": len(_ATTACHED),
+    }

@@ -1,0 +1,147 @@
+"""Federated stores: ``RunStore.merge`` and ``merged_results`` (PR 8).
+
+A sweep split across hosts yields one store per host; merging (or just
+reading them side by side) must reconstruct exactly the store a single
+host would have written: disjoint halves concatenate, duplicate spec
+keys resolve newest-first (or error on request), quarantined source
+directories are skipped *and reported*, and merging twice is a no-op.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.results import (
+    RunStore,
+    StoreError,
+    SuiteReport,
+    merged_results,
+)
+
+
+@pytest.fixture()
+def records(bml_run, variant_run):
+    """Two distinct-spec records with controlled timestamps."""
+    a = replace(bml_run.to_record(), created_at="2026-08-01T10:00:00+00:00")
+    b = replace(
+        variant_run.to_record(), created_at="2026-08-01T11:00:00+00:00"
+    )
+    return a, b
+
+
+class TestDisjointMerge:
+    def test_half_stores_merge_to_the_full_store(self, tmp_path, records):
+        rec_a, rec_b = records
+        full = RunStore(tmp_path / "full")
+        full.save(rec_a)
+        full.save(rec_b)
+        half_a = RunStore(tmp_path / "a")
+        half_a.save(rec_a)
+        half_b = RunStore(tmp_path / "b")
+        half_b.save(rec_b)
+
+        dest = RunStore(tmp_path / "merged")
+        saved = dest.merge(half_a, half_b)
+        assert len(saved) == 2
+
+        want = full.load_all()
+        got = dest.load_all()
+        assert [r.name for r in got] == [r.name for r in want]
+        for g, w in zip(got, want):
+            # byte-faithful re-save: every metric, series and timestamp
+            assert g == w
+        assert (
+            SuiteReport(tuple(got)).rows() == SuiteReport(tuple(want)).rows()
+        )
+
+    def test_federated_view_equals_merged_store(self, tmp_path, records):
+        rec_a, rec_b = records
+        half_a = RunStore(tmp_path / "a")
+        half_a.save(rec_a)
+        half_b = RunStore(tmp_path / "b")
+        half_b.save(rec_b)
+        dest = RunStore(tmp_path / "merged")
+        dest.merge(half_a, half_b)
+        assert merged_results([half_a, half_b]) == dest.load_all()
+
+    def test_remerge_is_idempotent(self, tmp_path, records):
+        rec_a, rec_b = records
+        half_a = RunStore(tmp_path / "a")
+        half_a.save(rec_a)
+        half_b = RunStore(tmp_path / "b")
+        half_b.save(rec_b)
+        dest = RunStore(tmp_path / "merged")
+        assert len(dest.merge(half_a, half_b)) == 2
+        assert dest.merge(half_a, half_b) == []
+        assert len(dest.load_all()) == 2
+
+
+class TestConflicts:
+    def test_newest_wins_across_stores(self, tmp_path, records):
+        rec_a, _ = records
+        older = replace(rec_a, created_at="2026-08-01T09:00:00+00:00")
+        store_old = RunStore(tmp_path / "old")
+        store_old.save(older)
+        store_new = RunStore(tmp_path / "new")
+        store_new.save(rec_a)
+
+        dest = RunStore(tmp_path / "merged")
+        saved = dest.merge(store_old, store_new)
+        assert len(saved) == 1
+        assert dest.latest(rec_a.name).created_at == rec_a.created_at
+
+    def test_source_older_than_dest_is_skipped(self, tmp_path, records):
+        rec_a, _ = records
+        older = replace(rec_a, created_at="2026-08-01T09:00:00+00:00")
+        dest = RunStore(tmp_path / "dest")
+        dest.save(rec_a)
+        src = RunStore(tmp_path / "src")
+        src.save(older)
+        assert dest.merge(src) == []
+        assert dest.latest(rec_a.name).created_at == rec_a.created_at
+
+    def test_reruns_within_one_store_are_not_conflicts(
+        self, tmp_path, records
+    ):
+        rec_a, _ = records
+        src = RunStore(tmp_path / "src")
+        src.save(replace(rec_a, created_at="2026-08-01T09:00:00+00:00"))
+        src.save(rec_a)  # a newer re-run: history, not a conflict
+        dest = RunStore(tmp_path / "dest")
+        saved = dest.merge(src, on_conflict="error")
+        assert len(saved) == 1
+        assert dest.latest(rec_a.name).created_at == rec_a.created_at
+
+    def test_error_policy_raises_and_writes_nothing(self, tmp_path, records):
+        rec_a, _ = records
+        src1 = RunStore(tmp_path / "s1")
+        src1.save(rec_a)
+        src2 = RunStore(tmp_path / "s2")
+        src2.save(rec_a)
+        dest = RunStore(tmp_path / "dest")
+        with pytest.raises(StoreError, match="merge conflict"):
+            dest.merge(src1, src2, on_conflict="error")
+        assert dest.list() == []
+
+    def test_unknown_policy_is_rejected(self, tmp_path):
+        with pytest.raises(StoreError, match="on_conflict"):
+            RunStore(tmp_path / "dest").merge(on_conflict="sacrifice")
+
+
+class TestQuarantine:
+    def test_corrupt_source_runs_are_skipped_and_reported(
+        self, tmp_path, records
+    ):
+        rec_a, rec_b = records
+        src = RunStore(tmp_path / "src")
+        src.save(rec_a)
+        broken_id = src.save(rec_b)
+        (src.root / broken_id / "series.npz").unlink()  # torn copy
+
+        dest = RunStore(tmp_path / "dest")
+        saved = dest.merge(src)
+        assert len(saved) == 1
+        # the source's quarantine surfaces in the destination's report
+        # (read before any fresh scan resets it)
+        assert any(q.run_id == broken_id for q in dest.skipped())
+        assert [r.name for r in dest.load_all()] == [rec_a.name]

@@ -294,6 +294,8 @@ class TestCacheStats:
         assert "infrastructure[" in out
         assert "breakpoint_tables" in out
         assert "serving_set_kernels" in out
+        assert "shared-memory trace fan-out" in out
+        assert "segments_created" in out
 
     def test_json_output_shape(self, capsys):
         import json
@@ -302,10 +304,17 @@ class TestCacheStats:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload) == {
             "infrastructure", "breakpoint_tables", "serving_set_kernels",
+            "shared_memory",
         }
         for section in ("breakpoint_tables", "serving_set_kernels"):
             assert "table_cache_hits" in payload[section]
             assert "table_cache_maxsize" in payload[section]
+        shm = payload["shared_memory"]
+        for counter in (
+            "segments_created", "segments_live", "bytes_attached",
+            "trace_builds", "worker_trace_builds", "bytes_pickle_avoided",
+        ):
+            assert counter in shm
 
 
 class TestTrace:
@@ -497,3 +506,144 @@ class TestScenarioRunFaultTolerance:
         assert "resumed from store (skipped): pattern-steady" in second.out
         assert "saved 0002-pattern-flashcrowd" in second.out
         assert "saved 0001-pattern-steady" not in second.out
+
+
+class TestSweepCLI:
+    @pytest.fixture()
+    def tiny_sweep(self):
+        """A registered 2x2 grid over the cheap pattern workload.
+
+        Registration is undone afterwards: the sweep registry is
+        process-global, and leaving a test grid behind would change
+        ``scenarios.sweeps()`` for later tests (the golden catalogue
+        pin in particular).
+        """
+        from repro import scenarios
+        from repro.scenarios import registry
+
+        sweep = scenarios.SweepSpec(
+            name="cli-test-grid",
+            base="pattern-steady",
+            axes=(
+                ("policy", ("bml", "upper-global")),
+                ("seed", (1, 2)),
+            ),
+        )
+        scenarios.register_sweep(sweep, replace=True)
+        yield sweep
+        registry._SWEEPS.pop("cli-test-grid", None)
+
+    def test_list_shows_registered_sweeps(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "grid-smoke" in out
+        assert "fleet-grid" in out
+        assert "sweep registry" in out
+
+    def test_show_emits_round_trippable_json(self, capsys):
+        import json
+
+        from repro.scenarios import SweepSpec
+
+        assert main(["sweep", "show", "grid-smoke"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        clone = SweepSpec.from_dict(payload)
+        assert clone.name == "grid-smoke"
+        assert clone.size == 8
+
+    def test_show_unknown_sweep_rejected(self):
+        with pytest.raises(SystemExit, match="unknown sweep"):
+            main(["sweep", "show", "no-such-grid"])
+
+    def test_expand_prints_the_grid(self, capsys, tiny_sweep):
+        assert main(["sweep", "expand", "cli-test-grid"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 points" in out
+        assert "cli-test-grid+policy=bml+seed=1" in out
+        assert "cli-test-grid+policy=upper-global+seed=2" in out
+
+    def test_expand_json_is_from_dict_compatible(self, capsys, tiny_sweep):
+        import json
+
+        from repro.scenarios import ScenarioSpec
+
+        assert main(
+            ["sweep", "expand", "cli-test-grid", "--limit", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload) == 2
+        specs = [ScenarioSpec.from_dict(d) for d in payload]
+        assert specs[0].name == "cli-test-grid+policy=bml+seed=1"
+
+    def test_expand_rejects_bad_limit(self, tiny_sweep):
+        with pytest.raises(SystemExit, match="--limit"):
+            main(["sweep", "expand", "cli-test-grid", "--limit", "0"])
+
+    def test_run_saves_and_facets(self, capsys, tmp_path, tiny_sweep):
+        store = tmp_path / "runs"
+        assert (
+            main(
+                [
+                    "sweep", "run", "cli-test-grid",
+                    "--save", str(store), "--facet", "policy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sweep cli-test-grid" in out
+        assert "facet: policy" in out
+        assert "saved 4 run(s)" in out
+        stored = sorted(p.name for p in store.iterdir())
+        assert len(stored) == 4
+        assert any("cli-test-grid+policy=bml+seed=1" in s for s in stored)
+
+    def test_run_resume_requires_save(self, tiny_sweep):
+        with pytest.raises(SystemExit, match="--resume requires"):
+            main(["sweep", "run", "cli-test-grid", "--resume"])
+
+
+class TestFederatedReport:
+    def test_multi_store_report_federates(self, capsys, tmp_path):
+        store_a = tmp_path / "a"
+        store_b = tmp_path / "b"
+        assert (
+            main(["scenario", "run", "pattern-steady", "--days", "1",
+                  "--save", str(store_a)]) == 0
+        )
+        assert (
+            main(["scenario", "run", "pattern-flashcrowd", "--days", "1",
+                  "--save", str(store_b)]) == 0
+        )
+        capsys.readouterr()
+        assert (
+            main(["scenario", "report",
+                  "--store", str(store_a), "--store", str(store_b)]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "pattern-steady" in out
+        assert "pattern-flashcrowd" in out
+        assert str(store_a) in out and str(store_b) in out
+
+    def test_multi_store_prune_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="prune"):
+            main(
+                ["scenario", "report", "--store", str(tmp_path / "a"),
+                 "--store", str(tmp_path / "b"), "--prune", "1"]
+            )
+
+    def test_missing_name_reports_all_roots(self, capsys, tmp_path):
+        store_a = tmp_path / "a"
+        store_b = tmp_path / "b"
+        assert (
+            main(["scenario", "run", "pattern-steady", "--days", "1",
+                  "--save", str(store_a)]) == 0
+        )
+        assert (
+            main(["scenario", "run", "pattern-steady", "--days", "1",
+                  "--save", str(store_b)]) == 0
+        )
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="no stored run for"):
+            main(["scenario", "report", "no-such-scenario",
+                  "--store", str(store_a), "--store", str(store_b)])

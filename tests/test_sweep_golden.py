@@ -1,0 +1,105 @@
+"""Golden pinning for the sweep catalogue's grid expansion.
+
+Sweeps promise *deterministic* expansion: the same declaration mints the
+same scenario names and spec keys on every host — that identity is what
+lets two machines run halves of one grid and merge their stores.  This
+file pins every registered sweep's expansion (size, the leading minted
+names, and a SHA-256 over all spec keys) as
+``tests/golden/sweep_catalogue.json``; expansion is pure spec
+construction, so the whole check costs milliseconds even for the
+288-point fleet grid.
+
+When a change is *intentional* (a new sweep, a new axis, a renamed
+base), regenerate and commit the golden file::
+
+    PYTHONPATH=src python tests/test_sweep_golden.py --regen
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+from repro import scenarios
+
+GOLDEN_PATH = (
+    Path(__file__).resolve().parent / "golden" / "sweep_catalogue.json"
+)
+
+#: How many leading minted names each sweep pins verbatim (the rest are
+#: covered by the spec-key hash).
+NAMES_HEAD = 8
+
+
+def compute_sweep_pins():
+    """name -> {size, base, names_head, spec_keys_sha256} per sweep."""
+    pins = {}
+    for sweep in scenarios.sweeps():
+        specs = sweep.expand()
+        digest = hashlib.sha256()
+        for spec in specs:
+            digest.update(spec.spec_key().encode())
+            digest.update(b"\n")
+        pins[sweep.name] = {
+            "size": sweep.size,
+            "base": sweep.base,
+            "names_head": [s.name for s in specs[:NAMES_HEAD]],
+            "spec_keys_sha256": digest.hexdigest(),
+        }
+    return pins
+
+
+class TestSweepGolden:
+    def test_golden_file_checked_in(self):
+        assert GOLDEN_PATH.exists(), (
+            "tests/golden/sweep_catalogue.json is missing; regenerate "
+            "with: PYTHONPATH=src python tests/test_sweep_golden.py --regen"
+        )
+
+    def test_expansion_matches_golden_bit_identically(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        current = compute_sweep_pins()
+        assert sorted(current) == sorted(golden["sweeps"]), (
+            "the sweep registry and the golden file disagree on the "
+            "sweep set; regenerate with --regen"
+        )
+        for name, pin in current.items():
+            assert pin == golden["sweeps"][name], (
+                f"{name}: grid expansion drifted from the golden pin "
+                "(names or spec keys changed); if intentional, "
+                "regenerate with --regen"
+            )
+
+
+def regen() -> Path:
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "_comment": (
+            "Golden expansion pins of the registered sweep catalogue: "
+            "per sweep, the grid size, the first minted names and a "
+            "SHA-256 over every minted ScenarioSpec.spec_key(). "
+            "Regenerate with: PYTHONPATH=src python "
+            "tests/test_sweep_golden.py --regen"
+        ),
+        "names_head": NAMES_HEAD,
+        "sweeps": compute_sweep_pins(),
+    }
+    GOLDEN_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return GOLDEN_PATH
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="regenerate the sweep-catalogue golden file"
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="rewrite tests/golden/sweep_catalogue.json from the "
+        "current sweep registry",
+    )
+    args = parser.parse_args()
+    if not args.regen:
+        parser.error("pass --regen to rewrite the golden file")
+    print(f"wrote {regen()}")
