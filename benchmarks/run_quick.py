@@ -18,6 +18,10 @@ day) expands and runs through the spawn pool with shared-memory trace
 distribution, then the leak check fails if any ``repro``-prefixed
 ``/dev/shm`` segment survived the suite (``--no-sweep`` skips it).
 
+Last, a control-plane smoke: a 7-day diurnal trace replayed through all
+three engines must be bit-identical, with the later engines served from
+the warm predictor-series cache (``--no-control`` skips it).
+
 Usage::
 
     python benchmarks/run_quick.py              # quick tests + smokes
@@ -92,9 +96,65 @@ print(
 """
 
 
+#: In-process script proving the PR 9 vectorized control plane end to
+#: end: a 7-day diurnal trace replayed through all three engines must be
+#: bit-identical, and the repeat runs must hit the warm predictor-series
+#: cache instead of re-filtering the trace.
+CONTROL_SMOKE = """\
+import numpy as np
+from repro.core.bml import design
+from repro.core.prediction import (
+    clear_prediction_cache, prediction_cache_stats,
+)
+from repro.core.profiles import table_i_profiles
+from repro.sim.loop import EventDrivenReplay
+from repro.workload import patterns
+
+duration = 7 * 86_400
+base = patterns.diurnal(duration, low=0.15, high=1.0, peak_hour=15.0)
+week = patterns.weekly(duration, 1.0, 0.9)
+values = np.round(patterns.compose(base, [week]) * 3000.0)
+trace = patterns.make_trace(values, "week-diurnal-smoke")
+infra = design(table_i_profiles())
+table = infra.table(float(np.max(trace.values)))
+
+clear_prediction_cache()
+results = {
+    engine: EventDrivenReplay(table, trace).run(engine=engine)
+    for engine in ("reference", "segments", "twophase")
+}
+ref = results["reference"]
+for engine, res in results.items():
+    assert np.array_equal(res.power, ref.power), engine
+    assert np.array_equal(res.unserved, ref.unserved), engine
+    assert res.meta["meter_energy_j"] == ref.meta["meter_energy_j"], engine
+    assert len(res.reconfigurations) == len(ref.reconfigurations), engine
+stats = prediction_cache_stats()
+assert stats["table_cache_hits"] >= 2, stats  # engines 2+3 hit warm cache
+phases = results["twophase"].meta["phase_s"]
+assert set(phases) >= {"predict", "control", "evaluate", "settle"}, phases
+print(
+    "control smoke: 3 engines bit-identical over 7 diurnal days "
+    f"({len(ref.reconfigurations)} reconfigs, "
+    f"{stats['table_cache_hits']} predictor-cache hits, "
+    f"twophase control {phases['control']:.2f}s)"
+)
+"""
+
+
 def run_fault_smoke(env) -> int:
     cmd = [sys.executable, "-c", FAULT_SMOKE]
     print("$ fault-injection smoke (transient spec-error + retry)", flush=True)
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
+
+def run_control_smoke(env) -> int:
+    cmd = [sys.executable, "-c", CONTROL_SMOKE]
+    print(
+        "$ control-plane smoke (7-day diurnal, 3-engine identity + "
+        "warm predictor cache)",
+        flush=True,
+    )
     return subprocess.call(cmd, cwd=ROOT, env=env)
 
 
@@ -125,6 +185,11 @@ def main(argv=None) -> int:
         help="skip the sweep + shared-memory leak smoke",
     )
     parser.add_argument(
+        "--no-control",
+        action="store_true",
+        help="skip the 7-day three-engine control-plane smoke",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -147,6 +212,8 @@ def main(argv=None) -> int:
         status = run_fault_smoke(env) or status
     if not args.no_sweep:
         status = run_sweep_smoke(env) or status
+    if not args.no_control:
+        status = run_control_smoke(env) or status
     if args.perf:
         from run_benchmarks import main as bench_main
 

@@ -264,6 +264,66 @@ def test_perf_event_replay_twophase_year(benchmark, infra, year_trace):
     assert len(result.power) == len(year_trace)
 
 
+@pytest.fixture(scope="module")
+def diurnal_day_trace():
+    """One diurnal day at 1 Hz with integer rates (control-pass shape)."""
+    from repro.workload import patterns
+    from repro.workload.trace import SECONDS_PER_DAY
+
+    base = patterns.diurnal(
+        SECONDS_PER_DAY, low=0.15, high=1.0, peak_hour=15.0
+    )
+    values = np.round(base * 3000.0)
+    return patterns.make_trace(values, "diurnal-day-synthetic")
+
+
+@pytest.mark.benchmark(group="perf-control")
+def test_perf_control_pass_day(benchmark, infra, diurnal_day_trace):
+    """Control pass alone: decision scan, FSM walk, descriptor emission.
+
+    PR 9's vectorized control plane isolated from evaluate/settle — the
+    journal is left open and no kernel evaluation runs, so this tracks
+    exactly the walk the two-phase engine's control phase pays.  The
+    prediction-series cache is process-wide, so rounds after the first
+    measure the walk, not the sliding-maximum filter.
+    """
+    pred = LookAheadMaxPredictor(378)
+    table = infra.table(float(np.max(diurnal_day_trace.values)))
+
+    def setup():
+        return (
+            (EventDrivenReplay(table, diurnal_day_trace, predictor=pred),),
+            {},
+        )
+
+    plan = benchmark.pedantic(
+        lambda replay: replay._control_pass(), setup=setup, rounds=5
+    )
+    assert plan.horizon == len(diurnal_day_trace)
+    assert plan.descs
+
+
+@pytest.mark.benchmark(group="perf-control")
+def test_perf_decision_scan_day(benchmark, infra, diurnal_day_trace):
+    """The batched reconfiguration bookkeeping: ids, change points and
+    the precomputed schedule — the pure-numpy front half of the control
+    pass, with no FSM or event queue in the loop."""
+    pred_obj = LookAheadMaxPredictor(378)
+    table = infra.table(float(np.max(diurnal_day_trace.values)))
+    replay = EventDrivenReplay(table, diurnal_day_trace, predictor=pred_obj)
+    pred = replay._prediction_series(diurnal_day_trace)
+    initial = table.combination_for(float(pred[0]))
+
+    def scan():
+        cid, changes, grid_idx = replay._decision_ids(pred)
+        return replay._reconfig_schedule(
+            pred, cid, changes, grid_idx, initial
+        )
+
+    sched = benchmark(scan)
+    assert sched
+
+
 @pytest.mark.benchmark(group="perf")
 def test_perf_predictor_series(benchmark, week_trace):
     """Predictor front-end (validation + array plumbing) over a week."""

@@ -316,6 +316,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable shared-memory trace distribution",
     )
     sw_run.add_argument(
+        "--engine",
+        choices=("segments", "reference", "twophase"),
+        default=None,
+        help="replay scheduling-policy grid points on this event-driven "
+             "engine variant (baseline policies keep their engine)",
+    )
+    sw_run.add_argument(
+        "--stats", action="store_true",
+        help="print replay statistics (segments, serving sets, batches, "
+             "per-phase wall time)",
+    )
+    sw_run.add_argument(
         "--baseline", default=None,
         help="grid-point name to compute savings against",
     )
@@ -376,22 +388,26 @@ def _cmd_combination(args: argparse.Namespace) -> int:
 
 def _replay_stats_rows(results) -> list:
     """Replay-engine telemetry rows for ``--stats`` (scenario, engine,
-    segments, unique serving sets, batch count — blank where an engine
-    does not produce the figure)."""
+    segments, unique serving sets, batch count, and the per-phase
+    wall-time breakdown of the vectorized control plane — blank where
+    an engine does not produce the figure)."""
     rows = []
     for res in results:
         meta = res.meta
         if meta.get("engine") is None:
             continue
-        rows.append(
-            {
-                "scenario": res.scenario,
-                "engine": meta["engine"],
-                "segments": meta.get("segments", ""),
-                "serving_sets": meta.get("serving_sets", ""),
-                "batches": meta.get("batches", ""),
-            }
-        )
+        phase_s = meta.get("phase_s") or {}
+        row = {
+            "scenario": res.scenario,
+            "engine": meta["engine"],
+            "segments": meta.get("segments", ""),
+            "serving_sets": meta.get("serving_sets", ""),
+            "batches": meta.get("batches", ""),
+        }
+        for phase in ("predict", "control", "evaluate", "settle"):
+            v = phase_s.get(phase)
+            row[f"{phase}_s"] = "" if v is None else f"{v:.3f}"
+        rows.append(row)
     return rows
 
 
@@ -880,6 +896,28 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .analysis.tables import render_suite
     from .results import RunStore, SuiteReport
 
+    if args.engine is not None:
+        from dataclasses import replace as _replace
+
+        # Only scheduling policies replay on the event-driven simulator;
+        # baselines (upper/lower bounds) have no machine-level replay.
+        engine = f"event-{args.engine}"
+        unchanged = [
+            s.name
+            for s in specs
+            if s.scheduler.policy not in ("bml", "transition-aware")
+        ]
+        if unchanged:
+            print(
+                "--engine applies to scheduling-policy grid points only; "
+                "unchanged: " + ", ".join(unchanged)
+            )
+        specs = [
+            _replace(s, engine=engine)
+            if s.scheduler.policy in ("bml", "transition-aware")
+            else s
+            for s in specs
+        ]
     store = RunStore(args.save) if args.save else None
     if args.resume and store is None:
         raise SystemExit("sweep run: --resume requires --save DIR")
@@ -909,6 +947,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
+    if args.stats:
+        _print_replay_stats([r.result for r in runs if hasattr(r, "result")])
+        print()
     try:
         report = SuiteReport.from_runs(runs, baseline=args.baseline)
     except ValueError as exc:
@@ -947,6 +988,7 @@ def collect_cache_stats() -> dict:
     Exposed as a function (not just a CLI command) so tests and
     long-running drivers can snapshot it programmatically.
     """
+    from .core.prediction import prediction_cache_stats
     from .scenarios.runner import fanout_stats, infra_cache_stats
     from .sim import breakpoint_cache_stats, serving_kernel_cache_stats
     from .workload.trace import shm_stats
@@ -955,6 +997,7 @@ def collect_cache_stats() -> dict:
         "infrastructure": infra_cache_stats(),
         "breakpoint_tables": breakpoint_cache_stats(),
         "serving_set_kernels": serving_kernel_cache_stats(),
+        "predictor_series": prediction_cache_stats(),
         "shared_memory": {**shm_stats(), **fanout_stats()},
     }
 
@@ -969,7 +1012,9 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
     rows = []
     for label, counters in stats["infrastructure"].items():
         rows.append({"cache": f"infrastructure[{label}]", **counters})
-    for section in ("breakpoint_tables", "serving_set_kernels"):
+    for section in (
+        "breakpoint_tables", "serving_set_kernels", "predictor_series"
+    ):
         rows.append({"cache": section, **stats[section]})
     if rows:
         print(
@@ -981,6 +1026,7 @@ def _cmd_cache_stats(args: argparse.Namespace) -> int:
                     "table_cache_misses",
                     "table_cache_size",
                     "table_cache_maxsize",
+                    "rebuilds",
                 ],
                 title="cache telemetry (this process)",
             )

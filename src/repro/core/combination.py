@@ -956,10 +956,23 @@ class CombinationTable:
         (the segment replay's decision scan) that must defer the error to
         the moment the out-of-range rate is actually consulted.
         """
-        idx = np.ceil(np.asarray(rate, dtype=float) / self.resolution - _TOL)
-        idx = np.clip(idx, 0, None).astype(np.int64)
+        arr = np.asarray(rate, dtype=float)
+        if arr.ndim:
+            # In-place pipeline: year-scale decision scans call this on
+            # multi-hundred-MB series, where every extra temporary is a
+            # real allocation + memory pass.
+            tmp = arr / self.resolution
+            np.subtract(tmp, _TOL, out=tmp)
+            np.ceil(tmp, out=tmp)
+            np.clip(tmp, 0, None, out=tmp)
+            idx = tmp.astype(np.int64)
+        else:
+            idx = np.clip(
+                np.ceil(arr / self.resolution - _TOL), 0, None
+            ).astype(np.int64)
         oob = idx >= len(self._combos)
-        return np.minimum(idx, len(self._combos) - 1), oob
+        np.minimum(idx, len(self._combos) - 1, out=idx)
+        return idx, oob
 
     def combination_for(self, rate: float) -> Combination:
         """The combination serving ``rate`` (grid-rounded up)."""

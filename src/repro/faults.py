@@ -39,6 +39,12 @@ Injection sites (``SITES``):
 ``trace-read``
     Raise :class:`InjectedFault` from the WC98 archive reader (a failing
     disk / bad archive); keyed by file path.
+``predict-cache``
+    Poison a predictor-series cache entry as it is stored (bit rot in
+    the process-wide memo); keyed by trace name.  Passive: consulted via
+    :func:`check`, :mod:`repro.core.prediction` does the corrupting and
+    must later detect the damaged entry and rebuild instead of trusting
+    it.
 """
 
 from __future__ import annotations
@@ -70,6 +76,7 @@ SITES = (
     "worker-hang",
     "corrupt-result",
     "trace-read",
+    "predict-cache",
 )
 
 #: ``fail_attempts`` value that outlives any sane retry policy.

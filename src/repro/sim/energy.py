@@ -72,6 +72,10 @@ class TelemetryLRU:
         while len(self._data) > self.maxsize:
             self._data.popitem(last=False)
 
+    def pop(self, key: Hashable) -> Any:
+        """Drop one entry (damaged-entry eviction); counters untouched."""
+        return self._data.pop(key, None)
+
     def clear(self) -> None:
         self._data.clear()
         self.hits = 0
@@ -217,6 +221,205 @@ class EnergyMeter:
             else:
                 emit(entry)
 
+    def record_batch_windows(self, resolve) -> None:
+        """Close the journal and settle it with run-coalesced gathers.
+
+        Fast path of :meth:`record_batch`: instead of one
+        :meth:`record_gather` call per (marker, machine),
+        ``resolve(token)`` returns the marker's evaluated gather bundle
+        ``(machine_ids, draws, inverse, offset, length, t_start)`` —
+        per-machine series ``draws[i][offset:offset+length]``, or
+        ``draws[i][inverse[offset:offset+length]]`` when ``inverse`` is
+        given — and the meter walks the journal inline, *merging* each
+        machine's consecutive windows that share the same evaluation
+        buffers and are adjacent in both offset and time into a single
+        gather piece.  Between two adjacent windows the unmerged chain
+        would append the closing term ``power * 1.0`` — bitwise the same
+        float the merged slice already contains at that position — so
+        pending streams, and therefore settled totals, stay
+        bit-identical to the per-window replay (pinned by
+        ``tests/properties/test_prop_replay.py``).
+        """
+        journal = self._batch
+        if journal is None:
+            raise RuntimeError("no batch journal open")
+        self._batch = None
+        totals = self._totals
+        power_now = self._power_now
+        since = self._since
+        pending = self._pending
+        # machine -> [power_now, since, pieces, open_tail, run]: one dict
+        # probe per journal step instead of one per meter attribute (the
+        # year replay walks ~10^6 steps; per-key dict churn was the
+        # walk's main cost).  ``run`` is the machine's open gather run
+        # ``[values_base, inverse_base, offset, length, t_start]``.
+        # ``open_tail`` flags that the last pending piece is a window
+        # tuple whose open (unclosed) element still backs the machine's
+        # current power — a closing term of duration exactly 1.0 for
+        # such a machine is bitwise the open element itself (``x * 1.0``
+        # preserves bits for finite x), so the tuple's ``n_closed`` is
+        # bumped instead of appending the scalar: same chain floats,
+        # one piece fewer.
+        st: Dict[str, list] = {}
+        st_get = st.get
+        pn_get = power_now.get
+        sc_get = since.get
+        pd_get = pending.get
+
+        def commit(machine_id: str, rec: list, run: list) -> None:
+            base, invb, off, n, t0 = run
+            prev_power = rec[0]
+            pieces = rec[2]
+            if prev_power is not None:
+                s = rec[1]
+                if t0 < s - 1e-9:
+                    raise ValueError(f"time went backwards for {machine_id}")
+                dur = t0 - s
+                if pieces is None:
+                    totals[machine_id] = (
+                        totals.get(machine_id, 0.0) + prev_power * dur
+                    )
+                elif dur == 1.0 and rec[3]:
+                    values, inv, n_closed = pieces[-1]
+                    pieces[-1] = (values, inv, n_closed + 1)
+                else:
+                    pieces.append(prev_power * dur)
+            if pieces is None:
+                pieces = rec[2] = []
+            if invb is None:
+                if n > 1:
+                    # Constant-column windows arrive as stride-0 broadcast
+                    # slices; when the previous piece is a stride-0 tuple
+                    # holding the bitwise-same constant (the dur==1.0 bump
+                    # above just absorbed the bridge element), extend its
+                    # closed count instead of appending — the chain floats
+                    # are identical, one piece fewer.  ``_fill_stream``
+                    # only reads ``values[0]`` for stride-0 pieces, so
+                    # ``n_closed`` may exceed ``len(values)``.
+                    prev = pieces[-1] if pieces else None
+                    c = base[off]
+                    if (
+                        base.strides == (0,)
+                        and type(prev) is tuple
+                        and prev[0].strides == (0,)
+                        and len(prev[0])
+                        and prev[0][0] == c
+                        and np.signbit(prev[0][0]) == np.signbit(c)
+                    ):
+                        pieces[-1] = (prev[0], prev[1], prev[2] + n - 1)
+                    else:
+                        pieces.append((base[off:off + n], None, n - 1))
+                    rec[3] = True
+                else:
+                    rec[3] = False
+                rec[0] = float(base[off + n - 1])
+            else:
+                if n > 1:
+                    prev = pieces[-1] if pieces else None
+                    if (
+                        base.strides == (0,)
+                        and type(prev) is tuple
+                        and prev[0].strides == (0,)
+                        and len(prev[0])
+                        and prev[0][0] == base[0]
+                        and np.signbit(prev[0][0]) == np.signbit(base[0])
+                    ):
+                        pieces[-1] = (prev[0], prev[1], prev[2] + n - 1)
+                    else:
+                        pieces.append((base, invb[off:off + n], n - 1))
+                    rec[3] = True
+                else:
+                    rec[3] = False
+                rec[0] = float(base[invb[off + n - 1]])
+            rec[1] = t0 + n - 1
+
+        try:
+            for entry in journal:
+                if type(entry) is tuple:
+                    machine_id, power, now = entry
+                    if power < 0:
+                        raise ValueError("power must be >= 0")
+                    rec = st_get(machine_id)
+                    if rec is None:
+                        rec = st[machine_id] = [
+                            pn_get(machine_id), sc_get(machine_id),
+                            pd_get(machine_id), False, None,
+                        ]
+                    run = rec[4]
+                    if run is not None:
+                        rec[4] = None
+                        commit(machine_id, rec, run)
+                    prev_power = rec[0]
+                    pieces = rec[2]
+                    if pieces is None:
+                        # Eager machine: settle the closing interval
+                        # directly into the totals (``_scalar_settle``
+                        # inlined against the state record).
+                        if prev_power is not None:
+                            s = rec[1]
+                            if now < s - 1e-9:
+                                raise ValueError(
+                                    f"time went backwards for {machine_id}"
+                                )
+                            totals[machine_id] = (
+                                totals.get(machine_id, 0.0)
+                                + prev_power * (now - s)
+                            )
+                    else:
+                        s = rec[1]
+                        if now < s - 1e-9:
+                            raise ValueError(
+                                f"time went backwards for {machine_id}"
+                            )
+                        dur = now - s
+                        if dur == 1.0 and rec[3]:
+                            values, inv, n_closed = pieces[-1]
+                            pieces[-1] = (values, inv, n_closed + 1)
+                        else:
+                            pieces.append(prev_power * dur)
+                    rec[3] = False
+                    rec[0] = power
+                    rec[1] = now
+                else:
+                    machine_ids, draws, inverse, off, n, t0 = resolve(entry)
+                    if n <= 0:
+                        continue
+                    for i, machine_id in enumerate(machine_ids):
+                        rec = st_get(machine_id)
+                        if rec is None:
+                            rec = st[machine_id] = [
+                                pn_get(machine_id), sc_get(machine_id),
+                                pd_get(machine_id), False, None,
+                            ]
+                        run = rec[4]
+                        base = draws[i]
+                        if (
+                            run is not None
+                            and run[0] is base
+                            and run[1] is inverse
+                            and run[2] + run[3] == off
+                            and run[4] + run[3] == t0
+                        ):
+                            run[3] += n
+                        else:
+                            if run is not None:
+                                commit(machine_id, rec, run)
+                            rec[4] = [base, inverse, off, n, t0]
+            for machine_id, rec in st.items():
+                run = rec[4]
+                if run is not None:
+                    rec[4] = None
+                    commit(machine_id, rec, run)
+        finally:
+            # Fold the walked state back into the meter (also on error,
+            # matching the in-place mutation of the unbatched path).
+            for machine_id, rec in st.items():
+                if rec[0] is not None:
+                    power_now[machine_id] = rec[0]
+                    since[machine_id] = rec[1]
+                if rec[2] is not None:
+                    pending[machine_id] = rec[2]
+
     def set_power(self, machine_id: str, power: float, now: float) -> None:
         """Machine ``machine_id`` draws ``power`` Watts from ``now`` on."""
         if power < 0:
@@ -326,39 +529,125 @@ class EnergyMeter:
         # Bound the buffer: month-scale replays would otherwise pin every
         # segment's draw arrays until finalize.  A partial flush continues
         # the same sequential chain from the settled total, so totals stay
-        # bit-identical to one flush at the end.
+        # bit-identical to one flush at the end.  All machines settle
+        # together so the stacked cumsum amortises the pass (other
+        # machines' streams flush early, which is equally bit-identical).
         if len(pieces) >= _PENDING_FLUSH_PIECES:
-            self._flush(machine_id)
+            self._flush_all()
+
+    @staticmethod
+    def _stream_length(pieces: List) -> int:
+        """Closed contributions in a buffered stream (chain elements)."""
+        total = 0
+        for piece in pieces:
+            total += piece[2] if type(piece) is tuple else 1
+        return total
+
+    @staticmethod
+    def _fill_stream(chain: np.ndarray, pos: int, pieces: List) -> int:
+        """Write a stream's closed contributions into ``chain`` at ``pos``.
+
+        Window tuples become contiguous slice/gather writes straight into
+        the destination (no intermediate per-piece arrays); broadcast
+        constant columns (stride-0 draws from the kernel's constant-column
+        elision) become scalar fills.  Element order is exactly the
+        buffered order, so the chain is the same vector
+        piece-by-piece concatenation would produce.
+        """
+        for piece in pieces:
+            if type(piece) is tuple:
+                values, inverse, n_closed = piece
+                end = pos + n_closed
+                if values.strides == (0,):
+                    chain[pos:end] = values[0] if len(values) else 0.0
+                elif inverse is None:
+                    chain[pos:end] = values[:n_closed]
+                else:
+                    np.take(values, inverse[:n_closed], out=chain[pos:end])
+                pos = end
+            else:
+                chain[pos] = piece
+                pos += 1
+        return pos
+
+    @staticmethod
+    def _assemble(pieces: List) -> np.ndarray:
+        """A machine's buffered stream as one closed-contribution vector."""
+        chain = np.empty(EnergyMeter._stream_length(pieces))
+        EnergyMeter._fill_stream(chain, 0, pieces)
+        return chain
 
     def _flush(self, machine_id: str) -> None:
         """Settle a machine's buffered contributions in one cumsum pass."""
         pieces = self._pending.pop(machine_id, None)
         if not pieces:
             return
-        parts: List[np.ndarray] = []
-        scalars: List[float] = []
-        for piece in pieces:
-            if isinstance(piece, tuple):
-                if scalars:
-                    parts.append(np.asarray(scalars))
-                    scalars = []
-                values, inverse, n_closed = piece
-                parts.append(
-                    values[:n_closed]
-                    if inverse is None
-                    else values[inverse[:n_closed]]
-                )
-            else:
-                scalars.append(piece)
-        if scalars:
-            parts.append(np.asarray(scalars))
-        powers = parts[0] if len(parts) == 1 else np.concatenate(parts)
-        base = self._totals.get(machine_id, 0.0)
         # One sequential left-to-right accumulation over every closed
         # contribution — bit-identical to folding them in as they happened.
-        self._totals[machine_id] = float(
-            np.cumsum(np.concatenate(([base], powers)))[-1]
-        )
+        chain = np.empty(1 + self._stream_length(pieces))
+        chain[0] = self._totals.get(machine_id, 0.0)
+        self._fill_stream(chain, 1, pieces)
+        np.cumsum(chain, out=chain)
+        self._totals[machine_id] = float(chain[-1])
+
+    #: Stacked-settle guard: fall back to per-machine flushes when the
+    #: zero-padded matrix would waste more than this many elements (ragged
+    #: streams), keeping peak memory bounded.  Both paths are
+    #: bit-identical; the rule is purely a resource bound.
+    _STACK_WASTE_LIMIT = 1 << 22
+
+    def _flush_all(self) -> None:
+        """Settle every machine's buffered stream in one stacked cumsum.
+
+        Each machine's closed-contribution vector becomes one row of a
+        zero-padded 2-D matrix — column 0 the machine's settled base
+        total, trailing columns zero — settled with a single
+        ``np.cumsum(axis=1)``.  ``cumsum`` accumulates strictly
+        left-to-right per row, and the trailing ``+ 0.0`` adds cannot
+        change a total built from non-negative terms, so every row's
+        final column is bit-identical to that machine's
+        :meth:`_flush` result.  Severely ragged streams (year-scale
+        two-phase settles, where padding would dwarf the payload) fall
+        back to per-machine passes — same chains, same bits.
+        """
+        pending = self._pending
+        if not pending:
+            return
+        if len(pending) == 1:
+            for machine_id in list(pending):
+                self._flush(machine_id)
+            return
+        rows = []
+        total_len = 0
+        max_len = 0
+        for machine_id, pieces in pending.items():
+            if not pieces:  # opened stream, nothing closed yet
+                continue
+            length = self._stream_length(pieces)
+            rows.append((machine_id, pieces, length))
+            total_len += length
+            if length > max_len:
+                max_len = length
+        pending.clear()
+        k = len(rows)
+        if k == 0:
+            return
+        if k * max_len - total_len > self._STACK_WASTE_LIMIT:
+            chain = np.empty(1 + max_len)
+            for machine_id, pieces, length in rows:
+                chain[0] = self._totals.get(machine_id, 0.0)
+                self._fill_stream(chain, 1, pieces)
+                view = chain[: 1 + length]
+                np.cumsum(view, out=view)
+                self._totals[machine_id] = float(view[-1])
+            return
+        stacked = np.zeros((k, 1 + max_len))
+        for i, (machine_id, pieces, _) in enumerate(rows):
+            stacked[i, 0] = self._totals.get(machine_id, 0.0)
+            self._fill_stream(stacked[i], 1, pieces)
+        settled = np.cumsum(stacked, axis=1)[:, -1]
+        for i, (machine_id, _, _) in enumerate(rows):
+            self._totals[machine_id] = float(settled[i])
 
     def _scalar_settle(self, machine_id: str, now: float) -> None:
         prev_power = self._power_now.get(machine_id)
@@ -378,6 +667,7 @@ class EnergyMeter:
 
     def finalize(self, now: float) -> None:
         """Close all open intervals at ``now`` (end of simulation)."""
+        self._flush_all()
         for machine_id in list(self._power_now):
             self._settle(machine_id, now)
             self._since[machine_id] = now
@@ -391,6 +681,5 @@ class EnergyMeter:
     @property
     def total_energy(self) -> float:
         """Energy (J) accumulated by all machines (closed intervals only)."""
-        for machine_id in list(self._pending):
-            self._flush(machine_id)
+        self._flush_all()
         return sum(self._totals.values())

@@ -49,6 +49,17 @@ class EventQueue:
     def __len__(self) -> int:
         return sum(1 for _, _, e in self._heap if not e.cancelled)
 
+    @property
+    def empty(self) -> bool:
+        """O(1) emptiness fast-path for boundary walks.
+
+        A heap holding only cancelled events counts as non-empty here
+        (``peek_time``/``run_until`` still skip them); callers use this
+        to bypass the queue entirely on long steady stretches, where the
+        heap is genuinely empty.
+        """
+        return not self._heap
+
     def schedule(
         self, time: float, callback: Callable[..., None], *args: Any
     ) -> Event:

@@ -36,6 +36,43 @@ __all__ = [
 ]
 
 
+#: Widest integer rate span the bincount-based unique fast path will
+#: allocate a lookup table for (8 MB of int64); wider spans fall back to
+#: the sort-based ``np.unique``.
+_BINCOUNT_SPAN_LIMIT = 1 << 20
+
+
+def _unique_inverse(rates: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """``np.unique(rates, return_inverse=True)`` with an O(n) fast path.
+
+    Request-rate traces are integral counts (WC98 requests/second, rounded
+    synthetic series), so for year-scale windows the sort inside
+    ``np.unique`` dominates the whole evaluation phase.  When every rate
+    is a non-negative integer in a bounded span, the unique values and the
+    inverse map come straight out of ``np.bincount`` + a lookup table —
+    same sorted unique array, same inverse indices, bit-for-bit (integral
+    float64 values round-trip through int64 exactly; rates are validated
+    non-negative so there is no ``-0.0`` to lose a sign bit on).
+    """
+    iv = rates.astype(np.int64)
+    if rates.size and np.array_equal(iv, rates):
+        lo = int(iv.min())
+        hi = int(iv.max())
+        if (
+            0 <= lo
+            and hi - lo <= _BINCOUNT_SPAN_LIMIT
+            and (lo > 0 or not np.signbit(rates).any())
+        ):
+            shifted = iv if lo == 0 else iv - lo
+            counts = np.bincount(shifted, minlength=hi - lo + 1)
+            present = counts > 0
+            uniq = (np.flatnonzero(present) + lo).astype(float)
+            lut = np.zeros(hi - lo + 1, dtype=np.intp)
+            lut[present] = np.arange(len(uniq), dtype=np.intp)
+            return uniq, lut[shifted]
+    return np.unique(rates, return_inverse=True)
+
+
 @dataclass(frozen=True)
 class Assignment:
     """Outcome of one balancing round."""
@@ -317,7 +354,7 @@ class ServingSetKernel:
         if compress is None:
             compress = len(rates) > 64 and len(np.unique(rates[:64])) <= 48
         if compress and len(rates) > 1:
-            uniq, inverse = np.unique(rates, return_inverse=True)
+            uniq, inverse = _unique_inverse(rates)
         served = np.minimum(uniq, self.capacity)
         n = len(self.machine_ids)
         loads: List[Optional[np.ndarray]] = [None] * n

@@ -66,13 +66,18 @@ re-derived.
 from __future__ import annotations
 
 import math
+import time as _time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.combination import Combination, CombinationTable
-from ..core.prediction import LookAheadMaxPredictor, Predictor
+from ..core.prediction import (
+    LookAheadMaxPredictor,
+    Predictor,
+    cached_prediction_series,
+)
 from ..core.reconfiguration import Reconfiguration
 from ..core.scheduler import _next_decision, _row_ids
 from ..workload.trace import LoadTrace
@@ -81,7 +86,7 @@ from .cluster import Cluster
 from .energy import EnergyMeter
 from .events import EventQueue
 from .loadbalancer import LoadBalancer, ServingSetKernel, serving_set_kernel
-from .machine import Machine, MachineState
+from .machine import Machine, MachineState, _ceil_s
 from .results import SimulationResult
 
 __all__ = ["EventDrivenReplay", "ReplayStats"]
@@ -154,6 +159,9 @@ class EventDrivenReplay:
         #: time of the scheduled (not yet executed) hand-over, if any —
         #: the only queued event kind whose callback reads machine loads.
         self._pending_handover: Optional[float] = None
+        #: wall-time per phase (predict / control / evaluate / settle),
+        #: surfaced as ``meta["phase_s"]`` for the CLI's ``--stats`` table.
+        self._phase_s: Dict[str, float] = {}
 
     # -- setup -----------------------------------------------------------
     def _materialise_initial(self, combo: Combination, now: float) -> None:
@@ -262,6 +270,152 @@ class EventDrivenReplay:
                 self.app.deploy(m, now)
         self._serving = serving
 
+    # -- precomputed reconfiguration schedule (two-phase control pass) ------
+    def _reconfig_schedule(
+        self,
+        pred: np.ndarray,
+        cid: np.ndarray,
+        changes: np.ndarray,
+        grid_idx: np.ndarray,
+        initial: Combination,
+    ) -> List[tuple]:
+        """Resolve every reconfiguration the decision series implies.
+
+        One compact pass over the *genuine* serving-set transitions —
+        not the per-segment walk — replays the scheduler's decision rule
+        symbolically: from each decision time the next one is the first
+        second at or after the reconfiguration window's end whose
+        combination id differs, exactly the ``_next_decision`` scan the
+        walk used to run per segment.  Boot/off durations are pure
+        profile math (``power_on`` sets ``transition_ends = now +
+        _ceil_s(on_time)``, so the FSM walk's ``int(transition_ends -
+        t)`` *is* ``_ceil_s(on_time)``), which lets every window,
+        duration and energy figure of the
+        :class:`~repro.core.reconfiguration.Reconfiguration` record be
+        fixed here; :meth:`_start_scheduled` later performs only the
+        irreducible FSM/event work.  Deltas between combination ids
+        repeat heavily under periodic traces, so they are memoised per
+        ``(from_id, to_id)`` pair.
+
+        Entries: ``(t, target, starts, stops, boot_dur, off_dur, until,
+        on_energy, off_energy)`` with ``starts``/``stops`` as ``(name,
+        count)`` tuples in ``Combination.diff`` iteration order (the
+        journal and energy-sum order of the FSM walk).
+        """
+        table = self.table
+        profile = self.cluster.profile
+        horizon = len(cid)
+        sched: List[tuple] = []
+        delta_memo: Dict[Tuple[int, int], tuple] = {}
+        cur = initial
+        cur_id = int(cid[0])
+        d_from = 1
+        pos = 0
+        n_changes = len(changes)
+        while d_from < horizon:
+            if cid[d_from] != cur_id:
+                td = d_from
+            else:
+                while pos < n_changes and changes[pos] <= d_from:
+                    pos += 1
+                td = None
+                while pos < n_changes:
+                    c = int(changes[pos])
+                    if cid[c] != cur_id:
+                        td = c
+                        break
+                    pos += 1
+                if td is None:
+                    break
+            td = int(td)
+            if cid[td] == -1:
+                # Raises for rates beyond the table, like the walk would
+                # at this decision second.
+                table.combination_for(float(pred[td]))
+            new_id = int(cid[td])
+            info = delta_memo.get((cur_id, new_id))
+            if info is None:
+                target = table.combo_at(int(grid_idx[td]))
+                delta = cur.diff(target)
+                starts = tuple((n, d) for n, d in delta.items() if d > 0)
+                stops = tuple((n, -d) for n, d in delta.items() if d < 0)
+                boot_dur = 0
+                on_energy = 0
+                for name, cnt in starts:
+                    p = profile(name)
+                    dur = _ceil_s(p.on_time)
+                    if dur > boot_dur:
+                        boot_dur = dur
+                    on_energy = on_energy + cnt * p.on_energy
+                off_dur = 0
+                off_energy = 0
+                for name, cnt in stops:
+                    p = profile(name)
+                    dur = int(math.ceil(p.off_time - 1e-9))
+                    if dur > off_dur:
+                        off_dur = dur
+                    off_energy = off_energy + cnt * p.off_energy
+                info = (
+                    target, starts, stops, boot_dur, off_dur,
+                    on_energy, off_energy,
+                )
+                delta_memo[(cur_id, new_id)] = info
+            target, starts, stops, boot_dur, off_dur, on_e, off_e = info
+            until = td + boot_dur + off_dur
+            sched.append(
+                (td, target, starts, stops, boot_dur, off_dur, until,
+                 on_e, off_e)
+            )
+            cur = target
+            cur_id = new_id
+            d_from = until if until > td else td + 1
+        return sched
+
+    def _start_scheduled(self, entry: tuple) -> None:
+        """Execute one precomputed reconfiguration through the real FSM.
+
+        The boot/hand-over/shutdown event machinery is shared with
+        :meth:`_start_reconfiguration` — only the delta/duration/energy
+        bookkeeping is skipped, because the schedule already fixed it.
+        """
+        (t, target, starts, stops, boot_dur, off_dur, until,
+         on_energy, off_energy) = entry
+        booted: List[Machine] = []
+        boots = self.stats.boots
+        for name, cnt in starts:
+            machines = self.cluster.boot(name, cnt, t)
+            booted.extend(machines)
+            boots[name] = boots.get(name, 0) + cnt
+            for m in machines:
+                self.queue.schedule(
+                    m.transition_ends, m.complete_boot, m.transition_ends
+                )
+        stops_d = dict(stops)
+        if boot_dur == 0:
+            # Pure scale-down: the hand-over happens at the decision
+            # itself (the queue only drains at the next loop step).
+            self._handover(float(t), target, stops_d, booted)
+        else:
+            handover = t + boot_dur
+            self._pending_handover = handover
+            self.queue.schedule(
+                handover, self._handover, handover, target, stops_d, booted
+            )
+        self._reconfig_until = until
+        self._events.append(
+            Reconfiguration(
+                decided_at=t,
+                completes_at=until,
+                before=self._current,
+                after=target,
+                boot_duration=boot_dur,
+                off_duration=off_dur,
+                on_energy=on_energy,
+                off_energy=off_energy,
+            )
+        )
+        self._current = target
+
     # -- shared pieces ------------------------------------------------------
     def _prediction_series(self, trace: LoadTrace) -> np.ndarray:
         """The predictor's series, inventory-clamped like the planner's.
@@ -274,11 +428,15 @@ class EventDrivenReplay:
         Unbounded clusters get the raw series — their table always
         covers the trace peak, and a genuine overshoot should still
         raise.
+
+        Served through the process-wide series cache
+        (:func:`repro.core.prediction.cached_prediction_series`): replays
+        and sweep grid points sharing a workload pay the sliding-maximum
+        filter once; the clamp is part of the cache key, so bounded and
+        unbounded runs over the same trace never collide.
         """
-        pred = self.predictor.series(trace)
-        if self.cluster.is_bounded:
-            pred = np.minimum(pred, self.table.max_rate)
-        return pred
+        clamp = self.table.max_rate if self.cluster.is_bounded else None
+        return cached_prediction_series(self.predictor, trace, clamp=clamp)
 
     def _decision_ids(
         self, pred: np.ndarray
@@ -314,14 +472,23 @@ class EventDrivenReplay:
 
     def _finish(self, horizon: int, power, unserved, extra_meta) -> SimulationResult:
         # Let in-flight transitions finish for exact energy accounting.
+        t0 = _time.perf_counter()
         self.queue.run_until(horizon)
         self.meter.finalize(horizon)
+        meter_energy = self.meter.total_energy
+        self._phase_s["settle"] = (
+            self._phase_s.get("settle", 0.0) + _time.perf_counter() - t0
+        )
         meta = {
-            "meter_energy_j": self.meter.total_energy,
+            "meter_energy_j": meter_energy,
             "migrations": self.stats.migrations,
             "peak_machines_on": self.stats.peak_machines_on,
         }
         meta.update(extra_meta)
+        # Wall-clock telemetry, deliberately outside the bit-identity
+        # surface: ScenarioResult does not persist meta and the property
+        # suite compares meter_energy_j only.
+        meta["phase_s"] = dict(self._phase_s)
         return SimulationResult(
             scenario="event-driven BML",
             trace_name=self.trace.name,
@@ -354,7 +521,10 @@ class EventDrivenReplay:
         """The per-second FSM loop — the executable specification."""
         trace = self.trace
         horizon = len(trace)
+        t0 = _time.perf_counter()
         pred = self._prediction_series(trace)
+        t1 = _time.perf_counter()
+        self._phase_s["predict"] = t1 - t0
         power = np.empty(horizon)
         unserved = np.zeros(horizon)
 
@@ -373,6 +543,7 @@ class EventDrivenReplay:
             power[t] = self.cluster.total_power()
             n_on = self.cluster.n_in_state(MachineState.ON)
             self.stats.peak_machines_on = max(self.stats.peak_machines_on, n_on)
+        self._phase_s["control"] = _time.perf_counter() - t1
         return self._finish(horizon, power, unserved, {"engine": "reference"})
 
     def _run_segments(self) -> SimulationResult:
@@ -391,7 +562,10 @@ class EventDrivenReplay:
         """
         trace = self.trace
         horizon = len(trace)
+        t0 = _time.perf_counter()
         pred = self._prediction_series(trace)
+        t1 = _time.perf_counter()
+        self._phase_s["predict"] = t1 - t0
         power = np.empty(horizon)
         unserved = np.zeros(horizon)
 
@@ -554,6 +728,10 @@ class EventDrivenReplay:
                 )
             n_segments += 1
             t = b
+        # The segment engine evaluates inline, so "control" here covers
+        # the walk *and* the kernel math (the breakdown the two-phase
+        # engine separates).
+        self._phase_s["control"] = _time.perf_counter() - t1
         return self._finish(
             horizon, power, unserved,
             {
@@ -603,18 +781,27 @@ class EventDrivenReplay:
     def _control_pass(self) -> _ControlPlan:
         """Phase 1: walk boundaries, emit descriptors, journal the meter.
 
-        The same boundary-to-boundary loop as ``_run_segments`` — events,
-        decision points, instance-ready ceilings, epoch-cached serving
-        pairs and accumulation plans — minus all evaluation: each steady
-        segment becomes one ``(t, b, kernel, plan)`` descriptor plus one
-        marker in the meter's journal, keeping the per-segment cost O(1)
-        and allocation-light.  Machine loads are only refreshed (one
-        scalar balance) at boundaries where an event fires or a decision
-        is due, because those are the only places the FSM reads them.
+        The same boundary-to-boundary semantics as ``_run_segments`` —
+        events, decision points, instance-ready ceilings, epoch-cached
+        serving pairs and accumulation plans — minus all evaluation:
+        each steady segment becomes one ``(t, b, kernel, plan)``
+        descriptor plus one marker in the meter's journal.  The walk is
+        driven by the **precomputed reconfiguration schedule**
+        (:meth:`_reconfig_schedule`): decision times, targets, windows
+        and record fields are resolved up front in one pass over the
+        decision series, so the per-boundary work left here is the
+        irreducible FSM/event bookkeeping plus descriptor emission.
+        Steady boundaries with no state change and no instance-ready
+        threshold crossed reuse the previous segment's kernel/plan
+        indices outright.  Machine loads are only refreshed (one scalar
+        balance) at boundaries where a hand-over or decision reads them.
         """
         trace = self.trace
         horizon = len(trace)
+        t_wall0 = _time.perf_counter()
         pred = self._prediction_series(trace)
+        t_wall1 = _time.perf_counter()
+        self._phase_s["predict"] = t_wall1 - t_wall0
         values = trace.values
         if np.any(values < 0):
             raise ValueError("rate must be >= 0")
@@ -625,7 +812,8 @@ class EventDrivenReplay:
         self._materialise_initial(initial, 0.0)
 
         cid, changes, grid_idx = self._decision_ids(pred)
-        cur_id = int(cid[0])
+        sched = self._reconfig_schedule(pred, cid, changes, grid_idx, initial)
+
         descs: List[Tuple[int, int, int, int]] = []
         kernels: List[object] = []
         kernel_idx: Dict[Tuple[str, ...], int] = {}
@@ -638,41 +826,73 @@ class EventDrivenReplay:
         prev_ready: List[Machine] = []
         prev_kernel: Optional[ServingSetKernel] = None
         plan_key: Optional[Tuple[str, ...]] = None
+        k_idx = -1
         p_idx = -1
+        #: sorted instance-ready thresholds of the current serving epoch;
+        #: ``pr_i`` points past every threshold already reached.
+        pending_ready: List[float] = []
+        pr_i = 0
+        #: The ready list is a pure function of (serving epoch, ``pr_i``):
+        #: between serving-list replacements a serving machine never
+        #: leaves ON (victims are stopped by the hand-over that also
+        #: replaces the list) and its instance's ``ready_at`` is fixed,
+        #: while ``is_ready`` uses the same ``now >= ready_at``
+        #: comparison that advances ``pr_i``.  So the filter only needs
+        #: re-running when either input changes — not on every segment.
+        ready: List[Machine] = []
+        memo_key: Tuple = ()
+        ready_stale = True
+        queue = self.queue
+        heap = queue._heap  # stable list object; run_until mutates in place
+        run_until = queue.run_until
+        batch_mark = self.meter.batch_mark
+        descs_append = descs.append
+        instance_on = self.app.instance_on
+        cluster = self.cluster
+        strategy = self.balancer.strategy
+        on_state = MachineState.ON
+        off_state = MachineState.OFF
+        sched_i = 0
+        n_sched = len(sched)
+        next_decide = sched[0][0] if n_sched else horizon
         t = 0
         while t < horizon:
-            if t > 0:
+            pr_seen = pr_i
+            if t == next_decide:
                 # Loads are only read by the hand-over path (victim
                 # ordering, drain checks) and the decision that may start
-                # one — boot/shutdown completions never look at them, so
-                # those drains skip the refresh.
-                if (
-                    self._pending_handover is not None
-                    and self._pending_handover <= t
-                ) or (t >= self._reconfig_until and cid[t] != cur_id):
+                # one — boot/shutdown completions never look at them.
+                self._refresh_loads(
+                    prev_ready, float(values[t - 1]), prev_kernel
+                )
+                run_until(t)
+                self._start_scheduled(sched[sched_i])
+                sched_i += 1
+                next_decide = (
+                    sched[sched_i][0] if sched_i < n_sched else horizon
+                )
+                state_changed = True
+            elif not heap:
+                # Steady stretch: no events, and a pending hand-over
+                # always has its event queued, so no load refresh either.
+                state_changed = t == 0
+            else:
+                ph = self._pending_handover
+                if ph is not None and ph <= t:
                     self._refresh_loads(
                         prev_ready, float(values[t - 1]), prev_kernel
                     )
-            fired = self.queue.run_until(t)
-            state_changed = fired > 0 or t == 0
-            if t >= self._reconfig_until and cid[t] != cur_id:
-                if cid[t] == -1:
-                    self.table.combination_for(float(pred[t]))
-                target = self.table.combo_at(int(grid_idx[t]))
-                if target != self._current:
-                    self._start_reconfiguration(t, target)
-                    state_changed = True
-                cur_id = int(cid[t])
+                state_changed = run_until(t) > 0 or t == 0
 
-            b = horizon
-            nxt = self.queue.peek_time()
-            if nxt is not None:
-                b = min(b, max(int(math.ceil(nxt - 1e-9)), t + 1))
-            d_from = self._reconfig_until if t < self._reconfig_until else t + 1
-            if d_from < b:
-                td = _next_decision(cid, changes, d_from, cur_id)
-                if td is not None:
-                    b = min(b, td)
+            b = next_decide
+            if heap:
+                nxt = queue.peek_time()
+                if nxt is not None:
+                    nb = int(math.ceil(nxt - 1e-9))
+                    if nb <= t:
+                        nb = t + 1
+                    if nb < b:
+                        b = nb
             if state_changed:
                 # The (machine, instance) pairing only changes when the
                 # serving list is replaced (hand-over / initial set) and
@@ -682,29 +902,51 @@ class EventDrivenReplay:
                 if serving_src is not self._serving:
                     serving_src = self._serving
                     serving_pairs = [
-                        (m, self.app.instance_on(m)) for m in serving_src
+                        (m, instance_on(m)) for m in serving_src
                     ]
-                if n_mach_seen != self.cluster.n_machines:
-                    n_mach_seen = self.cluster.n_machines
-                    machine_list = self.cluster.machines()
-            for m, inst in serving_pairs:
-                if inst is not None and inst.ready_at > t:
-                    b = min(b, max(int(math.ceil(inst.ready_at - 1e-9)), t + 1))
+                    pending_ready = sorted(
+                        inst.ready_at
+                        for _, inst in serving_pairs
+                        if inst is not None
+                    )
+                    pr_i = 0
+                    ready_stale = True
+                if n_mach_seen != cluster.n_machines:
+                    n_mach_seen = cluster.n_machines
+                    machine_list = cluster.machines()
+            n_pending = len(pending_ready)
+            while pr_i < n_pending and pending_ready[pr_i] <= t:
+                pr_i += 1
+                ready_stale = True
+            if pr_i < n_pending:
+                nb = int(math.ceil(pending_ready[pr_i] - 1e-9))
+                if nb <= t:
+                    nb = t + 1
+                if nb < b:
+                    b = nb
 
-            ready = [
-                m
-                for m, inst in serving_pairs
-                if m.state is MachineState.ON
-                and inst is not None
-                and inst.is_ready(t)
-            ]
-            memo_key = (self.balancer.strategy, *(m.machine_id for m in ready))
-            k_idx = kernel_idx.get(memo_key)
-            if k_idx is None:
-                k_idx = kernel_idx[memo_key] = len(kernels)
-                kernels.append(
-                    serving_set_kernel(self.balancer.strategy, ready)
-                )
+            if not state_changed and pr_i == pr_seen and descs:
+                # Nothing moved since the previous segment: same ready
+                # set, same kernel, same plan — emit and advance.
+                batch_mark(len(descs))
+                descs_append((t, b, k_idx, p_idx))
+                t = b
+                continue
+
+            if ready_stale:
+                ready = [
+                    m
+                    for m, inst in serving_pairs
+                    if m.state is on_state
+                    and inst is not None
+                    and inst.is_ready(t)
+                ]
+                memo_key = (strategy, *(m.machine_id for m in ready))
+                k_idx = kernel_idx.get(memo_key)
+                if k_idx is None:
+                    k_idx = kernel_idx[memo_key] = len(kernels)
+                    kernels.append(serving_set_kernel(strategy, ready))
+                ready_stale = False
             if state_changed or memo_key != plan_key:
                 # Ready machines contribute their kernel draw column; the
                 # constant slot is unused for them (0.0 keeps plans that
@@ -714,10 +956,9 @@ class EventDrivenReplay:
                 ready_ids = frozenset(m.machine_id for m in ready)
                 n_on = 0
                 items = []
-                on_state = MachineState.ON
                 for m in machine_list:
                     state = m.state
-                    if state is MachineState.OFF:
+                    if state is off_state:
                         continue
                     if state is on_state:
                         n_on += 1
@@ -734,8 +975,8 @@ class EventDrivenReplay:
                 plan_key = memo_key
                 if state_changed and n_on > self.stats.peak_machines_on:
                     self.stats.peak_machines_on = n_on
-            self.meter.batch_mark(len(descs))
-            descs.append((t, b, k_idx, p_idx))
+            batch_mark(len(descs))
+            descs_append((t, b, k_idx, p_idx))
             prev_ready = ready
             prev_kernel = kernels[k_idx]
             t = b
@@ -743,20 +984,21 @@ class EventDrivenReplay:
         # loads; leave the final window's assignment in place first.
         self._refresh_loads(prev_ready, float(values[horizon - 1]), prev_kernel)
         self.queue.run_until(horizon)
+        self._phase_s["control"] = _time.perf_counter() - t_wall1
         return _ControlPlan(
             descs=descs, kernels=kernels, plans=plans,
             compress=compress, horizon=horizon,
         )
 
     def _evaluate_pass(self, plan: _ControlPlan, values: np.ndarray):
-        """Phase 2: one kernel invocation per serving set, run-level scatter.
+        """Phase 2: one kernel invocation per serving set, per-window scatter.
 
         All descriptors sharing a kernel are evaluated on the
         concatenation of their rate windows; the kernel chain is
         elementwise over rate values, so each concatenated column equals
-        the per-window evaluation bit for bit.  A run-level gather plan
-        (per-second trace indices built from segment starts/lengths)
-        scatters power and unserved mass back; per-(group, plan) power
+        the per-window evaluation bit for bit.  Results scatter back as
+        one contiguous slice write per descriptor (``power[t:b]``) from
+        the per-plan accumulated series; per-(group, plan) power
         accumulation reuses the segment engine's exact machine order.
         Returns the series plus per-descriptor ``(window, offset,
         length)`` views for the meter journal's resolver.
@@ -772,12 +1014,6 @@ class EventDrivenReplay:
         for k_idx, desc_ids in groups.items():
             kernel = plan.kernels[k_idx]
             n_segs = len(desc_ids)
-            starts = np.empty(n_segs, dtype=np.int64)
-            lengths = np.empty(n_segs, dtype=np.int64)
-            for pos, j in enumerate(desc_ids):
-                t, b = descs[j][0], descs[j][1]
-                starts[pos] = t
-                lengths[pos] = b - t
             if n_segs == 1:
                 cat = values[descs[desc_ids[0]][0]:descs[desc_ids[0]][1]]
             else:
@@ -788,94 +1024,97 @@ class EventDrivenReplay:
                 cat, pre_validated=True, compress=plan.compress
             )
             inverse = window.inverse
-            offs = np.zeros(n_segs, dtype=np.int64)
-            np.cumsum(lengths[:-1], out=offs[1:])
-            total = int(offs[-1] + lengths[-1])
-            # Run-level gather plan: concatenated position -> trace second.
-            tidx = np.arange(total, dtype=np.int64) + np.repeat(
-                starts - offs, lengths
-            )
-            if window.unserved.any():
-                unserved[tidx] = window.gather(window.unserved)
+            has_unserved = bool(window.unserved.any())
             # else: max(rate - served, 0.0) is +0.0 everywhere — exactly
             # the zeros the series was initialised with.
+            unserved_u = window.unserved if has_unserved else None
             draw_of = dict(zip(kernel.machine_ids, window.draws))
-            by_plan: Dict[int, List[int]] = {}
-            for pos, j in enumerate(desc_ids):
-                by_plan.setdefault(descs[j][3], []).append(pos)
-            for p_idx, positions in by_plan.items():
-                # Same machine iteration (= float accumulation) order as
-                # Cluster.total_power, over the group's unique rates.
-                # Constant terms — plan constants and the kernel's elided
-                # constant columns — fold into a running scalar until the
-                # first varying column: the scalar chain performs the
-                # identical float adds each element would, so the fold
-                # never changes a bit.
-                acc: Optional[np.ndarray] = None
-                acc_scalar = 0.0
-                for draw_key, const in plan.plans[p_idx]:
-                    if draw_key is None:
-                        term = const
-                    else:
-                        d = draw_of[draw_key]
-                        if d.strides == (0,):  # broadcast constant column
-                            term = float(d[0]) if len(d) else 0.0
+            # Per-plan accumulated series over the group's unique rates:
+            # same machine iteration (= float accumulation) order as
+            # Cluster.total_power.  Constant terms — plan constants and
+            # the kernel's elided constant columns — fold into a running
+            # scalar until the first varying column: the scalar chain
+            # performs the identical float adds each element would, so
+            # the fold never changes a bit.
+            plan_acc: Dict[int, object] = {}
+
+            def _acc_for(p_idx: int):
+                got = plan_acc.get(p_idx)
+                if got is None:
+                    acc: Optional[np.ndarray] = None
+                    acc_scalar = 0.0
+                    for draw_key, const in plan.plans[p_idx]:
+                        if draw_key is None:
+                            term = const
                         else:
-                            term = d
-                    if acc is not None:
-                        acc += term
-                    elif isinstance(term, float):
-                        acc_scalar += term
-                    else:
-                        acc = acc_scalar + term
-                if len(by_plan) == 1:
-                    power[tidx] = (
-                        acc_scalar if acc is None else window.gather(acc)
+                            d = draw_of[draw_key]
+                            if d.strides == (0,):  # broadcast constant col
+                                term = float(d[0]) if len(d) else 0.0
+                            else:
+                                term = d
+                        if acc is not None:
+                            acc += term
+                        elif isinstance(term, float):
+                            acc_scalar += term
+                        else:
+                            acc = acc_scalar + term
+                    got = plan_acc[p_idx] = (
+                        acc_scalar if acc is None else acc
                     )
-                else:
-                    gsel = np.concatenate(
-                        [
-                            np.arange(offs[pos], offs[pos] + lengths[pos])
-                            for pos in positions
-                        ]
-                    )
-                    if acc is None:
-                        power[tidx[gsel]] = acc_scalar
-                    else:
-                        power[tidx[gsel]] = (
-                            acc[gsel] if inverse is None else acc[inverse[gsel]]
-                        )
+                return got
+
+            # Contiguous per-descriptor writes: power[t:b] is the plan
+            # series gathered over the window's slice of the group's
+            # inverse map — bit-identical to the run-level fancy scatter
+            # (same elements, same positions) without materialising a
+            # trace-length index array.
+            off = 0
             for pos, j in enumerate(desc_ids):
-                seg_eval[j] = (window, int(offs[pos]), int(lengths[pos]))
+                desc = descs[j]
+                t, b = desc[0], desc[1]
+                n = b - t
+                acc = _acc_for(desc[3])
+                if isinstance(acc, float):
+                    power[t:b] = acc
+                elif inverse is None:
+                    power[t:b] = acc[off:off + n]
+                else:
+                    power[t:b] = acc[inverse[off:off + n]]
+                if has_unserved:
+                    if inverse is None:
+                        unserved[t:b] = unserved_u[off:off + n]
+                    else:
+                        unserved[t:b] = unserved_u[inverse[off:off + n]]
+                seg_eval[j] = (window, off, n)
+                off += n
         return power, unserved, seg_eval, len(groups)
 
     def _run_twophase(self) -> SimulationResult:
         """Two-phase replay: pure control walk, then grouped evaluation."""
         plan = self._control_pass()
         self._twophase_plan = plan  # introspection (descriptor-purity test)
+        t0 = _time.perf_counter()
         power, unserved, seg_eval, n_batches = self._evaluate_pass(
             plan, self.trace.values
         )
+        t1 = _time.perf_counter()
+        self._phase_s["evaluate"] = t1 - t0
         descs = plan.descs
 
-        record_gather = self.meter.record_gather
-
-        def emit(j: int) -> None:
-            """Write journal marker ``j``'s per-machine windows to the meter."""
-            t = descs[j][0]
+        def resolve(j: int):
+            """Journal marker ``j``'s evaluated gather bundle."""
             window, off, n = seg_eval[j]
-            inverse = window.inverse
-            draws = window.draws
-            if inverse is None:
-                end = off + n
-                for i, mid in enumerate(window.kernel.machine_ids):
-                    record_gather(mid, draws[i][off:end], None, t)
-            else:
-                sel = inverse[off:off + n]
-                for i, mid in enumerate(window.kernel.machine_ids):
-                    record_gather(mid, draws[i], sel, t)
+            return (
+                window.kernel.machine_ids,
+                window.draws,
+                window.inverse,
+                off,
+                n,
+                descs[j][0],
+            )
 
-        self.meter.record_batch(emit)
+        self.meter.record_batch_windows(resolve)
+        self._phase_s["settle"] = _time.perf_counter() - t1
         return self._finish(
             plan.horizon, power, unserved,
             {

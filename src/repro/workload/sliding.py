@@ -49,12 +49,13 @@ def lookahead_max(values: Sequence[float], window: int) -> np.ndarray:
         return arr.copy()
     w = min(window, n)
     if _maxfilter is not None:
-        # Pad the tail with -inf so truncated windows stay exact, then shift
-        # the filter window right with origin = -(w // 2) so it covers
-        # [t, t + w - 1] (verified for even and odd sizes).
-        padded = np.concatenate([arr, np.full(w - 1, -np.inf)])
-        out = _maxfilter(padded, size=w, mode="constant", cval=-np.inf, origin=-(w // 2))
-        return out[:n]
+        # Shift the filter window right with origin = -(w // 2) so it
+        # covers [t, t + w - 1] (verified for even and odd sizes).
+        # ``mode="nearest"`` repeats the final sample past the end, and a
+        # truncated tail window always contains that final sample — so
+        # its max is exactly the truncated max, with no padded copy of
+        # the input and an owndata result (cache-friendly upstream).
+        return _maxfilter(arr, size=w, mode="nearest", origin=-(w // 2))
     return lookahead_max_reference(arr, w)
 
 

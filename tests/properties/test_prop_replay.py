@@ -306,6 +306,237 @@ class TestDeferredLedgerProperty:
         assert scalar.total_energy == deferred.total_energy
 
 
+class TestStackedSettleProperty:
+    """PR 9: the multi-machine stacked ledger settle.
+
+    ``_flush_all`` settles every pending stream through one stacked 2-D
+    cumsum (or a buffer-reusing ragged fallback); the property pins it
+    bitwise against the per-machine ``_flush`` chain under interleaved
+    ``record_gather`` windows, eager ``record_series`` writes and scalar
+    transitions across several machines.
+    """
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_flush_all_matches_per_machine_flush(self, data):
+        n_machines = data.draw(st.integers(3, 5))
+        mids = [f"m{i}" for i in range(n_machines)]
+        stacked = EnergyMeter()
+        separate = EnergyMeter()
+        t = {}
+        for i, mid in enumerate(mids):
+            for meter in (stacked, separate):
+                meter.set_power(mid, 10.0 + i, 0.0)
+            t[mid] = 0
+        n_ops = data.draw(st.integers(3, 12))
+        for _ in range(n_ops):
+            mid = data.draw(st.sampled_from(mids))
+            kind = data.draw(
+                st.sampled_from(["gather", "series", "transition"])
+            )
+            t0 = t[mid] + data.draw(st.integers(1, 4))
+            if kind == "transition":
+                power = data.draw(st.floats(0.0, 800.0, allow_nan=False))
+                for meter in (stacked, separate):
+                    meter.set_power(mid, power, t0)
+                t[mid] = t0
+                continue
+            n = data.draw(st.integers(1, 25))
+            powers = np.array(
+                data.draw(
+                    st.lists(
+                        st.floats(0.0, 500.0, allow_nan=False),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+            )
+            if kind == "gather":
+                uniq, inverse = np.unique(powers, return_inverse=True)
+                for meter in (stacked, separate):
+                    meter.record_gather(mid, uniq, inverse, t0)
+            else:  # eager record_series mixed into the same streams
+                for meter in (stacked, separate):
+                    meter.record_series(mid, powers, t0)
+            t[mid] = t0 + n - 1
+        end = max(t.values()) + 5
+        # One meter settles machine-by-machine through the scalar-chain
+        # flush; the other goes through the stacked multi-machine path.
+        for mid in mids:
+            separate._flush(mid)
+        separate.finalize(end)
+        stacked.finalize(end)
+        assert stacked._totals == separate._totals
+        assert stacked.total_energy == separate.total_energy
+
+
+def _captured_set_power_run(replay, engine):
+    """Run ``replay`` recording every ``meter.set_power`` call in order."""
+    calls = []
+    meter = replay.meter
+    orig = meter.set_power
+
+    def recorder(machine_id, power, now):
+        calls.append((machine_id, power, now))
+        orig(machine_id, power, now)
+
+    meter.set_power = recorder
+    try:
+        result = replay.run(engine=engine)
+    finally:
+        del meter.set_power
+    return result, calls
+
+
+class TestReconfigSchedule:
+    """PR 9: the batched reconfiguration schedule.
+
+    The two-phase engine precomputes every reconfiguration
+    (``_reconfig_schedule``) and executes the entries through the real
+    FSM (``_start_scheduled``); the segment engine decides the same
+    reconfigurations one at a time from inside its walk.  The schedule
+    is correct iff both produce the identical ``Reconfiguration`` log
+    and the identical machine-transition stream — the ``set_power``
+    tuples that land in the two-phase journal.
+    """
+
+    def _assert_schedule_matches_walk(self, infra, trace, spec):
+        table = infra.table(3000.0)
+
+        def build():
+            return EventDrivenReplay(
+                table, trace,
+                predictor=LookAheadMaxPredictor(200), app_spec=spec,
+            )
+
+        fsm, fsm_calls = _captured_set_power_run(build(), "segments")
+        two, two_calls = _captured_set_power_run(build(), "twophase")
+        assert two_calls == fsm_calls
+        assert len(two.reconfigurations) == len(fsm.reconfigurations)
+        for a, b in zip(two.reconfigurations, fsm.reconfigurations):
+            assert a == b  # every field, including boot/off durations
+        # Journal shape: a bare control pass leaves the journal open —
+        # marker tokens must be the descriptor indices in order, and the
+        # non-marker entries exactly the recorded transition stream.
+        bare = build()
+        plan = bare._control_pass()
+        journal = bare.meter._batch
+        markers = [e for e in journal if not isinstance(e, tuple)]
+        tuples = [e for e in journal if isinstance(e, tuple)]
+        assert markers == list(range(len(plan.descs)))
+        # The journaled transition stream is the control-pass prefix of
+        # the full twophase run's ``set_power`` stream (the rest are
+        # finalize-era closes, issued after the journal settles).
+        assert tuples == two_calls[: len(tuples)]
+
+    @settings(max_examples=6, deadline=None)
+    @given(stepped_trace(), st.sampled_from([0.5, 0.9]))
+    def test_schedule_matches_fsm_under_powercap(self, trace, frac):
+        self._assert_schedule_matches_walk(
+            _capped_infra(frac), trace, ApplicationSpec()
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        stepped_trace(),
+        st.sampled_from([(0.5, 0.5), (3.0, 2.5), (0.0, 7.0)]),
+    )
+    def test_schedule_matches_fsm_with_start_stop_times(
+        self, infra, trace, times
+    ):
+        stop, start = times
+        self._assert_schedule_matches_walk(
+            infra, trace, ApplicationSpec(stop_time=stop, start_time=start)
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        stepped_trace(),
+        st.sampled_from(
+            [
+                {"paravance": 1, "chromebook": 8, "raspberry": 8},
+                {"paravance": 0, "chromebook": 12, "raspberry": 20},
+            ]
+        ),
+    )
+    def test_schedule_matches_fsm_bounded_inventory(
+        self, infra, trace, inventory
+    ):
+        predictor = LookAheadMaxPredictor(200)
+        outcome = BMLScheduler(
+            infra, predictor=predictor, inventory=inventory
+        ).plan_detailed(trace)
+
+        def build():
+            return EventDrivenReplay(
+                outcome.table, trace,
+                predictor=predictor, inventory=inventory,
+            )
+
+        fsm, fsm_calls = _captured_set_power_run(build(), "segments")
+        two, two_calls = _captured_set_power_run(build(), "twophase")
+        assert two_calls == fsm_calls
+        assert len(two.reconfigurations) == len(fsm.reconfigurations)
+        for a, b in zip(two.reconfigurations, fsm.reconfigurations):
+            assert a == b
+
+
+class TestUniqueInverse:
+    """The bincount fast path of the kernel's rate compression."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_matches_np_unique(self, data):
+        from repro.sim.loadbalancer import _unique_inverse
+
+        kind = data.draw(
+            st.sampled_from(["integral", "fractional", "negzero"])
+        )
+        n = data.draw(st.integers(1, 200))
+        if kind == "integral":
+            values = np.array(
+                data.draw(
+                    st.lists(
+                        st.integers(0, 3000), min_size=n, max_size=n
+                    )
+                ),
+                dtype=float,
+            )
+        elif kind == "fractional":
+            values = np.array(
+                data.draw(
+                    st.lists(
+                        st.floats(0.0, 3000.0, allow_nan=False),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+            )
+        else:
+            # -0.0 in an all-integral series must not flip sign bits in
+            # the unique values (the fallback keeps -0.0 distinct bits).
+            values = np.array(
+                data.draw(
+                    st.lists(
+                        st.sampled_from([-0.0, 0.0, 1.0, 2.0]),
+                        min_size=n,
+                        max_size=n,
+                    )
+                )
+            )
+        uniq_ref, inv_ref = np.unique(values, return_inverse=True)
+        uniq, inv = _unique_inverse(values)
+        assert np.array_equal(uniq, uniq_ref)
+        assert np.array_equal(
+            np.signbit(uniq), np.signbit(uniq_ref)
+        )
+        # Inverse maps may differ only if they reconstruct differently.
+        assert np.array_equal(uniq[inv], uniq_ref[inv_ref])
+        assert np.array_equal(
+            np.signbit(uniq[inv]), np.signbit(uniq_ref[inv_ref])
+        )
+
+
 class TestWindowedBalancer:
     @settings(max_examples=40, deadline=None)
     @given(st.data())
