@@ -18,15 +18,21 @@ day) expands and runs through the spawn pool with shared-memory trace
 distribution, then the leak check fails if any ``repro``-prefixed
 ``/dev/shm`` segment survived the suite (``--no-sweep`` skips it).
 
-Last, a control-plane smoke: a 7-day diurnal trace replayed through all
+Next, a control-plane smoke: a 7-day diurnal trace replayed through all
 three engines must be bit-identical, with the later engines served from
 the warm predictor-series cache (``--no-control`` skips it).
+
+Last, a serve smoke: the PR 10 streaming daemon tails a temp feed,
+gets killed by an injected ``serve-crash`` (exit 17, post-journal
+pre-checkpoint), resumes, and must finish with a journal byte-identical
+to an uninterrupted run over the same feed (``--no-serve`` skips it).
 
 Usage::
 
     python benchmarks/run_quick.py              # quick tests + smokes
     python benchmarks/run_quick.py --no-faults  # skip the fault smoke
     python benchmarks/run_quick.py --no-sweep   # skip the sweep smoke
+    python benchmarks/run_quick.py --no-serve   # skip the serve smoke
     python benchmarks/run_quick.py --perf       # + hot-path benchmarks
     python benchmarks/run_quick.py -- -k table  # extra pytest args
 """
@@ -142,6 +148,57 @@ print(
 """
 
 
+#: In-process script proving the PR 10 streaming daemon end to end: a
+#: tailed temp feed, a crash injected at the nastiest instant (decision
+#: journaled, checkpoint not yet taken), a ``--resume`` generation, and
+#: a final journal byte-identical to an uninterrupted run's.
+SERVE_SMOKE = """\
+import subprocess, sys, tempfile
+from pathlib import Path
+from repro.serve import ServeConfig, ServeDaemon, append_feed
+
+tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+feed = tmp / "feed.txt"
+append_feed(feed, [100.0] * 120 + [900.0] * 60 + [100.0] * 300, end=True)
+
+clean = ServeConfig(feed=feed, state_dir=tmp / "clean", window=60,
+                    max_rate=3000.0, poll_s=0.001)
+assert ServeDaemon(clean).run() == "done"
+clean_bytes = (clean.state_dir / "journal.bin").read_bytes()
+assert clean_bytes, "smoke feed must generate decisions"
+
+child = '''
+import sys
+from pathlib import Path
+from repro import faults
+from repro.serve import ServeConfig, ServeDaemon
+tmp = Path(sys.argv[1])
+config = ServeConfig(feed=tmp / "feed.txt", state_dir=tmp / "state",
+                     window=60, max_rate=3000.0, poll_s=0.001)
+plan = faults.FaultPlan(
+    faults=(faults.Fault("serve-crash", "serve", fail_attempts=1),)
+)
+with faults.injected(plan):
+    ServeDaemon(config).run()
+sys.exit(99)  # unreachable: the crash fault must fire
+'''
+proc = subprocess.run([sys.executable, "-c", child, str(tmp)])
+assert proc.returncode == 17, f"expected crash exit 17, got {proc.returncode}"
+
+config = ServeConfig(feed=feed, state_dir=tmp / "state", window=60,
+                     max_rate=3000.0, poll_s=0.001)
+daemon = ServeDaemon(config, resume=True)
+assert daemon.generation == 1
+assert daemon.run() == "done"
+resumed = (config.state_dir / "journal.bin").read_bytes()
+assert resumed == clean_bytes, "resume diverged from the clean journal"
+print(
+    f"serve smoke: crash at gen 0 + resume -> journal byte-identical "
+    f"({daemon.journal.count} decisions, {len(resumed)} bytes)"
+)
+"""
+
+
 def run_fault_smoke(env) -> int:
     cmd = [sys.executable, "-c", FAULT_SMOKE]
     print("$ fault-injection smoke (transient spec-error + retry)", flush=True)
@@ -153,6 +210,16 @@ def run_control_smoke(env) -> int:
     print(
         "$ control-plane smoke (7-day diurnal, 3-engine identity + "
         "warm predictor cache)",
+        flush=True,
+    )
+    return subprocess.call(cmd, cwd=ROOT, env=env)
+
+
+def run_serve_smoke(env) -> int:
+    cmd = [sys.executable, "-c", SERVE_SMOKE]
+    print(
+        "$ serve smoke (tail feed + injected crash + resume, "
+        "journal byte-identity)",
         flush=True,
     )
     return subprocess.call(cmd, cwd=ROOT, env=env)
@@ -190,6 +257,11 @@ def main(argv=None) -> int:
         help="skip the 7-day three-engine control-plane smoke",
     )
     parser.add_argument(
+        "--no-serve",
+        action="store_true",
+        help="skip the streaming-daemon crash/resume smoke",
+    )
+    parser.add_argument(
         "pytest_args",
         nargs="*",
         help="extra arguments forwarded to pytest (after --)",
@@ -214,6 +286,8 @@ def main(argv=None) -> int:
         status = run_sweep_smoke(env) or status
     if not args.no_control:
         status = run_control_smoke(env) or status
+    if not args.no_serve:
+        status = run_serve_smoke(env) or status
     if args.perf:
         from run_benchmarks import main as bench_main
 

@@ -41,6 +41,12 @@ Commands
     JSON, expand one into its minted scenario specs, or run the whole
     grid through the suite runner (same fan-out, checkpoint and
     fault-tolerance options as ``scenario run``).
+``repro serve FEED --dir DIR [--resume] [--max-rate R] [--window W]``
+    Streaming provisioning daemon: follow a growing rate feed (one
+    rate per line, ``END`` terminates), emit the batch engine's exact
+    reconfiguration decisions into a crash-safe journal under DIR, and
+    checkpoint so ``--resume`` continues exactly after any crash.
+    ``repro serve --status --dir DIR`` prints the daemon's health file.
 ``repro cache-stats [--json]``
     Surface every process-level cache's telemetry in one view: the
     memoised infrastructures' combination-table counters, the
@@ -335,6 +341,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--facet", action="append", default=None, metavar="AXIS",
         help="add an aggregate table grouped by this sweep axis "
              "(repeatable)",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="streaming provisioning daemon over a growing feed"
+    )
+    p_serve.add_argument(
+        "feed", type=Path, nargs="?", default=None,
+        help="rate feed to follow (one rate per line; 'END' terminates)",
+    )
+    p_serve.add_argument(
+        "--dir", type=Path, default=Path("serve"), dest="state_dir",
+        help="state directory: journal, checkpoints, health (default: serve/)",
+    )
+    p_serve.add_argument(
+        "--resume", action="store_true",
+        help="continue from the directory's checkpoint (exact resume: "
+             "the final journal is byte-identical to an uninterrupted run)",
+    )
+    p_serve.add_argument(
+        "--status", action="store_true",
+        help="print the daemon's health file and exit",
+    )
+    p_serve.add_argument(
+        "--max-rate", type=float, default=5000.0,
+        help="largest rate the combination table must cover (req/s)",
+    )
+    p_serve.add_argument(
+        "--window", type=int, default=378, help="look-ahead window (s)"
+    )
+    p_serve.add_argument(
+        "--method", choices=("greedy", "ideal"), default="greedy"
+    )
+    p_serve.add_argument(
+        "--poll", type=float, default=0.05, metavar="S",
+        help="feed poll interval in seconds",
+    )
+    p_serve.add_argument(
+        "--stall-timeout", type=float, default=5.0, metavar="S",
+        help="seconds without feed data before health flips to 'stalled' "
+             "(the daemon holds the last plan and keeps listening)",
+    )
+    p_serve.add_argument(
+        "--checkpoint-every", type=int, default=3600, metavar="N",
+        help="samples between periodic checkpoints",
+    )
+    p_serve.add_argument(
+        "--max-polls", type=int, default=None, metavar="N",
+        help="stop (resumable) after N feed polls — smoke tests",
     )
 
     p_cache = sub.add_parser(
@@ -640,6 +694,11 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             share_memory=not args.no_shm,
         )
+    except scenarios.SuiteInterrupted as exc:
+        # Graceful shutdown: completed scenarios are checkpointed, the
+        # rest re-run under --resume.  130 = killed-by-signal exit.
+        print(f"scenario run: {exc}", file=sys.stderr)
+        return 130
     except Exception as exc:
         # Fatal: a failure run_suite could not degrade (keep_going off,
         # or infrastructure trouble).  Exit 1 with the message, not a
@@ -941,6 +1000,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             chunk_size=args.chunk_size,
             share_memory=not args.no_shm,
         )
+    except scenarios.SuiteInterrupted as exc:
+        print(f"sweep run: {exc}", file=sys.stderr)
+        return 130
     except Exception as exc:
         print(
             f"sweep run failed: {type(exc).__name__}: {exc}",
@@ -974,6 +1036,48 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
     return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from .serve import ServeConfig, ServeDaemon, ServeError, read_health
+    from .serve.journal import JournalCorruptError
+
+    if args.status:
+        health = read_health(args.state_dir)
+        if health is None:
+            print(
+                f"no serve health file in {args.state_dir}", file=sys.stderr
+            )
+            return 1
+        print(json.dumps(health, indent=2, sort_keys=True))
+        return 0
+    if args.feed is None:
+        raise SystemExit("serve: give a feed file (or --status)")
+    config = ServeConfig(
+        feed=args.feed,
+        state_dir=args.state_dir,
+        window=args.window,
+        max_rate=args.max_rate,
+        method=args.method,
+        poll_s=args.poll,
+        stall_timeout_s=args.stall_timeout,
+        checkpoint_every=args.checkpoint_every,
+    )
+    try:
+        daemon = ServeDaemon(config, resume=args.resume)
+        status = daemon.run(max_polls=args.max_polls)
+    except (ServeError, JournalCorruptError) as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 1
+    print(
+        f"serve {status}: {daemon.engine.samples_in} samples in, "
+        f"{daemon.journal.count} decision(s) journaled, "
+        f"{daemon.rejected} record(s) rejected "
+        f"(generation {daemon.generation}, state in {config.state_dir})"
+    )
+    return 0 if status == "done" else 3
 
 
 def collect_cache_stats() -> dict:
@@ -1056,6 +1160,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "scenario": _cmd_scenario,
         "sweep": _cmd_sweep,
+        "serve": _cmd_serve,
         "cache-stats": _cmd_cache_stats,
     }
     return handlers[args.command](args)

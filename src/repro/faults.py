@@ -45,6 +45,32 @@ Injection sites (``SITES``):
     :func:`check`, :mod:`repro.core.prediction` does the corrupting and
     must later detect the damaged entry and rebuild instead of trusting
     it.
+
+Streaming sites (PR 10, :mod:`repro.serve`):
+
+``feed-stall``
+    The tail reader pretends the feed produced nothing (a wedged
+    producer / NFS hiccup); keyed by the daemon name, ``attempt`` is the
+    poll index so ``fail_attempts=N`` stalls the first N polls.
+    Passive: consulted via :func:`check`, the source returns no data.
+``feed-torn-write``
+    The feed-writer helper leaves its final record half-written without
+    a newline (a torn append); keyed by the feed path.  Passive: the
+    writer does the tearing, the reader must treat the partial record as
+    incomplete (wait) or — once later bytes glue onto it — malformed
+    (typed rejection), never crash.
+``serve-crash``
+    ``os._exit`` the daemon between journal append and checkpoint (the
+    ``kill -9`` stand-in at the nastiest instant); keyed by the daemon
+    name, ``attempt`` is the daemon's *generation* (0 on first start,
+    +1 per ``--resume``), so ``fail_attempts=1`` crashes the first
+    generation and lets the resumed one finish.
+``journal-corrupt``
+    Flip a byte inside a decision record just after it was written
+    (disk bit rot); keyed by the journal path, ``attempt`` is the record
+    index.  Passive: the journal does the flipping; re-opening must
+    truncate a corrupt *tail* record and quarantine a corrupt mid-file
+    one with a typed error.
 """
 
 from __future__ import annotations
@@ -77,6 +103,10 @@ SITES = (
     "corrupt-result",
     "trace-read",
     "predict-cache",
+    "feed-stall",
+    "feed-torn-write",
+    "serve-crash",
+    "journal-corrupt",
 )
 
 #: ``fail_attempts`` value that outlives any sane retry policy.
@@ -226,9 +256,10 @@ def check(site: str, key: str, attempt: int = 0) -> bool:
 def fire(site: str, key: str, attempt: int = 0) -> None:
     """Active hook: crash, hang or raise if a fault is scheduled here.
 
-    ``worker-crash`` exits the process without cleanup (``os._exit``,
-    like the OOM killer would); ``worker-hang`` sleeps the fault's
-    ``hang_s``; every other site raises :class:`InjectedFault`.
+    ``worker-crash`` and ``serve-crash`` exit the process without
+    cleanup (``os._exit``, like the OOM killer or ``kill -9`` would);
+    ``worker-hang`` sleeps the fault's ``hang_s``; every other site
+    raises :class:`InjectedFault`.
     """
     plan = _ACTIVE
     if plan is None:
@@ -236,7 +267,7 @@ def fire(site: str, key: str, attempt: int = 0) -> None:
     fault = plan.find(site, key, attempt)
     if fault is None:
         return
-    if site == "worker-crash":
+    if site in ("worker-crash", "serve-crash"):
         os._exit(17)
     if site == "worker-hang":
         time.sleep(fault.hang_s)

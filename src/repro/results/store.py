@@ -59,8 +59,12 @@ __all__ = [
 
 RESULT_FILE = "result.json"
 SERIES_FILE = "series.npz"
+#: Sub-directory for named state checkpoints (``save_state``); its name
+#: never matches ``_RUN_ID_RE``, so run listings cannot see it.
+STATE_DIR = "_state"
 
 _RUN_ID_RE = re.compile(r"^(\d+)-(.+)$")
+_STATE_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
 
 
 class StoreError(ResultError):
@@ -242,6 +246,64 @@ class RunStore:
         self._skipped.append(
             QuarantinedRun(run_id=path.name, path=path, reason=reason)
         )
+
+    # -- state checkpoints -------------------------------------------------
+    def _state_path(self, name: str) -> Path:
+        if not _STATE_NAME_RE.match(name):
+            raise StoreError(f"invalid state checkpoint name {name!r}")
+        return self.root / STATE_DIR / f"{name}.json"
+
+    def save_state(self, name: str, payload: Dict[str, object]) -> Path:
+        """Atomically persist a named JSON state checkpoint.
+
+        Checkpoints live under ``<root>/_state/`` — invisible to
+        ``list()``/``load_all()``, which only consider ``<seq>-<name>``
+        run directories.  The write is crash-safe: tmp file, flush,
+        fsync, atomic rename — a ``kill -9`` at any instant leaves
+        either the previous checkpoint or the new one, never a torn
+        file.  This is what ``repro serve`` resumes from.
+        """
+        import os
+
+        path = self._state_path(name)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".json.tmp")
+        data = json.dumps(payload, sort_keys=True) + "\n"
+        with open(tmp, "w") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        return path
+
+    def load_state(self, name: str) -> Optional[Dict[str, object]]:
+        """The named checkpoint, or ``None`` if never saved.
+
+        A malformed checkpoint file raises :class:`StoreError` (the
+        atomic writer cannot produce one, so damage means outside
+        interference — resuming from it would be a silent fork)."""
+        path = self._state_path(name)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+        except ValueError as exc:
+            raise StoreError(
+                f"corrupt state checkpoint {path}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise StoreError(
+                f"corrupt state checkpoint {path}: expected a JSON object"
+            )
+        return payload
+
+    def drop_state(self, name: str) -> bool:
+        """Delete the named checkpoint; True if one existed."""
+        path = self._state_path(name)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
 
     # -- retention ---------------------------------------------------------
     def prune(self, keep_last: int) -> List[str]:

@@ -38,6 +38,7 @@ from .runner import (
     RetryPolicy,
     ScenarioRun,
     SuiteExecutionError,
+    SuiteInterrupted,
     chunk_specs,
     clear_caches,
     fanout_stats,
@@ -63,6 +64,7 @@ __all__ = [
     "FailedRun",
     "RetryPolicy",
     "SuiteExecutionError",
+    "SuiteInterrupted",
     "FIG5_DAYS_ENV",
     "PAPER_SCENARIOS",
     "register",

@@ -35,11 +35,15 @@ already-stored specs on restart.  All recovery paths are provable via
 
 from __future__ import annotations
 
+import os as _os
+import signal as _signal
+import threading as _threading
 import time
 import traceback as _traceback
 from collections import OrderedDict, deque
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import faults
 from ..core.adaptive import TransitionAwareScheduler
@@ -63,6 +67,7 @@ __all__ = [
     "FailedRun",
     "RetryPolicy",
     "SuiteExecutionError",
+    "SuiteInterrupted",
     "run_scenario",
     "run_suite",
     "chunk_specs",
@@ -264,6 +269,61 @@ class SuiteExecutionError(ScenarioError):
         super().__init__(f"{len(self.failures)} scenario(s) failed: {detail}")
 
 
+class SuiteInterrupted(ScenarioError):
+    """``run_suite`` stopped on SIGTERM/SIGINT after flushing results.
+
+    Every result that completed before the signal was already
+    checkpointed through the suite's ``store`` (results save the moment
+    they land), so re-running with ``resume=True`` skips the completed
+    specs and finishes only the remainder.  ``completed``/``total``
+    count spec slots; ``signum`` is the signal that stopped the suite.
+    """
+
+    def __init__(self, signum: int, completed: int, total: int):
+        self.signum = signum
+        self.completed = completed
+        self.total = total
+        try:
+            name = _signal.Signals(signum).name
+        except ValueError:  # pragma: no cover - unknown signal number
+            name = str(signum)
+        super().__init__(
+            f"suite interrupted by {name}: {completed}/{total} scenario(s) "
+            "completed and checkpointed; resume=True finishes the rest"
+        )
+
+
+@contextmanager
+def _graceful_stop():
+    """Convert SIGTERM/SIGINT into a polled stop flag for the suite.
+
+    Yields a callable returning the received signal number (or ``None``).
+    The first signal requests a graceful stop — in-flight work finishes
+    and completed results are flushed; a second signal escalates to an
+    immediate :class:`KeyboardInterrupt`.  Outside the main thread (or
+    a non-Unix oddity) signals cannot be hooked; the suite then simply
+    runs unguarded.
+    """
+    state = {"signum": None}
+
+    def handler(signum, frame):
+        if state["signum"] is not None:
+            raise KeyboardInterrupt
+        state["signum"] = signum
+
+    previous = {}
+    try:
+        for sig in (_signal.SIGTERM, _signal.SIGINT):
+            previous[sig] = _signal.signal(sig, handler)
+    except ValueError:  # not the main thread
+        previous = {}
+    try:
+        yield lambda: state["signum"]
+    finally:
+        for sig, old in previous.items():
+            _signal.signal(sig, old)
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How hard ``run_suite`` fights for each scenario.
@@ -411,17 +471,44 @@ def run_scenario(
 _WORKER_SHARED: Dict[str, object] = {}
 
 
-def _init_worker(
+def _reset_worker_signals() -> None:
+    """Child-side: restore kill-able signal dispositions.
+
+    Forked workers inherit the parent's handlers — including the suite's
+    graceful SIGTERM/SIGINT handler when ``run_suite`` installed one.  A
+    worker that treats SIGTERM as "set a flag" can no longer be killed
+    by ``Pool.terminate()``, which deadlocks the dispatcher's cleanup.
+    Workers must die on SIGTERM and leave SIGINT to the dispatcher.
+    """
+    try:
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+        _signal.signal(_signal.SIGINT, _signal.SIG_IGN)
+    except ValueError:  # pragma: no cover - non-main-thread initializer
+        pass
+
+
+def _install_shared(
     trace: Optional[Union[LoadTrace, SharedTraceHandle]],
     infra: Optional[BMLInfrastructure],
     fault_plan: Optional[faults.FaultPlan] = None,
 ) -> None:
+    """Install the worker-shared overrides (parent- or child-side)."""
     if isinstance(trace, SharedTraceHandle):
         trace = attach_trace(trace)
     _WORKER_SHARED["trace"] = trace
     _WORKER_SHARED["infra"] = infra
     if fault_plan is not None:
         faults.install(fault_plan)
+
+
+def _init_worker(
+    trace: Optional[Union[LoadTrace, SharedTraceHandle]],
+    infra: Optional[BMLInfrastructure],
+    fault_plan: Optional[faults.FaultPlan] = None,
+) -> None:
+    """Pool initializer for spawn/forkserver children."""
+    _reset_worker_signals()
+    _install_shared(trace, infra, fault_plan)
 
 
 def _run_worker(spec: ScenarioSpec) -> ScenarioRun:
@@ -587,13 +674,19 @@ def _make_pool(ctx, processes, trace, infra, share_memory=True):
     """
     if ctx.get_start_method() == "fork":
         saved = dict(_WORKER_SHARED)
-        _init_worker(trace, infra)  # the fault plan is inherited as-is
+        # Parent-side install: the children inherit the overrides (and
+        # the active fault plan) through the fork itself.  Only the
+        # signal reset must run in the child — never here, where it
+        # would strip the suite's own graceful-shutdown handler.
+        _install_shared(trace, infra)
 
         def cleanup():
             _WORKER_SHARED.clear()
             _WORKER_SHARED.update(saved)
 
-        return ctx.Pool(processes=processes), cleanup
+        return ctx.Pool(
+            processes=processes, initializer=_reset_worker_signals
+        ), cleanup
     handle = None
     shipped = trace
     if trace is not None:
@@ -623,6 +716,49 @@ def _make_pool(ctx, processes, trace, infra, share_memory=True):
             release_segment(handle)
 
     return pool, cleanup
+
+
+def _teardown_pool(pool, grace_s: float = 10.0) -> None:
+    """``terminate()`` + ``join()`` that cannot wedge the dispatcher.
+
+    ``Pool.terminate`` drains the task queue while holding the queue's
+    reader lock (CPython's ``_help_stuff_finish``); a worker that dies
+    between acquiring that lock and reading leaves it held forever and
+    ``terminate()`` blocked on it.  Graceful shutdown makes "tear down
+    a pool with workers in arbitrary states" a supported exit, so the
+    teardown runs under a watchdog: past ``grace_s`` every live worker
+    is SIGKILLed, the reader lock is force-released to unstick the
+    drain, and a still-wedged teardown is abandoned to its daemon
+    thread rather than hanging the suite.  The normal path returns the
+    moment the plain ``terminate()``/``join()`` completes.
+    """
+    done = _threading.Event()
+
+    def _graceful() -> None:
+        try:
+            pool.terminate()
+            pool.join()
+        finally:
+            done.set()
+
+    thread = _threading.Thread(
+        target=_graceful, name="pool-teardown", daemon=True
+    )
+    thread.start()
+    if done.wait(grace_s):
+        return
+    for proc in list(getattr(pool, "_pool", None) or ()):
+        if proc.exitcode is None:
+            try:
+                _os.kill(proc.pid, _signal.SIGKILL)
+            except (ProcessLookupError, OSError):  # pragma: no cover
+                pass
+    try:
+        # Releasing an unheld lock raises; a dead holder's is freed.
+        pool._inqueue._rlock.release()
+    except Exception:
+        pass
+    done.wait(grace_s)
 
 
 class _Task:
@@ -730,6 +866,7 @@ def _dispatch_chunks(
     store,
     outcomes: List[Optional[SuiteOutcome]],
     share_memory: bool = True,
+    stopped: Optional[Callable[[], Optional[int]]] = None,
 ) -> List[Tuple[int, FailedRun, Optional[BaseException]]]:
     """The ``apply_async`` dispatcher behind the pool path of
     :func:`run_suite`.
@@ -915,8 +1052,7 @@ def _dispatch_chunks(
 
     def reset_pool() -> None:
         nonlocal pool, cleanup, pids, inherited
-        pool.terminate()
-        pool.join()
+        _teardown_pool(pool)
         cleanup()
         pool, cleanup = _make_pool(ctx, pool_size, trace, infra, share_memory)
         pids = _pool_pids(pool)
@@ -926,6 +1062,14 @@ def _dispatch_chunks(
     try:
         while pending or inflight:
             now = time.monotonic()
+            signum = stopped() if stopped is not None else None
+            if signum is not None:
+                # Graceful shutdown: stop dispatching, give the inflight
+                # chunks one final harvest so every completed result is
+                # flushed to the store before the suite dies.
+                harvest(now)
+                completed = sum(1 for o in outcomes if o is not None)
+                raise SuiteInterrupted(signum, completed, len(outcomes))
             for _ in range(len(pending)):
                 if len(inflight) >= pool_size:
                     break
@@ -999,8 +1143,7 @@ def _dispatch_chunks(
             if not progressed and (pending or inflight):
                 time.sleep(policy.poll_interval_s)
     finally:
-        pool.terminate()
-        pool.join()
+        _teardown_pool(pool)
         cleanup()
         # Segments outlive pool resurrections but never the dispatcher:
         # releasing after the pool is down means no worker still maps
@@ -1095,18 +1238,25 @@ def run_suite(
     todo = [i for i, done in enumerate(outcomes) if done is None]
 
     if jobs == 1 or len(todo) <= 1:
-        for i in todo:
-            status, outcome, exc = _run_one_sequential(
-                specs[i], policy, trace, infra
-            )
-            if status == "ok":
-                if store is not None:
-                    store.save(outcome.to_record())
-            elif not keep_going:
-                if exc is not None:
-                    raise exc
-                raise SuiteExecutionError([outcome])
-            outcomes[i] = outcome
+        with _graceful_stop() as stopped:
+            for i in todo:
+                signum = stopped()
+                if signum is not None:
+                    # Graceful: everything completed so far is already
+                    # saved; resume=True re-runs only the remainder.
+                    completed = sum(1 for o in outcomes if o is not None)
+                    raise SuiteInterrupted(signum, completed, len(outcomes))
+                status, outcome, exc = _run_one_sequential(
+                    specs[i], policy, trace, infra
+                )
+                if status == "ok":
+                    if store is not None:
+                        store.save(outcome.to_record())
+                elif not keep_going:
+                    if exc is not None:
+                        raise exc
+                    raise SuiteExecutionError([outcome])
+                outcomes[i] = outcome
         return outcomes  # type: ignore[return-value]
 
     import multiprocessing
@@ -1127,19 +1277,21 @@ def run_suite(
     local_chunks = chunk_specs(sub, jobs, chunk_size)
     chunks = [[todo[j] for j in local] for local in local_chunks]
     pool_size = max(1, min(jobs, len(chunks)))
-    failures = _dispatch_chunks(
-        specs,
-        chunks,
-        pool_size,
-        ctx,
-        trace,
-        infra,
-        policy,
-        keep_going,
-        store,
-        outcomes,
-        share_memory=share_memory,
-    )
+    with _graceful_stop() as stopped:
+        failures = _dispatch_chunks(
+            specs,
+            chunks,
+            pool_size,
+            ctx,
+            trace,
+            infra,
+            policy,
+            keep_going,
+            store,
+            outcomes,
+            share_memory=share_memory,
+            stopped=stopped,
+        )
     if failures and not keep_going:
         for _, _, exc in failures:
             if exc is not None:

@@ -1,0 +1,52 @@
+"""Streaming provisioning: the batch replay's decision rule, online.
+
+``repro serve`` (PR 10) turns the two-phase replay from batch-offline
+into a long-running daemon: a tail reader follows a growing rate feed,
+a windowed streaming core re-derives the batch engine's reconfiguration
+decisions incrementally with bounded memory, a crash-safe journal makes
+every decision durable before it is acknowledged, and periodic
+checkpoints through the :class:`~repro.results.store.RunStore` let
+``--resume`` continue *exactly* after any crash.
+
+The contract (pinned by ``tests/properties/test_prop_serve.py``): for
+any chunking of the feed, with or without crashes and resumes, the
+journal is byte-identical to the one an uninterrupted batch-equivalent
+run writes, and each journaled decision equals the batch engine's
+:class:`~repro.core.reconfiguration.Reconfiguration` field for field.
+
+Layout::
+
+    source.py    tail-reader + in-memory feed sources, feed writer
+    engine.py    incremental sliding-max predictor + decision walk
+    journal.py   CRC-framed fsync'd append log with torn-tail repair
+    daemon.py    the poll loop: health, stalls, signals, checkpoints
+"""
+
+from .daemon import ServeConfig, ServeDaemon, ServeError, read_health
+from .engine import Decision, EngineStateError, StreamingProvisioner
+from .journal import DecisionJournal, JournalCorruptError, JournalError
+from .source import (
+    END_SENTINEL,
+    FeedChunk,
+    MemorySource,
+    TailFileSource,
+    append_feed,
+)
+
+__all__ = [
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeError",
+    "read_health",
+    "Decision",
+    "EngineStateError",
+    "StreamingProvisioner",
+    "DecisionJournal",
+    "JournalCorruptError",
+    "JournalError",
+    "END_SENTINEL",
+    "FeedChunk",
+    "MemorySource",
+    "TailFileSource",
+    "append_feed",
+]

@@ -1,0 +1,375 @@
+"""Windowed streaming core: the batch control pass, fed one chunk at a time.
+
+:class:`StreamingProvisioner` consumes raw rate samples in arbitrary
+chunkings and emits the *exact* decision stream the batch two-phase
+replay (:meth:`repro.sim.loop.EventDrivenReplay._reconfig_schedule`)
+derives from the whole trace at once.  Bit-identity holds because every
+step of the pipeline is arithmetic-free or replayed verbatim:
+
+* the look-ahead-max predictor is a sliding **maximum** — pure
+  comparisons, so computing it over ``tail + chunk`` sub-buffers picks
+  the same float64 elements the whole-trace filter would;
+* combination ids come from the same ``clipped_index``/``_row_ids``
+  encoding the batch engine uses;
+* the decision walk (first differing id at/after ``d_from``, blocking
+  window ``td + boot + off``, out-of-table raise at the decision second)
+  is the same state machine with the same memoised per-``(from, to)``
+  delta math, carried across chunk boundaries in O(1) state.
+
+Memory is **bounded**: the engine keeps the last ``window - 1`` raw
+samples (the only part of the past a future window can still see), a few
+counters, and the delta memo (bounded by distinct transition pairs in
+the table) — nothing scales with feed length, which the property test
+asserts.
+
+End-of-feed matters: the batch predictor's final ``window - 1`` entries
+are *truncated* maxima (the window clips at the series end), so those
+predictions only exist once the feed declares completion —
+:meth:`StreamingProvisioner.finalize` emits them.
+
+The whole engine state round-trips through a JSON-safe ``state_dict``
+(floats via ``repr``), which is what the daemon checkpoints through the
+:class:`~repro.results.store.RunStore` — restoring it resumes the
+decision stream mid-feed with no drift.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.combination import Combination, CombinationTable
+from ..core.scheduler import _row_ids
+from ..sim.machine import _ceil_s
+from ..workload.sliding import lookahead_max
+from .journal import decode_record, encode_record
+
+__all__ = ["Decision", "StreamingProvisioner", "EngineStateError"]
+
+
+class EngineStateError(RuntimeError):
+    """Raised for checkpoints the engine cannot safely restore."""
+
+
+def _combo_items(combo: Combination) -> Tuple[Tuple[str, int], ...]:
+    """A combination as hashable ``((name, count), ...)`` in its
+    normalised (big-to-little) order."""
+    return tuple((p.name, c) for p, c in combo.items)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One reconfiguration decision — the streaming twin of
+    :class:`~repro.core.reconfiguration.Reconfiguration`, carrying the
+    same fields with combinations flattened to ``(name, count)`` tuples
+    so it serialises canonically."""
+
+    decided_at: int
+    completes_at: int
+    before: Tuple[Tuple[str, int], ...]
+    after: Tuple[Tuple[str, int], ...]
+    boot_duration: int
+    off_duration: int
+    on_energy: float
+    off_energy: float
+
+    def to_payload(self) -> bytes:
+        """Canonical journal bytes (see :func:`~.journal.encode_record`)."""
+        return encode_record(
+            {
+                "t": self.decided_at,
+                "until": self.completes_at,
+                "before": [[n, c] for n, c in self.before],
+                "after": [[n, c] for n, c in self.after],
+                "boot_s": self.boot_duration,
+                "off_s": self.off_duration,
+                "on_j": self.on_energy,
+                "off_j": self.off_energy,
+            }
+        )
+
+    @classmethod
+    def from_payload(cls, payload: bytes) -> "Decision":
+        d = decode_record(payload)
+        return cls(
+            decided_at=int(d["t"]),
+            completes_at=int(d["until"]),
+            before=tuple((str(n), int(c)) for n, c in d["before"]),
+            after=tuple((str(n), int(c)) for n, c in d["after"]),
+            boot_duration=int(d["boot_s"]),
+            off_duration=int(d["off_s"]),
+            # Keep the parsed numeric type: the batch accumulator yields
+            # int 0 when nothing starts/stops, and byte-faithful
+            # re-encoding (int 0 != float 0.0 in JSON) depends on it.
+            on_energy=d["on_j"],
+            off_energy=d["off_j"],
+        )
+
+    def matches(self, recon) -> bool:
+        """Field equality against a batch ``Reconfiguration`` record."""
+        return (
+            self.decided_at == recon.decided_at
+            and self.completes_at == recon.completes_at
+            and self.before == _combo_items(recon.before)
+            and self.after == _combo_items(recon.after)
+            and self.boot_duration == recon.boot_duration
+            and self.off_duration == recon.off_duration
+            and self.on_energy == recon.on_energy
+            and self.off_energy == recon.off_energy
+        )
+
+
+class StreamingProvisioner:
+    """Incremental look-ahead-max prediction + decision walk over a table."""
+
+    STATE_VERSION = 1
+
+    def __init__(
+        self,
+        table: CombinationTable,
+        window: int = 378,
+        clamp: Optional[float] = None,
+    ):
+        if window < 1:
+            raise ValueError("window must be >= 1 second")
+        self.table = table
+        self.window = int(window)
+        self.clamp = None if clamp is None else float(clamp)
+        self._table_ids = _row_ids(table.counts_array)
+        self._profiles = {p.name: p for p in table.profiles}
+        # -- checkpointed state --------------------------------------------
+        self._tail = np.empty(0, dtype=np.float64)  # last window-1 samples
+        self._samples_in = 0  # raw samples consumed
+        self._preds_out = 0  # completed predictions emitted
+        self._decisions_out = 0
+        self._cur_grid_idx: Optional[int] = None  # current combo's table row
+        self._cur_id: Optional[int] = None  # its mixed-radix id
+        self._d_from = 1  # next decision second to examine
+        self._finalized = False
+        # -- pure cache (rebuilt on restore, bounded by transition pairs) --
+        self._delta_memo: Dict[Tuple[int, int], tuple] = {}
+
+    # -- views ---------------------------------------------------------------
+    @property
+    def samples_in(self) -> int:
+        return self._samples_in
+
+    @property
+    def decisions_out(self) -> int:
+        return self._decisions_out
+
+    @property
+    def finalized(self) -> bool:
+        return self._finalized
+
+    @property
+    def current(self) -> Optional[Combination]:
+        """The combination currently serving (None before any prediction)."""
+        if self._cur_grid_idx is None:
+            return None
+        return self.table.combo_at(self._cur_grid_idx)
+
+    def state_nbytes(self) -> int:
+        """Rough size of the checkpointed state — the bounded-memory
+        figure the property test tracks against feed length."""
+        return self._tail.nbytes + 256
+
+    # -- feeding -------------------------------------------------------------
+    def feed(self, samples: Sequence[float]) -> List[Decision]:
+        """Consume raw rate samples; emit decisions now determined.
+
+        Only *full* prediction windows complete here: the last
+        ``window - 1`` samples stay pending until more data (or
+        :meth:`finalize`) arrives.
+        """
+        if self._finalized:
+            raise EngineStateError("feed() after finalize()")
+        chunk = np.asarray(samples, dtype=np.float64)
+        if chunk.ndim != 1:
+            raise ValueError("samples must be one-dimensional")
+        if chunk.size == 0:
+            return []
+        buf = np.concatenate([self._tail, chunk])
+        new_total = self._samples_in + chunk.size
+        # Predictions completed by this chunk: windows [t, t+W) fully
+        # inside the data seen so far.
+        new_preds = max(0, new_total - self.window + 1)
+        k = new_preds - self._preds_out
+        decisions: List[Decision] = []
+        if k > 0:
+            preds = lookahead_max(buf, self.window)[:k]
+            decisions = self._advance(preds)
+            self._preds_out = new_preds
+        keep = self.window - 1
+        self._tail = buf[-keep:].copy() if keep else np.empty(0)
+        self._samples_in = new_total
+        return decisions
+
+    def finalize(self) -> List[Decision]:
+        """The feed is complete: emit the truncated-window tail decisions.
+
+        The batch predictor's final ``window - 1`` predictions are maxima
+        over windows clipped at the series end; they become computable
+        only now.  Idempotent.
+        """
+        if self._finalized:
+            return []
+        self._finalized = True
+        n_tail = self._samples_in - self._preds_out
+        if n_tail <= 0:
+            return []
+        # tail holds exactly the last min(window-1, n) samples = the
+        # samples the remaining (truncated) windows cover; a full pass of
+        # the batch filter over them yields max(tail[j:]) at each j.
+        preds = lookahead_max(self._tail, self.window)
+        decisions = self._advance(preds[-n_tail:])
+        self._preds_out = self._samples_in
+        return decisions
+
+    # -- the decision walk ----------------------------------------------------
+    def _advance(self, preds: np.ndarray) -> List[Decision]:
+        """Run the batch decision rule over newly-completed predictions.
+
+        ``preds[j]`` is the prediction for absolute second
+        ``self._preds_out + j``; the walk state (current id, ``d_from``)
+        carries across calls, reproducing ``_reconfig_schedule``'s
+        single-pass scan chunk by chunk.
+        """
+        if self.clamp is not None:
+            preds = np.minimum(preds, self.clamp)
+        base = self._preds_out
+        idx, oob = self.table.clipped_index(preds)
+        cid = self._table_ids[idx]
+        cid = cid.copy() if oob.any() else cid
+        cid[oob] = -1
+        m = len(preds)
+        out: List[Decision] = []
+        if self._cur_id is None:
+            # pred[0]: the initial combination, like the batch engine's
+            # table.combination_for(pred[0]) — raises beyond the table.
+            if base != 0:
+                raise EngineStateError("walk state lost before first sample")
+            if bool(oob[0]):
+                self.table.combination_for(float(preds[0]))
+            self._cur_grid_idx = int(idx[0])
+            self._cur_id = int(cid[0])
+            self._d_from = 1
+        while True:
+            s = max(self._d_from, base)
+            if s >= base + m:
+                break
+            rel = s - base
+            mism = np.flatnonzero(cid[rel:] != self._cur_id)
+            if mism.size == 0:
+                # every examined second matched: resume after this chunk
+                self._d_from = max(self._d_from, base + m)
+                break
+            td = s + int(mism[0])
+            tr = td - base
+            if int(cid[tr]) == -1:
+                # Raises for rates beyond the table, like the walk would
+                # at this decision second.
+                self.table.combination_for(float(preds[tr]))
+            out.append(self._decide(td, int(cid[tr]), int(idx[tr])))
+        return out
+
+    def _decide(self, td: int, new_id: int, grid_idx: int) -> Decision:
+        """Fix one reconfiguration at second ``td`` and advance the walk."""
+        cur = self.table.combo_at(self._cur_grid_idx)
+        info = self._delta_memo.get((self._cur_id, new_id))
+        if info is None:
+            target = self.table.combo_at(grid_idx)
+            delta = cur.diff(target)
+            starts = tuple((n, d) for n, d in delta.items() if d > 0)
+            stops = tuple((n, -d) for n, d in delta.items() if d < 0)
+            boot_dur = 0
+            on_energy = 0
+            for name, cnt in starts:
+                p = self._profiles[name]
+                dur = _ceil_s(p.on_time)
+                if dur > boot_dur:
+                    boot_dur = dur
+                on_energy = on_energy + cnt * p.on_energy
+            off_dur = 0
+            off_energy = 0
+            for name, cnt in stops:
+                p = self._profiles[name]
+                dur = int(math.ceil(p.off_time - 1e-9))
+                if dur > off_dur:
+                    off_dur = dur
+                off_energy = off_energy + cnt * p.off_energy
+            info = (grid_idx, boot_dur, off_dur, on_energy, off_energy)
+            self._delta_memo[(self._cur_id, new_id)] = info
+        tgt_idx, boot_dur, off_dur, on_e, off_e = info
+        target = self.table.combo_at(tgt_idx)
+        until = td + boot_dur + off_dur
+        decision = Decision(
+            decided_at=td,
+            completes_at=until,
+            before=_combo_items(cur),
+            after=_combo_items(target),
+            boot_duration=boot_dur,
+            off_duration=off_dur,
+            on_energy=on_e,
+            off_energy=off_e,
+        )
+        self._cur_grid_idx = tgt_idx
+        self._cur_id = new_id
+        self._decisions_out += 1
+        self._d_from = until if until > td else td + 1
+        return decision
+
+    # -- checkpointing --------------------------------------------------------
+    def state_dict(self) -> Dict[str, object]:
+        """JSON-safe snapshot of the whole walk (floats via ``repr``
+        round-trip bit-exactly through the store's JSON checkpoint)."""
+        return {
+            "version": self.STATE_VERSION,
+            "window": self.window,
+            "clamp": self.clamp,
+            "table_rows": len(self.table.counts_array),
+            "samples_in": self._samples_in,
+            "preds_out": self._preds_out,
+            "decisions_out": self._decisions_out,
+            "tail": [float(v) for v in self._tail],
+            "cur_grid_idx": self._cur_grid_idx,
+            "cur_id": self._cur_id,
+            "d_from": self._d_from,
+            "finalized": self._finalized,
+        }
+
+    def restore(self, state: Dict[str, object]) -> None:
+        """Adopt a :meth:`state_dict` snapshot (same table required)."""
+        if state.get("version") != self.STATE_VERSION:
+            raise EngineStateError(
+                f"checkpoint version {state.get('version')!r} != "
+                f"{self.STATE_VERSION}"
+            )
+        if int(state["window"]) != self.window:
+            raise EngineStateError(
+                f"checkpoint window {state['window']} != engine window "
+                f"{self.window}"
+            )
+        if int(state["table_rows"]) != len(self.table.counts_array):
+            raise EngineStateError(
+                "checkpoint was taken against a different combination table"
+            )
+        clamp = state.get("clamp")
+        if (clamp is None) != (self.clamp is None) or (
+            clamp is not None and float(clamp) != self.clamp
+        ):
+            raise EngineStateError("checkpoint clamp differs from engine clamp")
+        self._samples_in = int(state["samples_in"])
+        self._preds_out = int(state["preds_out"])
+        self._decisions_out = int(state["decisions_out"])
+        self._tail = np.asarray(state["tail"], dtype=np.float64)
+        cur_idx = state["cur_grid_idx"]
+        self._cur_grid_idx = None if cur_idx is None else int(cur_idx)
+        cur_id = state["cur_id"]
+        self._cur_id = None if cur_id is None else int(cur_id)
+        self._d_from = int(state["d_from"])
+        self._finalized = bool(state["finalized"])
+        self._delta_memo = {}

@@ -1,0 +1,212 @@
+"""Crash-safe decision journal: the daemon's durable decision stream.
+
+The journal is the streaming engine's source of truth: every
+reconfiguration decision is appended — length-prefixed, CRC-framed,
+``fsync``'d — *before* the checkpoint that acknowledges it, so a crash
+at any instant loses at most bookkeeping, never a decision.  The batch
+identity contract (``tests/properties/test_prop_serve.py``) compares
+journals *byte for byte*, which is why the record encoding is exact:
+canonical JSON (sorted keys, compact separators) whose floats survive
+``repr`` round-trips bit-identically.
+
+Frame format, one record::
+
+    [4-byte LE payload length][payload bytes][4-byte LE CRC32(payload)]
+
+Recovery on open:
+
+* a short/garbled **final** frame (a torn append, the expected result of
+  ``kill -9`` mid-write) is truncated away — the record was never
+  acknowledged, so dropping it is correct, not lossy;
+* a CRC mismatch **mid-file** (bit rot behind acknowledged records) is
+  *not* recoverable by truncation — acknowledged decisions would vanish
+  — so the journal quarantines itself with :class:`JournalCorruptError`
+  and leaves the bytes on disk for forensics;
+* an empty or absent file opens clean with zero records.
+
+Appends are **idempotent by index**: ``append(index, payload)`` with
+``index < count`` verifies the stored bytes instead of re-writing, which
+is how a resumed daemon replays through decisions it already journaled
+and still produces a byte-identical file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from pathlib import Path
+from typing import Dict, List, Union
+
+from .. import faults
+
+__all__ = [
+    "DecisionJournal",
+    "JournalError",
+    "JournalCorruptError",
+    "encode_record",
+    "decode_record",
+]
+
+_LEN = struct.Struct("<I")
+_CRC = struct.Struct("<I")
+_FRAME_OVERHEAD = _LEN.size + _CRC.size
+
+#: Refuse absurd frames early: a decision record is a few hundred bytes,
+#: so a multi-megabyte length prefix is torn garbage, not data.
+_MAX_PAYLOAD = 16 * 1024 * 1024
+
+
+class JournalError(RuntimeError):
+    """Raised for misuse of the journal (bad index, divergent replay)."""
+
+
+class JournalCorruptError(JournalError):
+    """A CRC mismatch behind acknowledged records: the journal is
+    quarantined (left untouched on disk) rather than silently truncated."""
+
+    def __init__(self, path: Path, index: int, reason: str):
+        super().__init__(
+            f"journal {path} corrupt at record {index}: {reason} "
+            "(file preserved for inspection)"
+        )
+        self.path = path
+        self.index = index
+        self.reason = reason
+
+
+def encode_record(fields: Dict[str, object]) -> bytes:
+    """Canonical payload bytes for one decision record.
+
+    ``json.dumps`` with sorted keys and compact separators; floats print
+    via ``repr`` (shortest round-trip), so identical decision values
+    always yield identical bytes — the byte-identity contract rests on
+    this.
+    """
+    return json.dumps(
+        fields, sort_keys=True, separators=(",", ":"), allow_nan=False
+    ).encode("ascii")
+
+
+def decode_record(payload: bytes) -> Dict[str, object]:
+    """Inverse of :func:`encode_record`."""
+    return json.loads(payload.decode("ascii"))
+
+
+class DecisionJournal:
+    """Append-only, fsync'd, CRC-framed record log with torn-tail repair."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._payloads: List[bytes] = []  # decisions are sparse: cheap
+        self._recover()
+        # Opened for appending only after recovery possibly truncated.
+        self._fh = open(self.path, "ab")
+
+    # -- recovery -----------------------------------------------------------
+    def _recover(self) -> None:
+        """Scan existing frames; truncate a torn tail, quarantine rot."""
+        self._payloads = []
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.path.write_bytes(b"")
+            return
+        data = self.path.read_bytes()
+        good_end = 0
+        pos = 0
+        n = len(data)
+        while pos < n:
+            if pos + _LEN.size > n:
+                break  # torn length prefix
+            (length,) = _LEN.unpack_from(data, pos)
+            end = pos + _LEN.size + length + _CRC.size
+            if length > _MAX_PAYLOAD or end > n:
+                break  # torn payload/CRC (or garbage length)
+            payload = data[pos + _LEN.size : pos + _LEN.size + length]
+            (crc,) = _CRC.unpack_from(data, end - _CRC.size)
+            if zlib.crc32(payload) != crc:
+                if end == n:
+                    break  # corrupt *final* frame: torn write, truncate
+                raise JournalCorruptError(
+                    self.path, len(self._payloads), "CRC mismatch"
+                )
+            self._payloads.append(payload)
+            good_end = end
+            pos = end
+        if good_end < n:
+            with open(self.path, "r+b") as fh:
+                fh.truncate(good_end)
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    # -- views --------------------------------------------------------------
+    @property
+    def count(self) -> int:
+        return len(self._payloads)
+
+    def payloads(self) -> List[bytes]:
+        return list(self._payloads)
+
+    def records(self) -> List[Dict[str, object]]:
+        return [decode_record(p) for p in self._payloads]
+
+    # -- writing ------------------------------------------------------------
+    def append(self, index: int, payload: bytes) -> bool:
+        """Durably append record ``index``; returns True if bytes moved.
+
+        ``index`` must be the record's position in the stream.  An index
+        below :attr:`count` is a resume replaying a decision it already
+        journaled: the stored bytes are *verified* against ``payload``
+        (divergence means the resumed engine is not the engine that
+        crashed — a :class:`JournalError`, never a silent overwrite) and
+        nothing is written.  An index above :attr:`count` is a hole and
+        refuses.
+        """
+        if index < 0 or index > self.count:
+            raise JournalError(
+                f"append at index {index} but journal holds {self.count} "
+                f"record(s) ({self.path})"
+            )
+        if index < self.count:
+            if self._payloads[index] != payload:
+                raise JournalError(
+                    f"resume divergence: record {index} already journaled "
+                    f"with different bytes ({self.path})"
+                )
+            return False
+        frame = _LEN.pack(len(payload)) + payload + _CRC.pack(
+            zlib.crc32(payload)
+        )
+        self._fh.write(frame)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        if faults.check("journal-corrupt", str(self.path), attempt=index):
+            self._flip_byte_on_disk(len(payload))
+        self._payloads.append(payload)
+        return True
+
+    def _flip_byte_on_disk(self, payload_len: int) -> None:
+        """``journal-corrupt`` fault: XOR one payload byte of the frame
+        just written (the in-memory copy keeps the good bytes, like a
+        page cache would — only a re-open sees the rot)."""
+        offset = self._fh.tell() - _CRC.size - max(payload_len, 1)
+        with open(self.path, "r+b") as fh:
+            fh.seek(offset)
+            byte = fh.read(1)
+            fh.seek(offset)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+            fh.flush()
+            os.fsync(fh.fileno())
+
+    def close(self) -> None:
+        if not self._fh.closed:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self._fh.close()
+
+    def __enter__(self) -> "DecisionJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

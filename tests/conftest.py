@@ -51,6 +51,52 @@ def rng():
     return np.random.default_rng(2016)
 
 
+# -- streaming daemon (repro serve) fixtures --------------------------------
+
+
+@pytest.fixture(scope="session")
+def serve_table(infra):
+    """Combination table sized above the short trace's peak."""
+    return infra.table(3000.0)
+
+
+@pytest.fixture(scope="session")
+def serve_values(short_trace):
+    """The raw rate samples the serve feed carries (float64, 1 Hz)."""
+    return np.asarray(short_trace.values, dtype=np.float64)
+
+
+@pytest.fixture(scope="session")
+def batch_reconfigs(serve_table, short_trace):
+    """The batch two-phase engine's reconfiguration stream — the ground
+    truth the streaming engine must reproduce bit for bit."""
+    from repro.core.prediction import LookAheadMaxPredictor
+    from repro.sim.loop import EventDrivenReplay
+    from serve_testlib import WINDOW
+
+    replay = EventDrivenReplay(
+        serve_table, short_trace, predictor=LookAheadMaxPredictor(WINDOW)
+    )
+    result = replay.run(engine="twophase")
+    assert result.reconfigurations, "fixture trace must cause reconfigs"
+    return result.reconfigurations
+
+
+@pytest.fixture(scope="session")
+def batch_payloads(serve_table, serve_values, batch_reconfigs):
+    """Canonical journal payloads of the full one-pass streaming run
+    (already verified field-identical to ``batch_reconfigs``)."""
+    from repro.serve import StreamingProvisioner
+    from serve_testlib import WINDOW
+
+    engine = StreamingProvisioner(serve_table, window=WINDOW)
+    decisions = engine.feed(serve_values)
+    decisions += engine.finalize()
+    assert len(decisions) == len(batch_reconfigs)
+    assert all(d.matches(r) for d, r in zip(decisions, batch_reconfigs))
+    return [d.to_payload() for d in decisions]
+
+
 @pytest.fixture(scope="session")
 def toy_profiles():
     """Tiny hand-checkable architectures used across unit tests.

@@ -1,0 +1,220 @@
+"""The serve daemon end to end: feed to journal, health heartbeats,
+fresh-start and resume guards, signal shutdown, and the CLI wiring."""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.serve import (
+    ServeConfig,
+    ServeDaemon,
+    ServeError,
+    MemorySource,
+    TailFileSource,
+    append_feed,
+    read_health,
+)
+from repro.serve.daemon import JOURNAL_FILE
+
+from serve_testlib import WINDOW
+
+pytestmark = pytest.mark.quick
+
+
+def _config(tmp_path, **kw):
+    kw.setdefault("feed", tmp_path / "feed.txt")
+    kw.setdefault("state_dir", tmp_path / "state")
+    kw.setdefault("window", WINDOW)
+    kw.setdefault("max_rate", 3000.0)
+    kw.setdefault("poll_s", 0.001)
+    kw.setdefault("stall_timeout_s", 30.0)
+    return ServeConfig(**kw)
+
+
+class TestRunToCompletion:
+    def test_memory_feed_matches_batch_journal(
+        self, tmp_path, serve_table, serve_values, batch_payloads
+    ):
+        config = _config(tmp_path)
+        chunks = [list(serve_values[i : i + 900]) for i in range(0, len(serve_values), 900)]
+        daemon = ServeDaemon(
+            config, table=serve_table, source=MemorySource(chunks)
+        )
+        assert daemon.run() == "done"
+        journal_path = config.state_dir / JOURNAL_FILE
+        assert journal_path.exists()
+        from repro.serve import DecisionJournal
+
+        with DecisionJournal(journal_path) as j:
+            assert j.payloads() == batch_payloads
+        health = read_health(config.state_dir)
+        assert health["status"] == "done"
+        assert health["decisions"] == len(batch_payloads)
+        assert health["journal_records"] == len(batch_payloads)
+        assert health["rejected"] == 0
+
+    def test_tail_feed_growing_file(self, tmp_path, serve_table):
+        config = _config(tmp_path)
+        append_feed(config.feed, [100.0] * (WINDOW * 2))
+        daemon = ServeDaemon(config, table=serve_table)
+        # Producer appends (with one ramp) while the daemon polls.
+        def produce():
+            time.sleep(0.02)
+            append_feed(config.feed, [900.0] * WINDOW)
+            # Long 100-tail: the up-switch boots a paravance (189 s), so
+            # the mirror down-decision only unblocks well past t=271.
+            append_feed(config.feed, [100.0] * WINDOW * 5, end=True)
+
+        t = threading.Thread(target=produce)
+        t.start()
+        try:
+            assert daemon.run() == "done"
+        finally:
+            t.join()
+        assert daemon.engine.samples_in == WINDOW * 8
+        assert daemon.journal.count >= 2  # up for the ramp, down after
+
+    def test_periodic_checkpoint_updates_source_offset(
+        self, tmp_path, serve_table
+    ):
+        config = _config(tmp_path, checkpoint_every=10)
+        append_feed(config.feed, [100.0] * 50, end=True)
+        daemon = ServeDaemon(config, table=serve_table)
+        assert daemon.run() == "done"
+        state = daemon.store.load_state(config.name)
+        assert state is not None
+        assert state["source"]["offset"] == config.feed.stat().st_size
+        assert state["engine"]["samples_in"] == 50
+
+
+class TestGuards:
+    def test_fresh_start_refuses_existing_checkpoint(
+        self, tmp_path, serve_table
+    ):
+        config = _config(tmp_path)
+        daemon = ServeDaemon(
+            config, table=serve_table, source=MemorySource([[100.0] * WINDOW])
+        )
+        daemon.run()
+        with pytest.raises(ServeError, match="--resume"):
+            ServeDaemon(config, table=serve_table)
+
+    def test_fresh_start_refuses_orphan_journal(self, tmp_path, serve_table):
+        config = _config(tmp_path)
+        config.state_dir.mkdir(parents=True)
+        from repro.serve import DecisionJournal
+
+        with DecisionJournal(config.state_dir / JOURNAL_FILE) as j:
+            j.append(0, b"{}")
+        with pytest.raises(ServeError, match="no checkpoint"):
+            ServeDaemon(config, table=serve_table)
+
+    def test_resume_without_checkpoint_refuses(self, tmp_path, serve_table):
+        with pytest.raises(ServeError, match="nothing to resume"):
+            ServeDaemon(_config(tmp_path), resume=True, table=serve_table)
+
+    def test_resume_refuses_config_drift(self, tmp_path, serve_table):
+        config = _config(tmp_path)
+        ServeDaemon(
+            config, table=serve_table, source=MemorySource([[100.0]])
+        ).run()
+        drifted = _config(tmp_path, window=WINDOW + 10)
+        with pytest.raises(ServeError, match="different configuration"):
+            ServeDaemon(drifted, resume=True, table=serve_table)
+
+    def test_resume_continues_generation(self, tmp_path, serve_table):
+        config = _config(tmp_path)
+        # end=False: the feed stalls, so the run stops on poll budget
+        # with the feed unfinished — a resumable cut.
+        daemon = ServeDaemon(
+            config,
+            table=serve_table,
+            source=MemorySource([[100.0] * WINDOW * 2], end=False),
+        )
+        assert daemon.run(max_polls=3) == "stopped"
+        resumed = ServeDaemon(
+            config,
+            resume=True,
+            table=serve_table,
+            source=MemorySource([[900.0] * WINDOW]),
+        )
+        resumed.engine  # restored from checkpoint
+        assert resumed.generation == 1
+        assert resumed.engine.samples_in == WINDOW * 2
+        assert resumed.run() == "done"
+        assert read_health(config.state_dir)["generation"] == 1
+
+
+class TestSignals:
+    def test_sigterm_checkpoints_and_stops(self, tmp_path, serve_table):
+        config = _config(tmp_path, poll_s=0.001)
+        append_feed(config.feed, [100.0] * WINDOW)  # no END: daemon idles
+        daemon = ServeDaemon(config, table=serve_table)
+
+        def fire():
+            time.sleep(0.05)
+            signal.raise_signal(signal.SIGTERM)
+
+        t = threading.Thread(target=fire)
+        t.start()
+        try:
+            assert daemon.run() == "stopped"
+        finally:
+            t.join()
+        health = read_health(config.state_dir)
+        assert health["status"] == "stopped"
+        assert any("signal" in e for e in health["events"])
+        assert daemon.store.load_state(config.name) is not None
+
+
+class TestHealth:
+    def test_read_health_absent_and_torn(self, tmp_path):
+        assert read_health(tmp_path) is None
+        (tmp_path / "health.json").write_text('{"status": "runn')
+        assert read_health(tmp_path) is None
+
+
+class TestCli:
+    def test_serve_run_status_and_resume(self, tmp_path, capsys):
+        feed = tmp_path / "feed.txt"
+        state = tmp_path / "state"
+        append_feed(feed, [100.0] * 80)
+        base = [
+            "serve", str(feed), "--dir", str(state),
+            "--window", "60", "--max-rate", "3000", "--poll", "0.001",
+        ]
+        # No END yet: the poll budget stops the daemon mid-feed.
+        assert main(base + ["--max-polls", "5"]) == 3
+        out = capsys.readouterr().out
+        assert "serve stopped" in out
+        append_feed(feed, [900.0] * 40, end=True)
+        assert main(base + ["--resume", "--max-polls", "50"]) == 0
+        assert "serve done" in capsys.readouterr().out
+        assert main(["serve", "--status", "--dir", str(state)]) == 0
+        health = json.loads(capsys.readouterr().out)
+        assert health["status"] == "done" and health["generation"] == 1
+
+    def test_serve_status_without_state(self, tmp_path, capsys):
+        assert main(["serve", "--status", "--dir", str(tmp_path)]) == 1
+        assert "no serve health" in capsys.readouterr().err
+
+    def test_serve_requires_feed(self, tmp_path):
+        with pytest.raises(SystemExit, match="feed"):
+            main(["serve", "--dir", str(tmp_path)])
+
+    def test_serve_error_is_clean_exit(self, tmp_path, capsys):
+        feed = tmp_path / "feed.txt"
+        append_feed(feed, [1.0], end=True)
+        args = ["serve", str(feed), "--dir", str(tmp_path / "s"),
+                "--max-polls", "10"]
+        assert main(args) == 0
+        capsys.readouterr()
+        # Second fresh start over the same state dir: refused, exit 1.
+        assert main(args) == 1
+        assert "--resume" in capsys.readouterr().err

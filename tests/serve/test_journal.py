@@ -1,0 +1,153 @@
+"""Journal recovery edge cases: torn tails truncate, mid-file rot
+quarantines, empty files open clean, appends are idempotent by index."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.serve import DecisionJournal, JournalCorruptError, JournalError
+from repro.serve.journal import decode_record, encode_record
+
+pytestmark = pytest.mark.quick
+
+
+def _payloads(n):
+    return [encode_record({"i": i, "v": i * 0.1}) for i in range(n)]
+
+
+def _write(path, payloads):
+    with DecisionJournal(path) as j:
+        for i, p in enumerate(payloads):
+            assert j.append(i, p) is True
+    return path
+
+
+def _frame(payload: bytes) -> bytes:
+    return (
+        struct.pack("<I", len(payload))
+        + payload
+        + struct.pack("<I", zlib.crc32(payload))
+    )
+
+
+class TestRecovery:
+    def test_absent_file_opens_clean(self, tmp_path):
+        with DecisionJournal(tmp_path / "sub" / "j.bin") as j:
+            assert j.count == 0
+
+    def test_empty_file_opens_clean(self, tmp_path):
+        path = tmp_path / "j.bin"
+        path.write_bytes(b"")
+        with DecisionJournal(path) as j:
+            assert j.count == 0
+
+    def test_round_trip_across_reopen(self, tmp_path):
+        payloads = _payloads(5)
+        path = _write(tmp_path / "j.bin", payloads)
+        with DecisionJournal(path) as j:
+            assert j.payloads() == payloads
+            assert j.records()[3] == decode_record(payloads[3])
+
+    @pytest.mark.parametrize("cut", [1, 3, 7])
+    def test_torn_final_record_truncated_not_fatal(self, tmp_path, cut):
+        payloads = _payloads(4)
+        path = _write(tmp_path / "j.bin", payloads)
+        data = path.read_bytes()
+        path.write_bytes(data[:-cut])  # kill -9 mid-append
+        with DecisionJournal(path) as j:
+            assert j.count == 3
+            assert j.payloads() == payloads[:3]
+        # The torn bytes are gone from disk: recovery truncated them.
+        assert len(path.read_bytes()) < len(data) - cut + 1
+
+    def test_torn_length_prefix_truncated(self, tmp_path):
+        path = _write(tmp_path / "j.bin", _payloads(2))
+        good = path.read_bytes()
+        path.write_bytes(good + b"\x07\x00")  # 2 of 4 length bytes
+        with DecisionJournal(path) as j:
+            assert j.count == 2
+        assert path.read_bytes() == good
+
+    def test_garbage_length_at_tail_truncated(self, tmp_path):
+        path = _write(tmp_path / "j.bin", _payloads(2))
+        good = path.read_bytes()
+        path.write_bytes(good + struct.pack("<I", 2**31) + b"junk")
+        with DecisionJournal(path) as j:
+            assert j.count == 2
+        assert path.read_bytes() == good
+
+    def test_append_after_torn_tail_continues_stream(self, tmp_path):
+        payloads = _payloads(3)
+        path = _write(tmp_path / "j.bin", payloads)
+        path.write_bytes(path.read_bytes()[:-2])
+        with DecisionJournal(path) as j:
+            assert j.count == 2
+            assert j.append(2, payloads[2]) is True
+        with DecisionJournal(path) as j:
+            assert j.payloads() == payloads
+
+    def test_mid_file_crc_mismatch_quarantines(self, tmp_path):
+        payloads = _payloads(4)
+        path = _write(tmp_path / "j.bin", payloads)
+        data = bytearray(path.read_bytes())
+        # Flip one payload byte of record 1 (offset: frame0 + len prefix).
+        offset = len(_frame(payloads[0])) + 4
+        data[offset] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(JournalCorruptError) as exc:
+            DecisionJournal(path)
+        assert exc.value.index == 1
+        assert "preserved" in str(exc.value)
+        # Quarantine means the evidence is untouched.
+        assert path.read_bytes() == bytes(data)
+
+    def test_corrupt_final_record_is_torn_tail_not_quarantine(self, tmp_path):
+        payloads = _payloads(3)
+        path = _write(tmp_path / "j.bin", payloads)
+        data = bytearray(path.read_bytes())
+        data[-6] ^= 0xFF  # payload byte of the *final* frame
+        path.write_bytes(bytes(data))
+        with DecisionJournal(path) as j:
+            assert j.count == 2  # never acknowledged: dropping is correct
+
+
+class TestIdempotentAppend:
+    def test_replay_verifies_and_writes_nothing(self, tmp_path):
+        payloads = _payloads(3)
+        path = _write(tmp_path / "j.bin", payloads)
+        size = path.stat().st_size
+        with DecisionJournal(path) as j:
+            assert j.append(0, payloads[0]) is False
+            assert j.append(2, payloads[2]) is False
+            assert j.count == 3
+        assert path.stat().st_size == size
+
+    def test_divergent_replay_refuses(self, tmp_path):
+        payloads = _payloads(2)
+        path = _write(tmp_path / "j.bin", payloads)
+        with DecisionJournal(path) as j:
+            with pytest.raises(JournalError, match="divergence"):
+                j.append(1, encode_record({"i": 999}))
+
+    def test_hole_refuses(self, tmp_path):
+        with DecisionJournal(tmp_path / "j.bin") as j:
+            with pytest.raises(JournalError, match="index 2"):
+                j.append(2, b"{}")
+            with pytest.raises(JournalError):
+                j.append(-1, b"{}")
+
+
+class TestEncoding:
+    def test_canonical_json_round_trips_floats(self):
+        fields = {"t": 7, "on_j": 123.45600000000002, "neg": -0.0}
+        payload = encode_record(fields)
+        assert decode_record(payload) == fields
+        # Canonical: sorted keys, compact, ascii.
+        assert payload == encode_record(dict(reversed(list(fields.items()))))
+
+    def test_nan_refused(self):
+        with pytest.raises(ValueError):
+            encode_record({"x": float("nan")})

@@ -1,0 +1,116 @@
+"""Feed sources: tail-following, torn trailing lines, typed rejection
+of malformed records, END sentinel, checkpointable offsets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import (
+    END_SENTINEL,
+    MemorySource,
+    TailFileSource,
+    append_feed,
+)
+from repro.workload.trace import TraceIngestError
+
+pytestmark = pytest.mark.quick
+
+
+class TestTailFileSource:
+    def test_missing_file_is_not_an_error(self, tmp_path):
+        src = TailFileSource(tmp_path / "feed.txt")
+        chunk = src.poll()
+        assert chunk.samples == [] and not chunk.finished and not chunk
+
+    def test_reads_appended_records_across_polls(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        src = TailFileSource(feed)
+        append_feed(feed, [1.5, 2.5])
+        assert src.poll().samples == [1.5, 2.5]
+        append_feed(feed, [3.5])
+        assert src.poll().samples == [3.5]
+        assert src.poll().samples == []
+
+    def test_trailing_line_without_newline_waits(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        feed.write_text("1.0\n2.")  # torn write in progress
+        src = TailFileSource(feed)
+        chunk = src.poll()
+        assert chunk.samples == [1.0] and chunk.rejected == []
+        with open(feed, "a") as fh:
+            fh.write("5\n")  # the producer finishes the record
+        assert src.poll().samples == [2.5]
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        feed.write_text("# header\n\n 4.0 \n")
+        assert TailFileSource(feed).poll().samples == [4.0]
+
+    @pytest.mark.parametrize("bad", ["not-a-rate", "inf", "nan", "-3.0"])
+    def test_malformed_record_rejected_typed_with_offsets(self, tmp_path, bad):
+        feed = tmp_path / "feed.txt"
+        feed.write_text(f"1.0\n{bad}\n2.0\n")
+        chunk = TailFileSource(feed).poll()
+        # The stream survives: good samples flow around the bad record.
+        assert chunk.samples == [1.0, 2.0]
+        assert len(chunk.rejected) == 1
+        err = chunk.rejected[0]
+        assert isinstance(err, TraceIngestError)
+        assert "line 2" in str(err) and "byte offset 4" in str(err)
+        assert str(feed) in str(err)
+
+    def test_end_sentinel_finishes_feed(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        append_feed(feed, [1.0], end=True)
+        src = TailFileSource(feed)
+        chunk = src.poll()
+        assert chunk.samples == [1.0] and chunk.finished
+        assert src.poll().finished  # stays finished
+
+    def test_truncated_feed_raises_typed(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        append_feed(feed, [1.0, 2.0])
+        src = TailFileSource(feed)
+        src.poll()
+        feed.write_text("1.0\n")  # producer rewrote the file shorter
+        with pytest.raises(TraceIngestError, match="truncated below"):
+            src.poll()
+
+    def test_state_round_trip_reads_nothing_twice(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        append_feed(feed, [1.0, 2.0])
+        src = TailFileSource(feed)
+        src.poll()
+        state = src.state()
+        append_feed(feed, [3.0], end=True)
+        resumed = TailFileSource(feed, **state)
+        chunk = resumed.poll()
+        assert chunk.samples == [3.0] and chunk.finished
+
+
+class TestMemorySource:
+    def test_replays_chunks_then_ends(self):
+        src = MemorySource([[1.0, 2.0], [], [3.0]])
+        assert src.poll().samples == [1.0, 2.0]
+        assert src.poll().samples == []
+        assert src.poll().samples == [3.0]
+        assert src.poll().finished
+        assert src.poll().finished
+
+    def test_end_false_stalls_instead(self):
+        src = MemorySource([[1.0]], end=False)
+        src.poll()
+        chunk = src.poll()
+        assert not chunk.finished and chunk.samples == []
+
+
+class TestAppendFeed:
+    def test_end_flag_writes_sentinel(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        append_feed(feed, [], end=True)
+        assert feed.read_text() == END_SENTINEL + "\n"
+
+    def test_returns_bytes_written(self, tmp_path):
+        feed = tmp_path / "feed.txt"
+        n = append_feed(feed, [1.0])
+        assert n == feed.stat().st_size == len("1.000000\n")

@@ -1,0 +1,5 @@
+"""Constants shared by the serve test modules (importable by name
+because pytest puts this directory on ``sys.path``)."""
+
+#: Small prediction window so tests cross many chunk boundaries fast.
+WINDOW = 60
